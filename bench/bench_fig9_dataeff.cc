@@ -1,0 +1,56 @@
+// Reproduces Fig. 9: data efficiency — weighted F1 and accuracy of KGLink
+// vs KGLink w/o msk as the training set is subsampled to a fraction p of
+// its original size (test split unchanged). The multi-task variant should
+// pull ahead once there is enough data to train the extra head, while at
+// very small p the simpler model is competitive.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace kglink;
+
+int main() {
+  bench::BenchEnv& env = bench::GetEnv();
+  bench::PrintHeader(
+      "Fig. 9 — KGLink vs KGLink w/o msk with varying training fraction p",
+      "Reproduction target (shape): both improve with p; the multi-task "
+      "model benefits more at larger p (the subtask needs data), matching "
+      "the paper's observation that KGLink reaches baseline-level "
+      "performance with ~60% of the data.");
+
+  const double kFractions[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  eval::TablePrinter table({"p", "KGLink Acc", "KGLink wF1",
+                            "w/o msk Acc", "w/o msk wF1"});
+  for (double p : kFractions) {
+    Rng rng(777);  // same subsample for both variants
+    table::Corpus train =
+        p >= 1.0 ? env.semtab.train
+                 : table::SubsampleTables(env.semtab.train, p, rng);
+    double acc[2], f1[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      core::KgLinkOptions o = bench::KgLinkDefaults(/*viznet=*/false);
+      o.use_mask_task = variant == 0;
+      o.display_name = variant == 0 ? "KGLink" : "KGLink w/o msk";
+      core::KgLinkAnnotator annotator(&env.world.kg, &env.engine, o);
+      table::SplitCorpus split;
+      split.train = train;
+      split.valid = env.semtab.valid;
+      split.test = env.semtab.test;
+      bench::RunResult r = bench::RunSystem(annotator, split);
+      acc[variant] = r.metrics.accuracy;
+      f1[variant] = r.metrics.weighted_f1;
+    }
+    table.AddRow({eval::TablePrinter::Num(p, 1),
+                  eval::TablePrinter::Pct(acc[0]),
+                  eval::TablePrinter::Pct(f1[0]),
+                  eval::TablePrinter::Pct(acc[1]),
+                  eval::TablePrinter::Pct(f1[1])});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper (Fig. 9, qualitative): KGLink and KGLink w/o msk converge "
+      "with p; at small p the subtask helps less (the fuller model is "
+      "harder to train), the gap favouring the full model grows with p.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table I: main column-type-annotation results — all seven
+// systems on both datasets, accuracy and weighted F1.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace kglink;
+
+int main() {
+  bench::BenchEnv& env = bench::GetEnv();
+  bench::PrintHeader(
+      "Table I — KGLink performance on the SemTab-like and VizNet-like "
+      "datasets",
+      "Reproduction target (shape): KGLink beats all learned baselines on "
+      "both datasets; MTab has the best accuracy on SemTab (labels are KG "
+      "entities) but collapses on VizNet; HNN is weakest overall.");
+
+  struct Row {
+    std::string model;
+    double st_acc = -1, st_f1 = -1, vz_acc = -1, vz_f1 = -1;
+  };
+  std::vector<Row> rows;
+  for (bool viznet : {false, true}) {
+    std::fprintf(stderr, "--- dataset: %s ---\n",
+                 viznet ? "viznet-like" : "semtab-like");
+    auto systems = bench::AllSystems(env, viznet);
+    for (auto& sys : systems) {
+      bench::RunResult r =
+          bench::RunSystem(*sys, viznet ? env.viznet : env.semtab);
+      Row* row = nullptr;
+      for (auto& existing : rows) {
+        if (existing.model == r.model) row = &existing;
+      }
+      if (row == nullptr) {
+        rows.push_back({r.model, -1, -1, -1, -1});
+        row = &rows.back();
+      }
+      if (viznet) {
+        row->vz_acc = r.metrics.accuracy;
+        row->vz_f1 = r.metrics.weighted_f1;
+      } else {
+        row->st_acc = r.metrics.accuracy;
+        row->st_f1 = r.metrics.weighted_f1;
+      }
+    }
+  }
+
+  eval::TablePrinter table({"Model", "SemTab Acc", "SemTab wF1",
+                            "VizNet Acc", "VizNet wF1"});
+  for (const auto& row : rows) {
+    table.AddRow({row.model, eval::TablePrinter::Pct(row.st_acc),
+                  eval::TablePrinter::Pct(row.st_f1),
+                  eval::TablePrinter::Pct(row.vz_acc),
+                  eval::TablePrinter::Pct(row.vz_f1)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper (Table I, real SemTab/VizNet, fine-tuned BERT):\n"
+      "  MTab       89.10 / -     | 38.21 / -\n"
+      "  TaBERT     72.69 / 71.21 | 94.68 / 94.07\n"
+      "  Doduo      84.06 / 82.43 | 95.40 / 95.06\n"
+      "  HNN        66.54 / 65.12 | 66.89 / 68.82\n"
+      "  Sudowoodo  79.34 / 79.24 | 91.57 / 91.08\n"
+      "  RECA       86.12 / 84.91 | 93.25 / 93.18\n"
+      "  KGLink     87.12 / 85.78 | 96.28 / 96.07\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Table III: link statistics between each dataset and the KG —
+// numeric columns, non-numeric columns with no feature vector (zero KG
+// linkage), and non-numeric columns with no surviving candidate types.
+// This bench runs Part 1 only (no training).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "linker/pipeline.h"
+
+using namespace kglink;
+
+namespace {
+
+struct LinkStats {
+  int64_t numeric = 0;
+  int64_t no_fv = 0;  // non-numeric, zero KG linkage
+  int64_t no_ct = 0;  // non-numeric, no candidate type survived
+  int64_t total = 0;
+};
+
+LinkStats Collect(const bench::BenchEnv& env,
+                  const table::SplitCorpus& split) {
+  linker::KgPipeline pipeline(&env.world.kg, &env.engine, {});
+  LinkStats stats;
+  for (const table::Corpus* corpus :
+       {&split.train, &split.valid, &split.test}) {
+    for (const auto& lt : corpus->tables) {
+      linker::ProcessedTable pt = pipeline.Process(lt.table);
+      for (const auto& col : pt.columns) {
+        ++stats.total;
+        if (col.is_numeric) {
+          ++stats.numeric;
+          continue;
+        }
+        if (!col.has_feature) ++stats.no_fv;
+        if (col.candidate_types.empty()) ++stats.no_ct;
+      }
+    }
+  }
+  return stats;
+}
+
+std::string Cell(int64_t n, int64_t total) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld (%.1f%%)",
+                static_cast<long long>(n),
+                total > 0 ? 100.0 * static_cast<double>(n) /
+                                static_cast<double>(total)
+                          : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv& env = bench::GetEnv();
+  bench::PrintHeader(
+      "Table III — link statistics between the datasets and the KG",
+      "Reproduction target (shape): SemTab has no numeric columns, full "
+      "feature-vector coverage and modest w/o-ct; VizNet has ~13% numeric "
+      "columns, ~10-15% of non-numeric columns without any KG info, and a "
+      "large w/o-ct fraction.");
+
+  LinkStats semtab = Collect(env, env.semtab);
+  LinkStats viznet = Collect(env, env.viznet);
+
+  eval::TablePrinter table({"", "SemTab", "VizNet"});
+  table.AddRow({"Numeric columns", Cell(semtab.numeric, semtab.total),
+                Cell(viznet.numeric, viznet.total)});
+  table.AddRow({"Non-numeric columns w/o fv",
+                Cell(semtab.no_fv, semtab.total),
+                Cell(viznet.no_fv, viznet.total)});
+  table.AddRow({"Non-numeric columns w/o ct",
+                Cell(semtab.no_ct, semtab.total),
+                Cell(viznet.no_ct, viznet.total)});
+  table.AddRow({"Total columns", std::to_string(semtab.total) + " (100%)",
+                std::to_string(viznet.total) + " (100%)"});
+  table.Print();
+
+  std::printf(
+      "\nPaper (Table III):\n"
+      "  Numeric columns              0 (0%%)      | 9489 (12.8%%)\n"
+      "  Non-numeric columns w/o fv   0 (0%%)      | 9278 (12.5%%)\n"
+      "  Non-numeric columns w/o ct   1144 (15.1%%) | 55374 (74.7%%)\n"
+      "  Total columns                7587 (100%%)  | 74141 (100%%)\n");
+  return 0;
+}

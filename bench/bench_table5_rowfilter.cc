@@ -1,0 +1,49 @@
+// Reproduces Table V: performance comparison of table row filters — the
+// paper's linking-score top-k filter vs taking the first k rows in
+// original order. The gap should be larger on the SemTab-like corpus
+// (richer KG linkage to exploit).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace kglink;
+
+int main() {
+  bench::BenchEnv& env = bench::GetEnv();
+  bench::PrintHeader(
+      "Table V — performance comparison of table filters",
+      "Reproduction target (shape): the linking-score row filter beats "
+      "original-order top-k on both datasets, with a larger gap on "
+      "SemTab-like.");
+
+  eval::TablePrinter table({"Filter mechanism", "SemTab Acc", "SemTab wF1",
+                            "VizNet Acc", "VizNet wF1"});
+  for (auto mode : {linker::RowFilterMode::kLinkingScore,
+                    linker::RowFilterMode::kOriginalOrder}) {
+    std::string name = mode == linker::RowFilterMode::kLinkingScore
+                           ? "Our top-k row filter"
+                           : "Original top-k rows";
+    double vals[4] = {0, 0, 0, 0};
+    for (bool viznet : {false, true}) {
+      core::KgLinkOptions o = bench::KgLinkDefaults(viznet);
+      o.linker.row_filter_mode = mode;
+      o.display_name = name;
+      core::KgLinkAnnotator annotator(&env.world.kg, &env.engine, o);
+      bench::RunResult r =
+          bench::RunSystem(annotator, viznet ? env.viznet : env.semtab);
+      vals[viznet ? 2 : 0] = r.metrics.accuracy;
+      vals[viznet ? 3 : 1] = r.metrics.weighted_f1;
+    }
+    table.AddRow({name, eval::TablePrinter::Pct(vals[0]),
+                  eval::TablePrinter::Pct(vals[1]),
+                  eval::TablePrinter::Pct(vals[2]),
+                  eval::TablePrinter::Pct(vals[3])});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper (Table V):\n"
+      "  Our top-k row filter  87.12 / 85.78 | 96.28 / 96.07\n"
+      "  Original top-k rows   85.93 / 84.39 | 96.14 / 95.97\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces the paper's two motivating failure modes (Fig. 2) end-to-end:
+//
+//  (a) type granularity gap — for a column of basketball-player names the
+//      KG proposes fine types ("basketball player", "basketball") while
+//      the dataset label is the coarse "name"; KGLink's candidate types +
+//      column-representation task bridge the gap.
+//  (b) valuable context missing — a cricketer column whose only table
+//      context is dates; the KG feature vector supplies the missing
+//      context ("member of sports team ...", "plays cricket").
+//
+//   ./build/examples/granularity_gap
+#include <cstdio>
+
+#include "core/annotator.h"
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "search/search_engine.h"
+#include "table/corpus.h"
+
+using namespace kglink;
+
+namespace {
+
+// Builds the Fig. 2(b)-style table: cricketer | birth date | death date.
+table::Table ContextMissingTable(const data::World& world) {
+  std::vector<std::vector<std::string>> cells;
+  const auto& cricketers = world.Instances("cricketer");
+  const char* dates[][2] = {{"1884-03-05", "1952-11-20"},
+                            {"1901-07-12", "1977-01-03"},
+                            {"1896-02-28", "1969-08-15"},
+                            {"1910-10-01", "1988-04-22"},
+                            {"1922-12-30", "1999-06-06"},
+                            {"1933-05-17", "2001-09-09"}};
+  for (int i = 0; i < 6; ++i) {
+    cells.push_back({world.kg.entity(cricketers[static_cast<size_t>(i * 5)])
+                         .label,
+                     dates[i][0], dates[i][1]});
+  }
+  return table::Table::FromStrings("fig2b", cells);
+}
+
+}  // namespace
+
+int main() {
+  data::WorldConfig wc;
+  wc.scale = 0.6;
+  data::World world = data::GenerateWorld(wc);
+  search::SearchEngine engine = search::IndexKnowledgeGraph(world.kg);
+
+  // Train on the coarse-label (VizNet-style) corpus: its label space has
+  // "name", not "cricketer" — the granularity gap is built in.
+  table::Corpus corpus = data::GenerateVizNetCorpus(
+      world, data::CorpusOptions::VizNetDefaults(160));
+  Rng rng(8);
+  table::SplitCorpus split = table::StratifiedSplit(corpus, 0.8, 0.1, rng);
+
+  core::KgLinkOptions options;
+  options.epochs = 5;
+  core::KgLinkAnnotator annotator(&world.kg, &engine, options);
+  std::printf("training KGLink on the coarse-label corpus (%zu tables)...\n",
+              split.train.tables.size());
+  annotator.Fit(split.train, split.valid);
+
+  // ----- Fig. 2(b): valuable context missing -----
+  table::Table t = ContextMissingTable(world);
+  linker::ProcessedTable processed = annotator.Preprocess(t);
+  std::vector<int> pred = annotator.PredictProcessed(processed);
+
+  std::printf("\nFig. 2 scenario: cricketer names | birth date | death "
+              "date\n");
+  const auto& col0 = processed.columns[0];
+  std::printf("target column first cell: '%s'\n", t.at(0, 0).text.c_str());
+  std::printf("KG candidate types (fine granularity):");
+  for (const auto& label : col0.candidate_type_labels) {
+    std::printf(" '%s'", label.c_str());
+  }
+  std::printf("\ndataset label space is coarse: the model must map these "
+              "to '%s'\n",
+              annotator.label_names()[static_cast<size_t>(pred[0])].c_str());
+  std::printf("predicted: '%s'  (gap bridged: %s)\n",
+              annotator.label_names()[static_cast<size_t>(pred[0])].c_str(),
+              annotator.label_names()[static_cast<size_t>(pred[0])] == "name"
+                  ? "yes"
+                  : "no");
+  if (col0.has_feature) {
+    std::printf("\nvaluable-context fix — feature sequence S(e) injected "
+                "for the column:\n  %s\n",
+                col0.feature_sequence.c_str());
+  }
+  std::printf("\nThe date columns provide no useful context (the paper's "
+              "Fig. 2(b) point); the prediction relies on the KG "
+              "evidence above plus the PLM prior.\n");
+  for (int c = 1; c < t.num_cols(); ++c) {
+    std::printf("context column %d predicted: '%s'\n", c,
+                annotator.label_names()[static_cast<size_t>(
+                                            pred[static_cast<size_t>(c)])]
+                    .c_str());
+  }
+  return 0;
+}

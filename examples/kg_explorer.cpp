@@ -1,0 +1,103 @@
+// Walks through the paper's Fig. 5 scenario on the synthetic KG: BM25
+// entity search for cell mentions, one-hop neighbourhoods, the overlap
+// filter that resolves label ambiguity, and candidate-type voting for a
+// hand-typed column — Part 1 of KGLink, no neural network involved.
+//
+//   ./build/examples/kg_explorer [query]
+#include <cstdio>
+
+#include "data/world.h"
+#include "linker/candidate_types.h"
+#include "linker/entity_linker.h"
+#include "search/search_engine.h"
+
+using namespace kglink;
+
+int main(int argc, char** argv) {
+  data::WorldConfig wc;
+  wc.scale = 0.5;
+  wc.duplicate_entity_prob = 0.08;  // more ambiguity to showcase the filter
+  data::World world = data::GenerateWorld(wc);
+  search::SearchEngine engine = search::IndexKnowledgeGraph(world.kg);
+  std::printf("WikiSynth: %lld entities, %lld triples, %lld predicates\n\n",
+              static_cast<long long>(world.kg.num_entities()),
+              static_cast<long long>(world.kg.num_triples()),
+              static_cast<long long>(world.kg.num_predicates()));
+
+  // ----- 1. BM25 entity search -----
+  std::string query = argc > 1
+                          ? argv[1]
+                          : world.kg
+                                .entity(world.Instances("musician")[0])
+                                .label;
+  std::printf("BM25 search for \"%s\":\n", query.c_str());
+  for (const auto& hit : engine.TopK(query, 5)) {
+    const kg::Entity& e = world.kg.entity(hit.doc_id);
+    std::printf("  %-24s score=%.3f qid=%s%s\n", e.label.c_str(), hit.score,
+                e.qid.c_str(), e.is_person ? " [PERSON]" : "");
+  }
+
+  // ----- 2. one-hop neighbourhood -----
+  auto hits = engine.TopK(query, 1);
+  if (!hits.empty()) {
+    kg::EntityId top = hits[0].doc_id;
+    std::printf("\none-hop neighbourhood of %s:\n",
+                world.kg.entity(top).label.c_str());
+    int shown = 0;
+    for (const kg::Edge& edge : world.kg.Edges(top)) {
+      if (shown++ >= 8) break;
+      std::printf("  %s --%s--> %s\n",
+                  edge.forward ? world.kg.entity(top).label.c_str()
+                               : world.kg.entity(edge.target).label.c_str(),
+                  world.kg.predicate_label(edge.predicate).c_str(),
+                  edge.forward ? world.kg.entity(edge.target).label.c_str()
+                               : world.kg.entity(top).label.c_str());
+    }
+  }
+
+  // ----- 3. Fig. 5: a two-column table (album | artist) -----
+  const auto& albums = world.Instances("album");
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < albums.size() && cells.size() < 6; ++i) {
+    kg::EntityId album = albums[i];
+    for (const kg::Edge& edge : world.kg.Edges(album)) {
+      if (world.kg.predicate_label(edge.predicate) == "performer" &&
+          edge.forward) {
+        cells.push_back({world.kg.entity(album).label,
+                         world.kg.entity(edge.target).label});
+        break;
+      }
+    }
+  }
+  table::Table t = table::Table::FromStrings("fig5", cells);
+  std::printf("\nFig. 5 walk-through on a %dx%d album|artist table:\n",
+              t.num_rows(), t.num_cols());
+
+  linker::LinkerConfig config;
+  linker::EntityLinker linker(&world.kg, &engine, config);
+  std::vector<linker::RowLinks> rows;
+  for (int r = 0; r < t.num_rows(); ++r) {
+    rows.push_back(linker.LinkRow(t, r));
+    std::printf("  row %d ('%s' | '%s'): retrieved %zu+%zu, pruned %zu+%zu, "
+                "row score %.2f\n",
+                r, t.at(r, 0).text.c_str(), t.at(r, 1).text.c_str(),
+                rows.back().cells[0].retrieved.size(),
+                rows.back().cells[1].retrieved.size(),
+                rows.back().cells[0].pruned.size(),
+                rows.back().cells[1].pruned.size(), rows.back().row_score);
+  }
+  for (int c = 0; c < 2; ++c) {
+    std::printf("  column %d candidate types:", c);
+    for (const auto& ct :
+         linker::GenerateCandidateTypes(world.kg, rows, c, config)) {
+      std::printf(" %s(%.1f)", world.kg.entity(ct.entity).label.c_str(),
+                  ct.score);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nNote how the PERSON filter keeps musicians out of the candidate "
+      "types, and how the type entities ('album', 'musician') win the "
+      "cross-row vote — exactly the paper's Fig. 5 argument.\n");
+  return 0;
+}

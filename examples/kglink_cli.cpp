@@ -1,0 +1,245 @@
+// kglink_cli — end-to-end command-line workflow around the library:
+//
+//   kglink_cli gen-data   <dir> [--style semtab|viznet] [--tables N]
+//       generate a world + corpus; writes the corpus (CSV + manifest),
+//       the KG (TSV) and the train/valid/test splits under <dir>.
+//   kglink_cli train      <dir> --model <prefix> [--epochs N]
+//       train KGLink on <dir>'s train/valid splits; saves the model.
+//   kglink_cli eval       <dir> --model <prefix>
+//       evaluate a saved model on <dir>'s test split.
+//   kglink_cli annotate   <dir> --model <prefix> <file.csv>
+//       annotate an arbitrary CSV with a saved model.
+//
+// The world/KG is regenerated deterministically from the seed recorded in
+// <dir>/world.seed, so a saved model stays consistent with its KG.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/annotator.h"
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "eval/metrics.h"
+#include "search/search_engine.h"
+#include "table/corpus_io.h"
+#include "util/csv.h"
+
+using namespace kglink;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string dir;
+  std::string model_prefix;
+  std::string csv_path;
+  std::string style = "semtab";
+  int tables = 160;
+  int epochs = 8;
+  uint64_t seed = 42;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  kglink_cli gen-data <dir> [--style semtab|viznet] [--tables N] "
+      "[--seed S]\n"
+      "  kglink_cli train    <dir> --model <prefix> [--epochs N]\n"
+      "  kglink_cli eval     <dir> --model <prefix>\n"
+      "  kglink_cli annotate <dir> --model <prefix> <file.csv>\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 3) return false;
+  args->command = argv[1];
+  args->dir = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--style") {
+      const char* v = next();
+      if (!v) return false;
+      args->style = v;
+    } else if (a == "--tables") {
+      const char* v = next();
+      if (!v) return false;
+      args->tables = std::atoi(v);
+    } else if (a == "--epochs") {
+      const char* v = next();
+      if (!v) return false;
+      args->epochs = std::atoi(v);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (a == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      args->model_prefix = v;
+    } else if (a.rfind("--", 0) != 0) {
+      args->csv_path = a;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Rebuilds the deterministic world recorded under dir.
+StatusOr<data::World> LoadWorld(const std::string& dir) {
+  KGLINK_ASSIGN_OR_RETURN(std::string seed_text,
+                          ReadFile(dir + "/world.seed"));
+  data::WorldConfig wc;
+  wc.seed = static_cast<uint64_t>(std::atoll(seed_text.c_str()));
+  wc.open_class_scale = 4.0;
+  return data::GenerateWorld(wc);
+}
+
+int GenData(const Args& args) {
+  data::WorldConfig wc;
+  wc.seed = args.seed;
+  wc.open_class_scale = 4.0;
+  data::World world = data::GenerateWorld(wc);
+  std::printf("world: %lld entities / %lld triples\n",
+              static_cast<long long>(world.kg.num_entities()),
+              static_cast<long long>(world.kg.num_triples()));
+
+  table::Corpus corpus =
+      args.style == "viznet"
+          ? data::GenerateVizNetCorpus(
+                world, data::CorpusOptions::VizNetDefaults(args.tables,
+                                                           args.seed + 1))
+          : data::GenerateSemTabCorpus(
+                world, data::CorpusOptions::SemTabDefaults(args.tables,
+                                                           args.seed + 1));
+  Rng rng(args.seed + 2);
+  table::SplitCorpus split = table::StratifiedSplit(corpus, 0.7, 0.1, rng);
+
+  const std::pair<const char*, const table::Corpus*> parts[] = {
+      {"train", &split.train}, {"valid", &split.valid},
+      {"test", &split.test}};
+  for (const auto& [name, part] : parts) {
+    Status s = table::SaveCorpus(*part, args.dir + "/" + name);
+    if (!s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!world.kg.SaveToFile(args.dir + "/kg.tsv").ok() ||
+      !WriteFile(args.dir + "/world.seed", std::to_string(args.seed))
+           .ok()) {
+    std::fprintf(stderr, "cannot persist world\n");
+    return 1;
+  }
+  std::printf("wrote %zu/%zu/%zu train/valid/test tables to %s\n",
+              split.train.tables.size(), split.valid.tables.size(),
+              split.test.tables.size(), args.dir.c_str());
+  return 0;
+}
+
+int Train(const Args& args) {
+  auto world = LoadWorld(args.dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  search::SearchEngine engine = search::IndexKnowledgeGraph(world->kg);
+  auto train = table::LoadCorpus(args.dir + "/train");
+  auto valid = table::LoadCorpus(args.dir + "/valid");
+  if (!train.ok() || !valid.ok()) {
+    std::fprintf(stderr, "cannot load corpus splits from %s\n",
+                 args.dir.c_str());
+    return 1;
+  }
+  core::KgLinkOptions options;
+  options.epochs = args.epochs;
+  options.verbose = true;
+  core::KgLinkAnnotator annotator(&world->kg, &engine, options);
+  annotator.Fit(*train, *valid);
+  Status s = annotator.Save(args.model_prefix);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("model saved to %s.{vocab,labels,weights}\n",
+              args.model_prefix.c_str());
+  return 0;
+}
+
+int Eval(const Args& args) {
+  auto world = LoadWorld(args.dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  search::SearchEngine engine = search::IndexKnowledgeGraph(world->kg);
+  auto test = table::LoadCorpus(args.dir + "/test");
+  if (!test.ok()) {
+    std::fprintf(stderr, "cannot load test split\n");
+    return 1;
+  }
+  core::KgLinkAnnotator annotator(&world->kg, &engine, {});
+  Status s = annotator.Load(args.model_prefix);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  eval::Metrics m = annotator.Evaluate(*test);
+  std::printf("test accuracy=%.2f%% weighted F1=%.2f%% over %lld columns\n",
+              100 * m.accuracy, 100 * m.weighted_f1,
+              static_cast<long long>(m.total));
+  return 0;
+}
+
+int Annotate(const Args& args) {
+  auto world = LoadWorld(args.dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  search::SearchEngine engine = search::IndexKnowledgeGraph(world->kg);
+  core::KgLinkAnnotator annotator(&world->kg, &engine, {});
+  Status s = annotator.Load(args.model_prefix);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto rows = ReadCsvFile(args.csv_path);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  table::Table t = table::Table::FromStrings(args.csv_path, *rows);
+  std::vector<int> pred = annotator.PredictTable(t);
+  for (int c = 0; c < t.num_cols(); ++c) {
+    std::printf("column %d: %s\n", c,
+                annotator.label_names()[static_cast<size_t>(
+                                            pred[static_cast<size_t>(c)])]
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "gen-data") return GenData(args);
+  if ((args.command == "train" || args.command == "eval" ||
+       args.command == "annotate") &&
+      args.model_prefix.empty()) {
+    return Usage();
+  }
+  if (args.command == "train") return Train(args);
+  if (args.command == "eval") return Eval(args);
+  if (args.command == "annotate" && !args.csv_path.empty()) {
+    return Annotate(args);
+  }
+  return Usage();
+}

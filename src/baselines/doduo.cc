@@ -1,0 +1,17 @@
+#include "baselines/doduo.h"
+
+namespace kglink::baselines {
+
+DoduoAnnotator::DoduoAnnotator(PlmOptions options)
+    : PlmColumnAnnotator([&] {
+        if (options.display_name == "PLM") options.display_name = "Doduo";
+        return options;
+      }()) {}
+
+std::vector<PlmSequence> DoduoAnnotator::SerializeTable(
+    const table::Table& t) const {
+  // Full table, original row order, budget-capped (Eq. 11).
+  return SerializeMultiColumn(t, /*row_limit=*/-1);
+}
+
+}  // namespace kglink::baselines

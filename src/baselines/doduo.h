@@ -1,0 +1,24 @@
+// Doduo-style baseline: the multi-column serialization KGLink builds on
+// (one [CLS] per column, whole table as one sequence), trained with the
+// classification task only — no KG information, no column-representation
+// subtask. The gap between this and KGLink isolates the paper's
+// contributions (Table I / Table II "w/o ct" discussion).
+#ifndef KGLINK_BASELINES_DODUO_H_
+#define KGLINK_BASELINES_DODUO_H_
+
+#include "baselines/plm_annotator.h"
+
+namespace kglink::baselines {
+
+class DoduoAnnotator : public PlmColumnAnnotator {
+ public:
+  explicit DoduoAnnotator(PlmOptions options);
+
+ protected:
+  std::vector<PlmSequence> SerializeTable(
+      const table::Table& t) const override;
+};
+
+}  // namespace kglink::baselines
+
+#endif  // KGLINK_BASELINES_DODUO_H_

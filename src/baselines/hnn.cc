@@ -1,0 +1,154 @@
+#include "baselines/hnn.h"
+
+#include <algorithm>
+
+#include "nn/optim.h"
+#include "nn/tensor.h"
+#include "util/stopwatch.h"
+
+namespace kglink::baselines {
+
+HnnAnnotator::HnnAnnotator(const kg::KnowledgeGraph* kg,
+                           const search::SearchEngine* engine,
+                           HnnOptions options)
+    : kg_(kg), engine_(engine), options_(options) {
+  KGLINK_CHECK(engine_->finalized());
+}
+
+HnnAnnotator::~HnnAnnotator() = default;
+
+void HnnAnnotator::FeatureTexts(const table::Table& t, int col,
+                                std::string* cell_text,
+                                std::string* type_text) const {
+  cell_text->clear();
+  type_text->clear();
+  if (t.num_rows() == 0) return;
+  // HNN's simplification: only the first cell of the column is consulted.
+  const table::Cell& cell = t.at(0, col);
+  *cell_text = cell.text;
+  if (cell.kind != table::CellKind::kString) return;
+  auto hits = engine_->TopK(cell.text, 1);
+  if (hits.empty()) return;
+  // Only the KG-provided `instance of` attribute is used as type evidence.
+  for (kg::EntityId type_id : kg_->InstanceTypes(hits[0].doc_id)) {
+    if (!type_text->empty()) *type_text += " ";
+    *type_text += kg_->entity(type_id).label;
+  }
+}
+
+HnnAnnotator::ColumnFeatures HnnAnnotator::ExtractFeatures(
+    const table::Table& t, int col) const {
+  std::string cell_text;
+  std::string type_text;
+  FeatureTexts(t, col, &cell_text, &type_text);
+  ColumnFeatures f;
+  f.cell_tokens = vocab_->EncodeText(cell_text, options_.max_cell_tokens);
+  f.type_tokens = vocab_->EncodeText(type_text, options_.max_cell_tokens);
+  return f;
+}
+
+nn::Tensor HnnAnnotator::Forward(const ColumnFeatures& features) {
+  auto pooled = [&](const std::vector<int>& ids) {
+    if (ids.empty()) {
+      return nn::Tensor::Zeros({1, options_.embed_dim});
+    }
+    return nn::MeanRows(nn::EmbeddingLookup(embeddings_, ids));
+  };
+  nn::Tensor x = nn::ConcatCols(
+      {pooled(features.cell_tokens), pooled(features.type_tokens)});
+  return out_->Forward(nn::Relu(hidden_->Forward(x)));
+}
+
+void HnnAnnotator::Fit(const table::Corpus& train,
+                       const table::Corpus& valid) {
+  (void)valid;  // HNN has no early stopping in our setup
+  Stopwatch watch;
+  label_names_ = train.label_names;
+  rng_ = std::make_unique<Rng>(options_.seed);
+
+  // Vocabulary over first-cell texts and type labels.
+  std::vector<std::string> texts = label_names_;
+  for (const auto& lt : train.tables) {
+    for (int c = 0; c < lt.table.num_cols(); ++c) {
+      std::string cell_text;
+      std::string type_text;
+      FeatureTexts(lt.table, c, &cell_text, &type_text);
+      texts.push_back(std::move(cell_text));
+      texts.push_back(std::move(type_text));
+    }
+  }
+  vocab_ = nn::Vocabulary::Build(texts, options_.max_vocab);
+
+  embeddings_ = nn::Tensor::Randn({vocab_->size(), options_.embed_dim},
+                                  0.05f, *rng_, /*requires_grad=*/true);
+  hidden_ = nn::Linear(2 * options_.embed_dim, options_.hidden_dim, *rng_,
+                       "hnn.hidden");
+  out_ = nn::Linear(options_.hidden_dim, train.num_labels(), *rng_,
+                    "hnn.out");
+
+  std::vector<nn::NamedParam> params = {{"hnn.embeddings", embeddings_}};
+  hidden_->CollectParams(&params);
+  out_->CollectParams(&params);
+  nn::AdamWOptions adam;
+  adam.lr = options_.lr;
+  nn::AdamW optimizer(std::move(params), adam);
+
+  // Flatten labeled columns into training samples.
+  struct Sample {
+    ColumnFeatures features;
+    int label;
+  };
+  std::vector<Sample> samples;
+  for (const auto& lt : train.tables) {
+    for (int c = 0; c < lt.table.num_cols(); ++c) {
+      int label = lt.column_labels[static_cast<size_t>(c)];
+      if (label == table::kUnlabeled) continue;
+      samples.push_back({ExtractFeatures(lt.table, c), label});
+    }
+  }
+
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  float loss_scale = 1.0f / static_cast<float>(options_.batch_size);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_->Shuffle(order);
+    int in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t idx : order) {
+      nn::Tensor logits = Forward(samples[idx].features);
+      nn::Tensor loss = nn::CrossEntropy(logits, {samples[idx].label});
+      nn::Scale(loss, loss_scale).Backward();
+      if (++in_batch == options_.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+  }
+  fit_seconds_ = watch.ElapsedSeconds();
+}
+
+int HnnAnnotator::PredictColumn(const table::Table& t, int col) {
+  nn::Tensor logits = Forward(ExtractFeatures(t, col));
+  const auto& data = logits.data();
+  int best = 0;
+  for (size_t l = 1; l < data.size(); ++l) {
+    if (data[l] > data[best]) best = static_cast<int>(l);
+  }
+  return best;
+}
+
+std::vector<int> HnnAnnotator::PredictTable(const table::Table& t) {
+  KGLINK_CHECK(out_.has_value()) << "PredictTable before Fit";
+  std::vector<int> pred(static_cast<size_t>(t.num_cols()));
+  for (int c = 0; c < t.num_cols(); ++c) {
+    pred[static_cast<size_t>(c)] = PredictColumn(t, c);
+  }
+  return pred;
+}
+
+}  // namespace kglink::baselines

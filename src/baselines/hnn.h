@@ -1,0 +1,75 @@
+// HNN-style baseline: per-column prediction from (a) the KG `instance of`
+// types of the top entity linked for the column's FIRST cell only and
+// (b) that single cell's tokens — no PLM, no table context. These are
+// precisely the design decisions the paper criticizes: reliance on one
+// cell's linkage quality and on the KG-provided type attribute alone.
+#ifndef KGLINK_BASELINES_HNN_H_
+#define KGLINK_BASELINES_HNN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/annotator.h"
+#include "kg/knowledge_graph.h"
+#include "nn/layers.h"
+#include "nn/vocab.h"
+#include "search/search_engine.h"
+
+namespace kglink::baselines {
+
+struct HnnOptions {
+  int embed_dim = 32;
+  int hidden_dim = 64;
+  int epochs = 10;
+  int batch_size = 16;
+  float lr = 1e-3f;
+  int max_vocab = 6000;
+  int max_cell_tokens = 6;
+  uint64_t seed = 77;
+  std::string display_name = "HNN";
+};
+
+class HnnAnnotator : public eval::ColumnAnnotator {
+ public:
+  // `kg` and `engine` must outlive the annotator; `engine` finalized.
+  HnnAnnotator(const kg::KnowledgeGraph* kg,
+               const search::SearchEngine* engine, HnnOptions options);
+  ~HnnAnnotator() override;
+
+  std::string name() const override { return options_.display_name; }
+  void Fit(const table::Corpus& train, const table::Corpus& valid) override;
+  std::vector<int> PredictTable(const table::Table& t) override;
+
+  double fit_seconds() const { return fit_seconds_; }
+
+ private:
+  // Token features of one column: first-cell tokens + first-cell top
+  // entity's instance-of type-label tokens.
+  struct ColumnFeatures {
+    std::vector<int> cell_tokens;
+    std::vector<int> type_tokens;
+  };
+  ColumnFeatures ExtractFeatures(const table::Table& t, int col) const;
+  // Raw feature text (pre-vocabulary), for vocab building.
+  void FeatureTexts(const table::Table& t, int col, std::string* cell_text,
+                    std::string* type_text) const;
+  nn::Tensor Forward(const ColumnFeatures& features);
+  int PredictColumn(const table::Table& t, int col);
+
+  const kg::KnowledgeGraph* kg_;
+  const search::SearchEngine* engine_;
+  HnnOptions options_;
+  std::vector<std::string> label_names_;
+  std::optional<nn::Vocabulary> vocab_;
+  nn::Tensor embeddings_;  // [V, embed_dim]
+  std::optional<nn::Linear> hidden_;
+  std::optional<nn::Linear> out_;
+  std::unique_ptr<Rng> rng_;
+  double fit_seconds_ = 0.0;
+};
+
+}  // namespace kglink::baselines
+
+#endif  // KGLINK_BASELINES_HNN_H_

@@ -1,0 +1,71 @@
+#include "baselines/mtab.h"
+
+#include <algorithm>
+
+namespace kglink::baselines {
+
+MtabAnnotator::MtabAnnotator(const kg::KnowledgeGraph* kg,
+                             const search::SearchEngine* engine,
+                             MtabOptions options)
+    : kg_(kg), options_(options), pipeline_(kg, engine, options.linker) {}
+
+void MtabAnnotator::Fit(const table::Corpus& train,
+                        const table::Corpus& valid) {
+  (void)valid;
+  label_names_ = train.label_names;
+  label_by_name_.clear();
+  for (size_t i = 0; i < label_names_.size(); ++i) {
+    label_by_name_[label_names_[i]] = static_cast<int>(i);
+  }
+
+  votes_.clear();
+  std::vector<int64_t> label_counts(label_names_.size(), 0);
+  for (const auto& lt : train.tables) {
+    linker::ProcessedTable processed = pipeline_.Process(lt.table);
+    for (size_t c = 0; c < processed.columns.size(); ++c) {
+      int label = lt.column_labels[c];
+      if (label == table::kUnlabeled) continue;
+      ++label_counts[static_cast<size_t>(label)];
+      for (const auto& ct : processed.columns[c].candidate_types) {
+        votes_[ct.entity][label] += ct.score;
+      }
+    }
+  }
+  auto it = std::max_element(label_counts.begin(), label_counts.end());
+  majority_label_ =
+      static_cast<int>(std::distance(label_counts.begin(), it));
+}
+
+std::vector<int> MtabAnnotator::PredictTable(const table::Table& t) {
+  KGLINK_CHECK(!label_names_.empty()) << "PredictTable before Fit";
+  linker::ProcessedTable processed = pipeline_.Process(t);
+  std::vector<int> pred(processed.columns.size(),
+                        majority_label_);
+  for (size_t c = 0; c < processed.columns.size(); ++c) {
+    std::vector<double> scores(label_names_.size(), 0.0);
+    bool any = false;
+    for (const auto& ct : processed.columns[c].candidate_types) {
+      // Direct translation: the candidate type IS a dataset label.
+      auto direct = label_by_name_.find(kg_->entity(ct.entity).label);
+      if (direct != label_by_name_.end()) {
+        scores[static_cast<size_t>(direct->second)] +=
+            options_.direct_match_weight * ct.score;
+        any = true;
+      }
+      // Learned translation via training co-occurrence.
+      auto vit = votes_.find(ct.entity);
+      if (vit != votes_.end()) {
+        for (const auto& [label, weight] : vit->second) {
+          scores[static_cast<size_t>(label)] += ct.score * weight;
+          any = true;
+        }
+      }
+    }
+    if (!any) continue;  // keep the majority-class fallback
+    pred[c] = static_cast<int>(std::distance(
+        scores.begin(), std::max_element(scores.begin(), scores.end())));
+  }
+  return pred;
+}
+
+}  // namespace kglink::baselines

@@ -1,0 +1,54 @@
+// MTab-style baseline: purely KG-driven annotation, no neural network.
+// Columns are annotated by candidate-type voting over KG links; candidate
+// types are translated to the dataset's label space by (a) exact label
+// match (the SemTab regime, where dataset labels ARE KG entities) and
+// (b) a co-occurrence table learned from the training split (the paper's
+// "we translate the label on VizNet ... to WikiData KG entities").
+// Numeric and unlinkable columns fall back to the majority class — the
+// scalability weakness the paper highlights.
+#ifndef KGLINK_BASELINES_MTAB_H_
+#define KGLINK_BASELINES_MTAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/annotator.h"
+#include "kg/knowledge_graph.h"
+#include "linker/pipeline.h"
+#include "search/search_engine.h"
+
+namespace kglink::baselines {
+
+struct MtabOptions {
+  linker::LinkerConfig linker;
+  // Weight of an exact candidate-type-label == dataset-label match,
+  // relative to one learned co-occurrence count.
+  double direct_match_weight = 1000.0;
+  std::string display_name = "MTab";
+};
+
+class MtabAnnotator : public eval::ColumnAnnotator {
+ public:
+  MtabAnnotator(const kg::KnowledgeGraph* kg,
+                const search::SearchEngine* engine, MtabOptions options);
+
+  std::string name() const override { return options_.display_name; }
+  void Fit(const table::Corpus& train, const table::Corpus& valid) override;
+  std::vector<int> PredictTable(const table::Table& t) override;
+
+ private:
+  const kg::KnowledgeGraph* kg_;
+  MtabOptions options_;
+  linker::KgPipeline pipeline_;
+  std::vector<std::string> label_names_;
+  // candidate-type entity -> (label id -> cts-weighted co-occurrence).
+  std::unordered_map<kg::EntityId, std::unordered_map<int, double>> votes_;
+  // dataset label name -> label id (for the direct-match translation).
+  std::unordered_map<std::string, int> label_by_name_;
+  int majority_label_ = 0;
+};
+
+}  // namespace kglink::baselines
+
+#endif  // KGLINK_BASELINES_MTAB_H_

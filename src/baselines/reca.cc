@@ -1,0 +1,124 @@
+#include "baselines/reca.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace kglink::baselines {
+
+namespace {
+
+std::unordered_set<std::string> ColumnTokens(const table::Table& t,
+                                             int col) {
+  std::unordered_set<std::string> tokens;
+  for (int r = 0; r < t.num_rows(); ++r) {
+    for (const auto& w : SplitWords(t.at(r, col).text)) tokens.insert(w);
+  }
+  return tokens;
+}
+
+std::string JoinColumnCells(const table::Table& t, int col, int max_rows) {
+  std::string out;
+  int rows = std::min(t.num_rows(), max_rows);
+  for (int r = 0; r < rows; ++r) {
+    if (!out.empty()) out += " ";
+    out += t.at(r, col).text;
+  }
+  return out;
+}
+
+double Jaccard(const std::unordered_set<std::string>& a,
+               const std::unordered_set<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t inter = 0;
+  for (const auto& w : small) {
+    if (large.count(w)) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size() - inter);
+}
+
+}  // namespace
+
+RecaAnnotator::RecaAnnotator(PlmOptions options, int num_related)
+    : PlmColumnAnnotator([&] {
+        if (options.display_name == "PLM") options.display_name = "RECA";
+        return options;
+      }()),
+      num_related_(num_related) {}
+
+void RecaAnnotator::Prepare(const table::Corpus& train) {
+  index_.clear();
+  for (const auto& lt : train.tables) {
+    for (int c = 0; c < lt.table.num_cols(); ++c) {
+      IndexedColumn ic;
+      ic.table_id = lt.table.id();
+      ic.tokens = ColumnTokens(lt.table, c);
+      ic.joined_cells = JoinColumnCells(lt.table, c, 20);
+      index_.push_back(std::move(ic));
+    }
+  }
+}
+
+std::vector<const RecaAnnotator::IndexedColumn*> RecaAnnotator::Retrieve(
+    const std::unordered_set<std::string>& tokens,
+    const std::string& exclude_table_id) const {
+  std::vector<std::pair<double, const IndexedColumn*>> scored;
+  for (const auto& ic : index_) {
+    if (ic.table_id == exclude_table_id) continue;
+    double sim = Jaccard(tokens, ic.tokens);
+    if (sim > 0.0) scored.emplace_back(sim, &ic);
+  }
+  size_t k = std::min<size_t>(static_cast<size_t>(num_related_),
+                              scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second->table_id < b.second->table_id;
+                    });
+  std::vector<const IndexedColumn*> out;
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+std::vector<PlmSequence> RecaAnnotator::SerializeTable(
+    const table::Table& t) const {
+  std::vector<PlmSequence> out;
+  int segments = num_related_ + 1;
+  int seg_budget = (options().max_seq_len - 1) / segments;
+  for (int c = 0; c < t.num_cols(); ++c) {
+    PlmSequence seq;
+    seq.cls_positions.push_back(0);
+    seq.source_cols.push_back(c);
+    seq.tokens.push_back(nn::Vocabulary::kCls);
+
+    // Segment ids separate the target column (0) from each retrieved
+    // related column (1, 2, ...), BERT segment-A/B style.
+    seq.segments.push_back(0);
+    auto append_text = [&](const std::string& text, int budget,
+                           int segment) {
+      for (int id : vocab().EncodeText(text, budget)) {
+        seq.tokens.push_back(id);
+        seq.segments.push_back(segment);
+      }
+    };
+    append_text(JoinColumnCells(t, c, 20), seg_budget - 1, 0);
+    // Aligned columns from related tables.
+    int segment = 1;
+    for (const IndexedColumn* related :
+         Retrieve(ColumnTokens(t, c), t.id())) {
+      seq.tokens.push_back(nn::Vocabulary::kSep);
+      seq.segments.push_back(segment);
+      append_text(related->joined_cells, seg_budget - 1, segment);
+      ++segment;
+    }
+    seq.tokens.push_back(nn::Vocabulary::kSep);
+    seq.segments.push_back(0);
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+}  // namespace kglink::baselines

@@ -1,0 +1,47 @@
+// RECA-style baseline: predicts each column from its own cells plus
+// aligned columns retrieved from *related tables* in the training corpus
+// (inter-table information), with no intra-table context and no KG — the
+// exact trade-off the paper discusses (strong overall, state-of-the-art on
+// VizNet, weaker when intra-table context is what matters).
+//
+// Related-column retrieval is token-set Jaccard similarity, a lightweight
+// stand-in for RECA's named-entity-schema alignment.
+#ifndef KGLINK_BASELINES_RECA_H_
+#define KGLINK_BASELINES_RECA_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/plm_annotator.h"
+
+namespace kglink::baselines {
+
+class RecaAnnotator : public PlmColumnAnnotator {
+ public:
+  explicit RecaAnnotator(PlmOptions options, int num_related = 2);
+
+ protected:
+  void Prepare(const table::Corpus& train) override;
+  std::vector<PlmSequence> SerializeTable(
+      const table::Table& t) const override;
+
+ private:
+  struct IndexedColumn {
+    std::string table_id;
+    std::unordered_set<std::string> tokens;
+    std::string joined_cells;  // serialized cell text of the column
+  };
+
+  // Top related columns for a token set, excluding `exclude_table_id`.
+  std::vector<const IndexedColumn*> Retrieve(
+      const std::unordered_set<std::string>& tokens,
+      const std::string& exclude_table_id) const;
+
+  int num_related_;
+  std::vector<IndexedColumn> index_;
+};
+
+}  // namespace kglink::baselines
+
+#endif  // KGLINK_BASELINES_RECA_H_

@@ -1,0 +1,77 @@
+#include "baselines/sudowoodo.h"
+
+#include <algorithm>
+
+#include "nn/tensor.h"
+
+namespace kglink::baselines {
+
+SudowoodoAnnotator::SudowoodoAnnotator(PlmOptions options,
+                                       float contrastive_weight)
+    : PlmColumnAnnotator([&] {
+        if (options.display_name == "PLM") {
+          options.display_name = "Sudowoodo";
+        }
+        return options;
+      }()),
+      contrastive_weight_(contrastive_weight) {}
+
+std::vector<int> SudowoodoAnnotator::ColumnView(
+    const table::Table& t, int col, const std::vector<int>& rows) const {
+  std::vector<int> tokens;
+  tokens.push_back(nn::Vocabulary::kCls);
+  int budget = options().max_seq_len - 2;
+  for (int r : rows) {
+    if (static_cast<int>(tokens.size()) >= budget) break;
+    int remaining = budget - static_cast<int>(tokens.size());
+    for (int id : vocab().EncodeText(
+             t.at(r, col).text,
+             std::min(remaining, options().max_cell_tokens))) {
+      tokens.push_back(id);
+    }
+  }
+  tokens.push_back(nn::Vocabulary::kSep);
+  return tokens;
+}
+
+std::vector<PlmSequence> SudowoodoAnnotator::SerializeTable(
+    const table::Table& t) const {
+  // One independent sequence per column: Sudowoodo predicts each column in
+  // isolation.
+  std::vector<int> all_rows(static_cast<size_t>(t.num_rows()));
+  for (int r = 0; r < t.num_rows(); ++r) all_rows[static_cast<size_t>(r)] = r;
+  std::vector<PlmSequence> out;
+  for (int c = 0; c < t.num_cols(); ++c) {
+    PlmSequence seq;
+    seq.tokens = ColumnView(t, c, all_rows);
+    seq.cls_positions.push_back(0);
+    seq.source_cols.push_back(c);
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+nn::Tensor SudowoodoAnnotator::AuxiliaryLoss(const table::Table& t,
+                                             Rng& rng) {
+  if (t.num_rows() < 2 || t.num_cols() == 0) return {};
+  int col = static_cast<int>(rng.Uniform(static_cast<uint64_t>(t.num_cols())));
+  // Two random half-row views of the same column.
+  std::vector<int> rows(static_cast<size_t>(t.num_rows()));
+  for (int r = 0; r < t.num_rows(); ++r) rows[static_cast<size_t>(r)] = r;
+  rng.Shuffle(rows);
+  size_t half = rows.size() / 2;
+  std::vector<int> view1(rows.begin(), rows.begin() + half);
+  std::vector<int> view2(rows.begin() + half, rows.end());
+  if (view1.empty() || view2.empty()) return {};
+
+  nn::Tensor h1 = EncodeTokens(ColumnView(t, col, view1), /*training=*/true);
+  nn::Tensor h2 = EncodeTokens(ColumnView(t, col, view2), /*training=*/true);
+  nn::Tensor z1 = nn::Rows(h1, {0});
+  // Stop-gradient on the second view (SimSiam-style asymmetric target).
+  nn::Tensor z2 = nn::Detach(nn::Rows(h2, {0}));
+  nn::Tensor dissim =
+      nn::AddScalar(nn::Scale(nn::CosineSimilarity(z1, z2), -1.0f), 1.0f);
+  return nn::Scale(dissim, contrastive_weight_);
+}
+
+}  // namespace kglink::baselines

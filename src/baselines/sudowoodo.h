@@ -1,0 +1,35 @@
+// Sudowoodo-style baseline: single-column sequences (no inter-column
+// context — its characteristic weakness in the paper's Table IV analysis)
+// with a contrastive self-supervised consistency term between two random
+// row-subset views of the same column, added to the supervised objective.
+// This is a simplification of Sudowoodo's full contrastive pre-training
+// pipeline that keeps the properties the paper contrasts against: column
+// embeddings learned partly self-supervised, no intra-table signal.
+#ifndef KGLINK_BASELINES_SUDOWOODO_H_
+#define KGLINK_BASELINES_SUDOWOODO_H_
+
+#include "baselines/plm_annotator.h"
+
+namespace kglink::baselines {
+
+class SudowoodoAnnotator : public PlmColumnAnnotator {
+ public:
+  explicit SudowoodoAnnotator(PlmOptions options,
+                              float contrastive_weight = 0.3f);
+
+ protected:
+  std::vector<PlmSequence> SerializeTable(
+      const table::Table& t) const override;
+  nn::Tensor AuxiliaryLoss(const table::Table& t, Rng& rng) override;
+
+ private:
+  // Serializes one column from a row subset into a single sequence.
+  std::vector<int> ColumnView(const table::Table& t, int col,
+                              const std::vector<int>& rows) const;
+
+  float contrastive_weight_;
+};
+
+}  // namespace kglink::baselines
+
+#endif  // KGLINK_BASELINES_SUDOWOODO_H_

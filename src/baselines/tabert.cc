@@ -1,0 +1,19 @@
+#include "baselines/tabert.h"
+
+namespace kglink::baselines {
+
+TabertAnnotator::TabertAnnotator(PlmOptions options, int snapshot_rows)
+    : PlmColumnAnnotator([&] {
+        if (options.display_name == "PLM") options.display_name = "TaBERT";
+        return options;
+      }()),
+      snapshot_rows_(snapshot_rows) {
+  KGLINK_CHECK_GT(snapshot_rows_, 0);
+}
+
+std::vector<PlmSequence> TabertAnnotator::SerializeTable(
+    const table::Table& t) const {
+  return SerializeMultiColumn(t, snapshot_rows_);
+}
+
+}  // namespace kglink::baselines

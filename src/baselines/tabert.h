@@ -1,0 +1,26 @@
+// TaBERT-style baseline: multi-column PLM encoding but with a small
+// "content snapshot" — only the first few rows are serialized, which is
+// TaBERT's characteristic information bottleneck relative to Doduo.
+#ifndef KGLINK_BASELINES_TABERT_H_
+#define KGLINK_BASELINES_TABERT_H_
+
+#include "baselines/plm_annotator.h"
+
+namespace kglink::baselines {
+
+class TabertAnnotator : public PlmColumnAnnotator {
+ public:
+  // `snapshot_rows`: rows kept in the content snapshot (TaBERT uses 1-3).
+  explicit TabertAnnotator(PlmOptions options, int snapshot_rows = 3);
+
+ protected:
+  std::vector<PlmSequence> SerializeTable(
+      const table::Table& t) const override;
+
+ private:
+  int snapshot_rows_;
+};
+
+}  // namespace kglink::baselines
+
+#endif  // KGLINK_BASELINES_TABERT_H_

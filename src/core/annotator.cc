@@ -1,0 +1,364 @@
+#include "core/annotator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace kglink::core {
+
+// Part-1 output plus the supervision needed for Part 2.
+struct KgLinkAnnotator::PreparedTable {
+  linker::ProcessedTable processed;
+  std::vector<int> labels;              // per original column; kUnlabeled ok
+  std::vector<std::string> label_texts; // "" for unlabeled columns
+};
+
+KgLinkAnnotator::KgLinkAnnotator(const kg::KnowledgeGraph* kg,
+                                 const search::SearchEngine* engine,
+                                 KgLinkOptions options)
+    : kg_(kg),
+      engine_(engine),
+      options_(options),
+      pipeline_(kg, engine, options.linker) {}
+
+KgLinkAnnotator::~KgLinkAnnotator() = default;
+
+linker::ProcessedTable KgLinkAnnotator::Preprocess(
+    const table::Table& t) const {
+  return pipeline_.Process(t);
+}
+
+void KgLinkAnnotator::BuildVocabulary(
+    const std::vector<PreparedTable>& prepared) {
+  std::vector<std::string> corpus_texts;
+  for (const auto& name : label_names_) corpus_texts.push_back(name);
+  for (const auto& p : prepared) {
+    const table::Table& t = p.processed.filtered;
+    for (int r = 0; r < t.num_rows(); ++r) {
+      for (int c = 0; c < t.num_cols(); ++c) {
+        corpus_texts.push_back(t.at(r, c).text);
+      }
+    }
+    for (const auto& info : p.processed.columns) {
+      for (const auto& label : info.candidate_type_labels) {
+        corpus_texts.push_back(label);
+      }
+      if (info.has_feature) corpus_texts.push_back(info.feature_sequence);
+    }
+  }
+  vocab_ = nn::Vocabulary::Build(corpus_texts, options_.max_vocab);
+}
+
+double KgLinkAnnotator::ForwardTable(const PreparedTable& prepared,
+                                     bool training, float loss_scale,
+                                     std::vector<int>* predictions) {
+  const bool mask_task = training && options_.use_mask_task;
+  if (predictions != nullptr) {
+    predictions->assign(prepared.processed.columns.size(), 0);
+  }
+
+  std::vector<SerializedTable> msk_chunks = serializer_->Serialize(
+      prepared.processed, LabelSlot::kMask,
+      training ? &prepared.label_texts : nullptr,
+      options_.use_candidate_types);
+  std::vector<SerializedTable> gt_chunks;
+  if (mask_task) {
+    gt_chunks = serializer_->Serialize(prepared.processed,
+                                       LabelSlot::kGroundTruth,
+                                       &prepared.label_texts,
+                                       options_.use_candidate_types);
+  }
+
+  double loss_value = 0.0;
+  for (size_t chunk_i = 0; chunk_i < msk_chunks.size(); ++chunk_i) {
+    const SerializedTable& chunk = msk_chunks[chunk_i];
+    nn::Tensor hidden =
+        model_->Encode(chunk.tokens, chunk.segments, *rng_, training);
+
+    // Composed per-column vectors phi(Ycls, Yfv).
+    std::vector<nn::Tensor> composed;
+    composed.reserve(chunk.columns.size());
+    for (const SerializedColumn& sc : chunk.columns) {
+      nn::Tensor cls_vec = nn::Rows(hidden, {sc.cls_pos});
+      const linker::ColumnKgInfo& info =
+          prepared.processed.columns[static_cast<size_t>(sc.source_col)];
+      std::vector<int> feature_tokens;
+      if (options_.use_feature_vector && info.has_feature) {
+        feature_tokens = serializer_->EncodeFeature(info.feature_sequence);
+      }
+      nn::Tensor fv = model_->FeatureVector(feature_tokens, *rng_, training);
+      composed.push_back(model_->Compose(cls_vec, fv));
+    }
+    nn::Tensor column_vectors = nn::ConcatRows(composed);
+    nn::Tensor logits = model_->Classify(column_vectors);
+
+    if (predictions != nullptr) {
+      const auto& data = logits.data();
+      int num_labels = logits.cols();
+      for (size_t j = 0; j < chunk.columns.size(); ++j) {
+        const float* row = data.data() + j * static_cast<size_t>(num_labels);
+        int best = 0;
+        for (int l = 1; l < num_labels; ++l) {
+          if (row[l] > row[best]) best = l;
+        }
+        (*predictions)[static_cast<size_t>(chunk.columns[j].source_col)] =
+            best;
+      }
+    }
+
+    if (!training) continue;
+
+    // ----- classification loss over labeled columns -----
+    std::vector<int> labeled_rows;
+    std::vector<int> labels;
+    for (size_t j = 0; j < chunk.columns.size(); ++j) {
+      int label = prepared.labels[static_cast<size_t>(
+          chunk.columns[j].source_col)];
+      if (label == table::kUnlabeled) continue;
+      labeled_rows.push_back(static_cast<int>(j));
+      labels.push_back(label);
+    }
+    if (labels.empty()) continue;
+    nn::Tensor ce = nn::CrossEntropy(nn::Rows(logits, labeled_rows), labels);
+
+    nn::Tensor total;
+    if (mask_task) {
+      // ----- column-type representation generation (DMLM) -----
+      const SerializedTable& gt_chunk = gt_chunks[chunk_i];
+      // Teacher encoding without dropout: a stable distillation target.
+      nn::Tensor gt_hidden = model_->Encode(
+          gt_chunk.tokens, gt_chunk.segments, *rng_, /*training=*/false);
+      std::vector<int> msk_pos;
+      std::vector<int> gt_pos;
+      for (size_t j = 0; j < chunk.columns.size(); ++j) {
+        int label = prepared.labels[static_cast<size_t>(
+            chunk.columns[j].source_col)];
+        if (label == table::kUnlabeled) continue;
+        for (int p : chunk.columns[j].label_positions) msk_pos.push_back(p);
+        for (int p : gt_chunk.columns[j].label_positions) gt_pos.push_back(p);
+      }
+      KGLINK_CHECK_EQ(msk_pos.size(), gt_pos.size());
+      nn::Tensor msk_logits =
+          model_->ProjectToVocab(nn::Rows(hidden, msk_pos));
+      nn::Tensor gt_logits =
+          model_->ProjectToVocab(nn::Rows(gt_hidden, gt_pos));
+      nn::Tensor dmlm =
+          nn::DmlmLoss(msk_logits, gt_logits, options_.dmlm_temperature);
+      total = model_->uncertainty_loss().Combine(dmlm, ce);
+    } else {
+      total = ce;
+    }
+    loss_value += total.item();
+    nn::Scale(total, loss_scale).Backward();
+  }
+  return loss_value;
+}
+
+double KgLinkAnnotator::EvaluatePrepared(
+    const std::vector<PreparedTable>& tables) {
+  int64_t correct = 0;
+  int64_t total = 0;
+  std::vector<int> pred;
+  for (const auto& p : tables) {
+    ForwardTable(p, /*training=*/false, 0.0f, &pred);
+    for (size_t c = 0; c < p.labels.size(); ++c) {
+      if (p.labels[c] == table::kUnlabeled) continue;
+      ++total;
+      if (pred[c] == p.labels[c]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+void KgLinkAnnotator::Fit(const table::Corpus& train,
+                          const table::Corpus& valid) {
+  Stopwatch watch;
+  label_names_ = train.label_names;
+  rng_ = std::make_unique<Rng>(options_.seed);
+
+  auto prepare = [&](const table::Corpus& corpus) {
+    std::vector<PreparedTable> out;
+    out.reserve(corpus.tables.size());
+    for (const auto& lt : corpus.tables) {
+      PreparedTable p;
+      p.processed = pipeline_.Process(lt.table);
+      p.labels = lt.column_labels;
+      for (int label : lt.column_labels) {
+        p.label_texts.push_back(label == table::kUnlabeled
+                                    ? std::string()
+                                    : label_names_[static_cast<size_t>(label)]);
+      }
+      out.push_back(std::move(p));
+    }
+    return out;
+  };
+  std::vector<PreparedTable> train_prepared = prepare(train);
+  std::vector<PreparedTable> valid_prepared = prepare(valid);
+
+  BuildVocabulary(train_prepared);
+  serializer_.emplace(&*vocab_, options_.serializer);
+
+  KgLinkModelConfig model_config;
+  model_config.encoder = options_.encoder;
+  model_config.encoder.vocab_size = vocab_->size();
+  model_config.encoder.max_seq_len =
+      std::max(model_config.encoder.max_seq_len,
+               options_.serializer.max_seq_len);
+  model_config.num_labels = train.num_labels();
+  model_config.dmlm_temperature = options_.dmlm_temperature;
+  model_config.composition = options_.composition;
+  model_ = std::make_unique<KgLinkModel>(model_config, *rng_);
+  model_->uncertainty_loss() =
+      nn::UncertaintyWeightedLoss(options_.init_log_var0,
+                                  options_.init_log_var1);
+  model_->uncertainty_loss().SetFrozen(options_.freeze_sigmas);
+
+  nn::AdamWOptions adam;
+  adam.lr = options_.lr;
+  adam.eps = options_.adam_eps;
+  adam.weight_decay = options_.weight_decay;
+  nn::AdamW optimizer(model_->Parameters(), adam);
+
+  int64_t steps_per_epoch =
+      (static_cast<int64_t>(train_prepared.size()) + options_.batch_size - 1) /
+      options_.batch_size;
+  nn::LinearDecaySchedule schedule(options_.lr,
+                                   steps_per_epoch * options_.epochs);
+
+  std::vector<size_t> order(train_prepared.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Early-stopping snapshot of the best parameters.
+  double best_valid = -1.0;
+  int bad_epochs = 0;
+  std::vector<std::vector<float>> best_params;
+  auto snapshot = [&] {
+    best_params.clear();
+    for (const auto& p : optimizer.params()) {
+      best_params.push_back(p.tensor.data());
+    }
+  };
+  auto restore = [&] {
+    if (best_params.empty()) return;
+    auto params = optimizer.params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].tensor.data() = best_params[i];
+    }
+  };
+
+  epoch_stats_.clear();
+  int64_t step = 0;
+  float loss_scale = 1.0f / static_cast<float>(options_.batch_size);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_->Shuffle(order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t idx : order) {
+      epoch_loss += ForwardTable(train_prepared[idx], /*training=*/true,
+                                 loss_scale, nullptr);
+      if (++in_batch == options_.batch_size) {
+        optimizer.ClipGradNorm(options_.clip_norm);
+        optimizer.Step(schedule.LrAt(step++));
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(options_.clip_norm);
+      optimizer.Step(schedule.LrAt(step++));
+      optimizer.ZeroGrad();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = train_prepared.empty()
+                           ? 0.0
+                           : epoch_loss / static_cast<double>(
+                                              train_prepared.size());
+    stats.valid_accuracy = EvaluatePrepared(
+        valid_prepared.empty() ? train_prepared : valid_prepared);
+    stats.log_var0 = model_->uncertainty_loss().log_var0();
+    stats.log_var1 = model_->uncertainty_loss().log_var1();
+    epoch_stats_.push_back(stats);
+    if (options_.verbose) {
+      std::fprintf(stderr,
+                   "[%s] epoch %d loss=%.4f valid_acc=%.4f s0=%.3f s1=%.3f\n",
+                   name().c_str(), epoch, stats.train_loss,
+                   stats.valid_accuracy, stats.log_var0, stats.log_var1);
+    }
+
+    if (stats.valid_accuracy > best_valid) {
+      best_valid = stats.valid_accuracy;
+      bad_epochs = 0;
+      snapshot();
+    } else if (++bad_epochs > options_.early_stopping_patience) {
+      break;
+    }
+  }
+  restore();
+  fit_seconds_ = watch.ElapsedSeconds();
+}
+
+std::vector<int> KgLinkAnnotator::PredictTable(const table::Table& t) {
+  linker::ProcessedTable processed = pipeline_.Process(t);
+  return PredictProcessed(processed);
+}
+
+std::vector<int> KgLinkAnnotator::PredictProcessed(
+    const linker::ProcessedTable& pt) {
+  KGLINK_CHECK(model_ != nullptr) << "PredictTable before Fit/Load";
+  PreparedTable prepared;
+  prepared.processed = pt;
+  prepared.labels.assign(pt.columns.size(), table::kUnlabeled);
+  prepared.label_texts.assign(pt.columns.size(), "");
+  std::vector<int> predictions;
+  ForwardTable(prepared, /*training=*/false, 0.0f, &predictions);
+  return predictions;
+}
+
+Status KgLinkAnnotator::Save(const std::string& prefix) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("Save before Fit");
+  }
+  KGLINK_RETURN_IF_ERROR(vocab_->SaveToFile(prefix + ".vocab"));
+  std::string labels;
+  for (const auto& name : label_names_) labels += name + "\n";
+  KGLINK_RETURN_IF_ERROR(WriteFile(prefix + ".labels", labels));
+  return model_->Save(prefix + ".weights");
+}
+
+Status KgLinkAnnotator::Load(const std::string& prefix) {
+  KGLINK_ASSIGN_OR_RETURN(nn::Vocabulary vocab,
+                          nn::Vocabulary::LoadFromFile(prefix + ".vocab"));
+  vocab_ = std::move(vocab);
+  KGLINK_ASSIGN_OR_RETURN(std::string labels_text,
+                          ReadFile(prefix + ".labels"));
+  label_names_.clear();
+  for (auto& line : Split(labels_text, '\n')) {
+    if (!line.empty()) label_names_.push_back(std::move(line));
+  }
+  if (label_names_.empty()) {
+    return Status::Corruption("empty label file");
+  }
+  rng_ = std::make_unique<Rng>(options_.seed);
+  serializer_.emplace(&*vocab_, options_.serializer);
+  KgLinkModelConfig model_config;
+  model_config.encoder = options_.encoder;
+  model_config.encoder.vocab_size = vocab_->size();
+  model_config.encoder.max_seq_len =
+      std::max(model_config.encoder.max_seq_len,
+               options_.serializer.max_seq_len);
+  model_config.num_labels = static_cast<int>(label_names_.size());
+  model_config.dmlm_temperature = options_.dmlm_temperature;
+  model_config.composition = options_.composition;
+  model_ = std::make_unique<KgLinkModel>(model_config, *rng_);
+  return model_->Load(prefix + ".weights");
+}
+
+}  // namespace kglink::core

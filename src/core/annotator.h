@@ -1,0 +1,125 @@
+// KgLinkAnnotator: the public end-to-end API. Wires Part 1 (KG pipeline)
+// to Part 2 (serializer + model) and implements training with the adaptive
+// combined loss (Eq. 17), early stopping, prediction, and persistence.
+// Every ablation in the paper's Table II is an option flag here.
+#ifndef KGLINK_CORE_ANNOTATOR_H_
+#define KGLINK_CORE_ANNOTATOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/serializer.h"
+#include "eval/annotator.h"
+#include "linker/pipeline.h"
+#include "nn/optim.h"
+#include "nn/vocab.h"
+#include "search/search_engine.h"
+
+namespace kglink::core {
+
+struct KgLinkOptions {
+  linker::LinkerConfig linker;
+  SerializerConfig serializer;
+  nn::EncoderConfig encoder;  // vocab_size is filled in during Fit
+  Composition composition = Composition::kConcatLinear;
+  float dmlm_temperature = 2.0f;
+
+  // Optimization. The paper fine-tunes a pre-trained BERT at lr 3e-5; our
+  // encoder trains from scratch, so the default lr is higher.
+  int epochs = 8;
+  int batch_size = 8;  // gradient-accumulation batch
+  float lr = 1e-3f;
+  float adam_eps = 1e-6f;  // paper setting
+  float weight_decay = 0.01f;
+  float clip_norm = 1.0f;
+  int early_stopping_patience = 3;
+  int max_vocab = 6000;
+  uint64_t seed = 1234;
+
+  // Ablation switches (Table II):
+  bool use_mask_task = true;        // off = "KGLink w/o msk"
+  bool use_candidate_types = true;  // off (with fv off) = "KGLink w/o ct"
+  bool use_feature_vector = true;   // off = "KGLink w/o fv"
+
+  // Sigma controls for the Fig. 8 experiments. Frozen sigmas keep the
+  // uncertainty weights fixed at their initial values.
+  bool freeze_sigmas = false;
+  float init_log_var0 = 0.0f;  // log sigma0^2 (DMLM task)
+  float init_log_var1 = 0.0f;  // log sigma1^2 (classification task)
+
+  std::string display_name = "KGLink";
+  bool verbose = false;
+};
+
+// Per-epoch training telemetry (drives the Fig. 8(b) sigma curves).
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double valid_accuracy = 0.0;
+  float log_var0 = 0.0f;
+  float log_var1 = 0.0f;
+};
+
+class KgLinkAnnotator : public eval::ColumnAnnotator {
+ public:
+  // `kg` and `engine` must outlive the annotator; `engine` finalized.
+  KgLinkAnnotator(const kg::KnowledgeGraph* kg,
+                  const search::SearchEngine* engine, KgLinkOptions options);
+  ~KgLinkAnnotator() override;
+
+  std::string name() const override { return options_.display_name; }
+  void Fit(const table::Corpus& train, const table::Corpus& valid) override;
+  std::vector<int> PredictTable(const table::Table& t) override;
+
+  // Runs Part 1 only (exposed for the link-statistics experiment and the
+  // examples).
+  linker::ProcessedTable Preprocess(const table::Table& t) const;
+
+  // Predictions with access to an already-processed table (saves the
+  // pipeline pass when the caller already ran Preprocess).
+  std::vector<int> PredictProcessed(const linker::ProcessedTable& pt);
+
+  const std::vector<EpochStats>& epoch_stats() const { return epoch_stats_; }
+  double fit_seconds() const { return fit_seconds_; }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  // Persistence: writes <prefix>.vocab, <prefix>.labels, <prefix>.weights.
+  Status Save(const std::string& prefix) const;
+  Status Load(const std::string& prefix);
+
+ private:
+  struct PreparedTable;  // cached Part-1 output + label ids
+
+  // Builds the vocabulary from training-table text, candidate types,
+  // feature sequences and label names.
+  void BuildVocabulary(const std::vector<PreparedTable>& prepared);
+
+  // Forward pass over one prepared table. In training mode also emits the
+  // combined loss; in eval mode fills `predictions` (per original column).
+  // Returns the scalar loss value (0 in eval mode).
+  double ForwardTable(const PreparedTable& prepared, bool training,
+                      float loss_scale, std::vector<int>* predictions);
+
+  double EvaluatePrepared(const std::vector<PreparedTable>& tables);
+
+  const kg::KnowledgeGraph* kg_;
+  const search::SearchEngine* engine_;
+  KgLinkOptions options_;
+  linker::KgPipeline pipeline_;
+
+  std::vector<std::string> label_names_;
+  std::optional<nn::Vocabulary> vocab_;
+  std::optional<TableSerializer> serializer_;
+  std::unique_ptr<KgLinkModel> model_;
+  std::unique_ptr<Rng> rng_;
+
+  std::vector<EpochStats> epoch_stats_;
+  double fit_seconds_ = 0.0;
+};
+
+}  // namespace kglink::core
+
+#endif  // KGLINK_CORE_ANNOTATOR_H_

@@ -1,0 +1,128 @@
+#include "core/serializer.h"
+
+#include <algorithm>
+
+namespace kglink::core {
+
+TableSerializer::TableSerializer(const nn::Vocabulary* vocab,
+                                 SerializerConfig config)
+    : vocab_(vocab), config_(config) {
+  KGLINK_CHECK(vocab_ != nullptr);
+  KGLINK_CHECK_GT(config_.max_cols, 0);
+  KGLINK_CHECK_GT(config_.max_seq_len, 2);
+}
+
+std::vector<SerializedTable> TableSerializer::Serialize(
+    const linker::ProcessedTable& processed, LabelSlot slot,
+    const std::vector<std::string>* label_texts,
+    bool use_candidate_types) const {
+  const table::Table& t = processed.filtered;
+  int num_cols = t.num_cols();
+  KGLINK_CHECK_EQ(static_cast<size_t>(num_cols), processed.columns.size());
+  if (slot == LabelSlot::kGroundTruth) {
+    KGLINK_CHECK(label_texts != nullptr)
+        << "ground-truth serialization needs label texts";
+  }
+
+  std::vector<SerializedTable> chunks;
+  for (int chunk_start = 0; chunk_start < num_cols;
+       chunk_start += config_.max_cols) {
+    int chunk_cols = std::min(config_.max_cols, num_cols - chunk_start);
+    // Per-column budget: respect both the per-column cap and the sequence
+    // cap (reserving one slot for the trailing [SEP]).
+    int budget = std::min(config_.max_tokens_per_col,
+                          (config_.max_seq_len - 1) / chunk_cols);
+    KGLINK_CHECK_GT(budget, 4) << "sequence cap too small for column count";
+
+    SerializedTable chunk;
+    for (int ci = 0; ci < chunk_cols; ++ci) {
+      int col = chunk_start + ci;
+      const linker::ColumnKgInfo& info =
+          processed.columns[static_cast<size_t>(col)];
+      SerializedColumn sc;
+      sc.source_col = col;
+
+      std::vector<int> col_tokens;
+      col_tokens.push_back(nn::Vocabulary::kCls);
+
+      // ----- label slot -----
+      std::vector<int> label_ids;
+      if (label_texts != nullptr) {
+        label_ids = vocab_->EncodeText((*label_texts)[static_cast<size_t>(col)],
+                                       config_.max_label_tokens);
+      }
+      int slot_width = label_ids.empty() ? 1 : static_cast<int>(label_ids.size());
+      for (int i = 0; i < slot_width; ++i) {
+        sc.label_positions.push_back(static_cast<int>(col_tokens.size()));
+        if (slot == LabelSlot::kGroundTruth && !label_ids.empty()) {
+          col_tokens.push_back(label_ids[static_cast<size_t>(i)]);
+        } else {
+          col_tokens.push_back(nn::Vocabulary::kMask);
+        }
+      }
+
+      // ----- KG prefix: candidate types or numeric statistics -----
+      if (use_candidate_types) {
+        if (info.is_numeric) {
+          // Paper: "for numeric columns, the candidate types are replaced
+          // with the column's mean, variance, and average value".
+          col_tokens.push_back(
+              vocab_->Id(nn::Vocabulary::NumberToken(info.stats.mean)));
+          col_tokens.push_back(
+              vocab_->Id(nn::Vocabulary::NumberToken(info.stats.variance)));
+          col_tokens.push_back(
+              vocab_->Id(nn::Vocabulary::NumberToken(info.stats.median)));
+        } else if (!info.candidate_type_labels.empty()) {
+          int ct_budget = config_.max_ct_tokens;
+          for (const std::string& label : info.candidate_type_labels) {
+            for (int id : vocab_->EncodeText(label, ct_budget)) {
+              col_tokens.push_back(id);
+              --ct_budget;
+            }
+            if (ct_budget <= 0) break;
+          }
+        } else {
+          // No candidate types survived the filter: padding placeholder so
+          // every column has a (possibly empty) KG slot, per the paper.
+          col_tokens.push_back(nn::Vocabulary::kPad);
+        }
+      }
+
+      // ----- cell tokens, top-down, within budget -----
+      for (int r = 0; r < t.num_rows(); ++r) {
+        if (static_cast<int>(col_tokens.size()) >= budget) break;
+        int remaining = budget - static_cast<int>(col_tokens.size());
+        for (int id : vocab_->EncodeText(
+                 t.at(r, col).text,
+                 std::min(remaining, config_.max_cell_tokens))) {
+          col_tokens.push_back(id);
+        }
+      }
+      if (static_cast<int>(col_tokens.size()) > budget) {
+        col_tokens.resize(static_cast<size_t>(budget));
+      }
+
+      // Splice into the chunk sequence, offsetting recorded positions.
+      int base = static_cast<int>(chunk.tokens.size());
+      sc.cls_pos = base;
+      for (int& pos : sc.label_positions) pos += base;
+      chunk.tokens.insert(chunk.tokens.end(), col_tokens.begin(),
+                          col_tokens.end());
+      chunk.segments.insert(chunk.segments.end(), col_tokens.size(), ci);
+      chunk.columns.push_back(std::move(sc));
+    }
+    chunk.tokens.push_back(nn::Vocabulary::kSep);
+    chunk.segments.push_back(0);
+    KGLINK_CHECK_LE(static_cast<int>(chunk.tokens.size()),
+                    config_.max_seq_len);
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+std::vector<int> TableSerializer::EncodeFeature(
+    const std::string& feature_sequence) const {
+  return vocab_->EncodeText(feature_sequence, config_.max_feature_tokens);
+}
+
+}  // namespace kglink::core

@@ -1,0 +1,77 @@
+// Part-2 step 1: table serialization (paper Eq. 10-11). The multi-column
+// Doduo-style serialization places one [CLS] per column; KGLink's variant
+// additionally prefixes each column with a label slot (the [MASK] token or
+// the ground-truth label, for the column-type-representation task) and the
+// KG-derived candidate types (or, for numeric columns, the column's
+// summary statistics as number-bucket tokens).
+#ifndef KGLINK_CORE_SERIALIZER_H_
+#define KGLINK_CORE_SERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "linker/types.h"
+#include "nn/vocab.h"
+
+namespace kglink::core {
+
+struct SerializerConfig {
+  int max_seq_len = 192;        // hard cap on one encoder input
+  int max_cols = 8;             // paper: wider tables are split into chunks
+  int max_tokens_per_col = 64;  // paper's per-column token budget
+  int max_label_tokens = 3;     // label-slot width (mask count == label len)
+  int max_ct_tokens = 9;        // budget for the candidate-type prefix
+  int max_cell_tokens = 4;      // per-cell token cap
+  int max_feature_tokens = 24;  // feature-sequence S(e) token cap
+};
+
+// What fills the per-column label slot.
+enum class LabelSlot {
+  kMask,         // [MASK] tokens (masked table; also the inference input)
+  kGroundTruth,  // label tokens (ground-truth table, training only)
+};
+
+struct SerializedColumn {
+  int source_col = 0;            // column index in the original table
+  int cls_pos = 0;               // position of this column's [CLS]
+  std::vector<int> label_positions;  // positions of the label-slot tokens
+};
+
+struct SerializedTable {
+  std::vector<int> tokens;
+  // Parallel to tokens: the chunk-local column index of each token (the
+  // encoder's segment id), so the model can tell columns apart.
+  std::vector<int> segments;
+  std::vector<SerializedColumn> columns;
+};
+
+class TableSerializer {
+ public:
+  // `vocab` must outlive the serializer.
+  TableSerializer(const nn::Vocabulary* vocab, SerializerConfig config);
+
+  // Serializes a processed table into one or more chunks of at most
+  // max_cols columns. `label_texts` (parallel to original columns) supplies
+  // the ground-truth label text; it is required for kGroundTruth and, when
+  // provided for kMask, sizes the mask slot to the label's token count so
+  // the DMLM student/teacher positions align. Pass nullptr at inference
+  // (one [MASK] per column). `use_candidate_types` off reproduces the
+  // "w/o ct" ablation.
+  std::vector<SerializedTable> Serialize(
+      const linker::ProcessedTable& processed, LabelSlot slot,
+      const std::vector<std::string>* label_texts,
+      bool use_candidate_types) const;
+
+  // Tokenizes a feature sequence S(e) for the feature-vector encoder pass.
+  std::vector<int> EncodeFeature(const std::string& feature_sequence) const;
+
+  const SerializerConfig& config() const { return config_; }
+
+ private:
+  const nn::Vocabulary* vocab_;
+  SerializerConfig config_;
+};
+
+}  // namespace kglink::core
+
+#endif  // KGLINK_CORE_SERIALIZER_H_

@@ -1,0 +1,343 @@
+#include "data/corpus_gen.h"
+
+#include <algorithm>
+
+#include "data/names.h"
+#include "util/string_util.h"
+
+namespace kglink::data {
+
+namespace {
+
+bool IsPersonCategory(const std::string& category) {
+  return category.find("player") != std::string::npos ||
+         category == "cricketer" || category == "musician" ||
+         category == "actor" || category == "writer" ||
+         category == "scientist" || category == "film director";
+}
+
+bool IsTwoWordCategory(const std::string& category) {
+  return IsPersonCategory(category) ||
+         category.find("team") != std::string::npos ||
+         category.find("club") != std::string::npos ||
+         category == "album" || category == "film" || category == "book" ||
+         category == "company" || category == "film studio" ||
+         category == "musical group";
+}
+
+const char* kDateMonths[] = {"January", "February", "March",     "April",
+                             "May",     "June",     "July",      "August",
+                             "September", "October", "November", "December"};
+
+std::string RandomDate(Rng& rng) {
+  int year = static_cast<int>(rng.UniformInt(1900, 2020));
+  int month = static_cast<int>(rng.UniformInt(1, 12));
+  int day = static_cast<int>(rng.UniformInt(1, 28));
+  switch (rng.Uniform(3)) {
+    case 0:
+      return StrFormat("%04d-%02d-%02d", year, month, day);
+    case 1:
+      return StrFormat("%s %d, %d", kDateMonths[month - 1], day, year);
+    default:
+      return StrFormat("%d %s %d", day, kDateMonths[month - 1], year);
+  }
+}
+
+std::string RandomNumeric(NumericKind kind, Rng& rng) {
+  switch (kind) {
+    case NumericKind::kYear:
+      return std::to_string(rng.UniformInt(1950, 2023));
+    case NumericKind::kAge:
+      return std::to_string(rng.UniformInt(18, 80));
+    case NumericKind::kRank:
+      return std::to_string(rng.UniformInt(1, 100));
+    case NumericKind::kScore: {
+      double v = 20.0 + 8.0 * rng.Gaussian();
+      if (v < 0) v = -v;
+      return StrFormat("%.1f", v);
+    }
+    case NumericKind::kPopulation:
+      return std::to_string(rng.UniformInt(10'000, 5'000'000));
+    case NumericKind::kSales:
+      return std::to_string(rng.UniformInt(1'000'000, 900'000'000));
+  }
+  return "0";
+}
+
+// Applies a single-character typo (swap or drop) to longer strings.
+std::string ApplyTypo(const std::string& s, Rng& rng) {
+  if (s.size() < 4) return s;
+  std::string out = s;
+  size_t i = 1 + rng.Uniform(out.size() - 2);
+  if (rng.Bernoulli(0.5)) {
+    std::swap(out[i], out[i - 1]);
+  } else {
+    out.erase(i, 1);
+  }
+  return out;
+}
+
+class CorpusGenerator {
+ public:
+  CorpusGenerator(const World& world, const CorpusOptions& options,
+                  bool semtab_mode, std::string corpus_name)
+      : world_(world),
+        options_(options),
+        semtab_mode_(semtab_mode),
+        rng_(options.seed),
+        lexicon_(world, options.seed ^ 0x9e3779b97f4a7c15ULL) {
+    corpus_.name = std::move(corpus_name);
+  }
+
+  table::Corpus Generate() {
+    // Eligible templates and their weights.
+    std::vector<const TableTemplate*> templates;
+    std::vector<double> weights;
+    for (const auto& t : StandardTemplates()) {
+      if (semtab_mode_ && !t.in_semtab) continue;
+      if (!semtab_mode_ && !t.in_viznet) continue;
+      if (semtab_mode_ && t.anchor_category.empty()) continue;
+      templates.push_back(&t);
+      weights.push_back(t.weight);
+    }
+    KGLINK_CHECK(!templates.empty());
+
+    int made = 0;
+    int attempts = 0;
+    while (made < options_.num_tables && attempts < options_.num_tables * 20) {
+      ++attempts;
+      const TableTemplate& tmpl = *templates[rng_.Categorical(weights)];
+      if (GenerateTable(tmpl, made)) ++made;
+    }
+    KGLINK_CHECK_EQ(made, options_.num_tables)
+        << "corpus generation starved; loosen template constraints";
+    return std::move(corpus_);
+  }
+
+ private:
+  int LabelId(const std::string& name) {
+    auto it = label_index_.find(name);
+    if (it != label_index_.end()) return it->second;
+    int id = static_cast<int>(corpus_.label_names.size());
+    corpus_.label_names.push_back(name);
+    label_index_.emplace(name, id);
+    return id;
+  }
+
+  // Follows `predicate` from `anchor` (direction per `forward`); returns
+  // kInvalidEntity when the edge is missing.
+  kg::EntityId FollowEdge(kg::EntityId anchor, const std::string& predicate,
+                          bool forward) {
+    auto pit = world_.predicates.find(predicate);
+    if (pit == world_.predicates.end()) return kg::kInvalidEntity;
+    std::vector<kg::EntityId> targets;
+    for (const kg::Edge& e : world_.kg.Edges(anchor)) {
+      if (e.predicate == pit->second && e.forward == forward) {
+        targets.push_back(e.target);
+      }
+    }
+    if (targets.empty()) return kg::kInvalidEntity;
+    return targets[rng_.Uniform(targets.size())];
+  }
+
+  // Cell text for an entity, with alias/typo noise.
+  std::string EntityCell(kg::EntityId id) {
+    const kg::Entity& e = world_.kg.entity(id);
+    std::string text = e.label;
+    if (!e.aliases.empty() && rng_.Bernoulli(options_.alias_prob)) {
+      text = e.aliases[rng_.Uniform(e.aliases.size())];
+    }
+    if (rng_.Bernoulli(options_.typo_prob)) text = ApplyTypo(text, rng_);
+    return text;
+  }
+
+  bool GenerateTable(const TableTemplate& tmpl, int index) {
+    // Effective column list.
+    std::vector<const ColumnTemplate*> cols;
+    for (size_t i = 0; i < tmpl.columns.size(); ++i) {
+      const ColumnTemplate& c = tmpl.columns[i];
+      if (semtab_mode_ &&
+          (c.kind == ColumnKind::kNumeric || c.kind == ColumnKind::kDate)) {
+        continue;
+      }
+      if (i > 0 && rng_.Bernoulli(options_.drop_column_prob)) continue;
+      cols.push_back(&c);
+    }
+    if (cols.empty()) return false;
+
+    bool unlinkable = rng_.Bernoulli(options_.unlinkable_prob);
+    bool scrambled = !unlinkable && rng_.Bernoulli(options_.scrambled_prob);
+
+    int rows = static_cast<int>(
+        rng_.UniformInt(options_.min_rows, options_.max_rows));
+
+    // Anchor entities, sampled without replacement.
+    std::vector<kg::EntityId> anchors;
+    if (!tmpl.anchor_category.empty() && !unlinkable) {
+      anchors = world_.Instances(tmpl.anchor_category);
+      rng_.Shuffle(anchors);
+      if (static_cast<int>(anchors.size()) < rows) {
+        rows = static_cast<int>(anchors.size());
+      }
+      if (rows < options_.min_rows && rows < 4) return false;
+      anchors.resize(static_cast<size_t>(rows));
+    }
+
+    std::vector<std::vector<std::string>> cells(
+        static_cast<size_t>(rows),
+        std::vector<std::string>(cols.size()));
+    for (int r = 0; r < rows; ++r) {
+      kg::EntityId anchor =
+          anchors.empty() ? kg::kInvalidEntity : anchors[static_cast<size_t>(r)];
+      for (size_t ci = 0; ci < cols.size(); ++ci) {
+        const ColumnTemplate& c = *cols[ci];
+        std::string& cell = cells[static_cast<size_t>(r)][ci];
+        switch (c.kind) {
+          case ColumnKind::kAnchor:
+            cell = unlinkable ? lexicon_.Sample(tmpl.anchor_category, rng_)
+                              : EntityCell(anchor);
+            break;
+          case ColumnKind::kRelated: {
+            if (unlinkable) {
+              cell = lexicon_.Sample(c.related_category, rng_);
+            } else if (scrambled) {
+              const auto& pool = world_.Instances(c.related_category);
+              cell = EntityCell(pool[rng_.Uniform(pool.size())]);
+            } else {
+              kg::EntityId target =
+                  FollowEdge(anchor, c.predicate, c.forward);
+              cell = target == kg::kInvalidEntity ? std::string()
+                                                  : EntityCell(target);
+            }
+            break;
+          }
+          case ColumnKind::kNumeric:
+            cell = RandomNumeric(c.numeric_kind, rng_);
+            break;
+          case ColumnKind::kDate:
+            cell = RandomDate(rng_);
+            break;
+        }
+      }
+    }
+
+    // Junk header row. The words are chosen to never collide with KG
+    // labels, so headers carry no linkable or label-leaking signal.
+    if (rng_.Bernoulli(options_.header_prob)) {
+      static const char* kStringHeaders[] = {"Item", "Entry", "Title",
+                                             "Record", "Detail", "Info"};
+      static const char* kNumberHeaders[] = {"Value", "Total", "Amount"};
+      std::vector<std::string> header(cols.size());
+      for (size_t ci = 0; ci < cols.size(); ++ci) {
+        switch (cols[ci]->kind) {
+          case ColumnKind::kNumeric:
+            header[ci] = kNumberHeaders[rng_.Uniform(3)];
+            break;
+          case ColumnKind::kDate:
+            header[ci] = "When";
+            break;
+          default:
+            header[ci] = kStringHeaders[rng_.Uniform(6)];
+        }
+      }
+      cells.insert(cells.begin(), std::move(header));
+    }
+
+    table::LabeledTable lt;
+    lt.table = table::Table::FromStrings(
+        corpus_.name + "#" + std::to_string(index), cells);
+    for (const ColumnTemplate* c : cols) {
+      lt.column_labels.push_back(
+          LabelId(semtab_mode_ ? c->semtab_label : c->viznet_label));
+    }
+    corpus_.tables.push_back(std::move(lt));
+    return true;
+  }
+
+  const World& world_;
+  CorpusOptions options_;
+  bool semtab_mode_;
+  Rng rng_;
+  OutOfKgLexicon lexicon_;
+  table::Corpus corpus_;
+  std::map<std::string, int> label_index_;
+};
+
+}  // namespace
+
+CorpusOptions CorpusOptions::SemTabDefaults(int num_tables, uint64_t seed) {
+  CorpusOptions o;
+  o.seed = seed;
+  o.num_tables = num_tables;
+  o.min_rows = 12;
+  o.max_rows = 40;
+  o.typo_prob = 0.04;
+  o.alias_prob = 0.20;
+  o.scrambled_prob = 0.0;
+  o.unlinkable_prob = 0.0;
+  o.drop_column_prob = 0.0;
+  o.header_prob = 0.25;
+  return o;
+}
+
+CorpusOptions CorpusOptions::VizNetDefaults(int num_tables, uint64_t seed) {
+  CorpusOptions o;
+  o.seed = seed;
+  o.num_tables = num_tables;
+  o.min_rows = 6;
+  o.max_rows = 20;
+  o.typo_prob = 0.06;
+  o.alias_prob = 0.12;
+  o.scrambled_prob = 0.38;
+  o.unlinkable_prob = 0.10;
+  o.drop_column_prob = 0.30;
+  o.header_prob = 0.35;
+  return o;
+}
+
+OutOfKgLexicon::OutOfKgLexicon(const World& world, uint64_t seed) {
+  // Tokens used anywhere in KG labels or aliases.
+  std::unordered_set<std::string> kg_tokens;
+  for (kg::EntityId id = 0; id < world.kg.num_entities(); ++id) {
+    const kg::Entity& e = world.kg.entity(id);
+    for (const auto& w : SplitWords(e.label)) kg_tokens.insert(w);
+    for (const auto& alias : e.aliases) {
+      for (const auto& w : SplitWords(alias)) kg_tokens.insert(w);
+    }
+  }
+  Rng rng(seed);
+  NameGenerator names(&rng);
+  std::unordered_set<std::string> taken;
+  while (words_.size() < 400) {
+    std::string w = names.Word();
+    std::string lower = ToLower(w);
+    if (kg_tokens.count(lower) || taken.count(lower)) continue;
+    taken.insert(lower);
+    words_.push_back(std::move(w));
+  }
+}
+
+const std::string& OutOfKgLexicon::Word(Rng& rng) const {
+  return words_[rng.Uniform(words_.size())];
+}
+
+std::string OutOfKgLexicon::Sample(const std::string& category,
+                                   Rng& rng) const {
+  if (IsTwoWordCategory(category)) return Word(rng) + " " + Word(rng);
+  return Word(rng);
+}
+
+table::Corpus GenerateSemTabCorpus(const World& world,
+                                   const CorpusOptions& options) {
+  return CorpusGenerator(world, options, /*semtab_mode=*/true, "semtab-like")
+      .Generate();
+}
+
+table::Corpus GenerateVizNetCorpus(const World& world,
+                                   const CorpusOptions& options) {
+  return CorpusGenerator(world, options, /*semtab_mode=*/false,
+                         "viznet-like")
+      .Generate();
+}
+
+}  // namespace kglink::data

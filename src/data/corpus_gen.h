@@ -1,0 +1,76 @@
+// Corpus generators producing the two benchmark-style datasets:
+//  - SemTab-like: KG-derived tables, fine-grained labels (= KG type
+//    labels), no numeric/date columns, near-perfect KG coverage, low noise.
+//  - VizNet-like: web-style tables, coarse labels, ~13% numeric columns,
+//    heavy noise: typos, aliases, relation-scrambled tables (cells link to
+//    the KG but rows are not one-hop coherent) and fully out-of-KG tables
+//    drawn from a dedicated out-of-KG lexicon.
+#ifndef KGLINK_DATA_CORPUS_GEN_H_
+#define KGLINK_DATA_CORPUS_GEN_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/templates.h"
+#include "data/world.h"
+#include "table/corpus.h"
+#include "util/rng.h"
+
+namespace kglink::data {
+
+struct CorpusOptions {
+  uint64_t seed = 7;
+  int num_tables = 240;
+  int min_rows = 8;
+  int max_rows = 30;
+  // Per-cell noise on string cells.
+  double typo_prob = 0.0;
+  double alias_prob = 0.0;
+  // Fraction of tables whose related columns are filled with random
+  // entities of the right category (kills inter-column KG coherence).
+  double scrambled_prob = 0.0;
+  // Fraction of tables drawn entirely from the out-of-KG lexicon.
+  double unlinkable_prob = 0.0;
+  // Probability of dropping each non-anchor column (VizNet tables are
+  // narrow: 2.3 columns on average).
+  double drop_column_prob = 0.0;
+  // Probability that a table carries a junk header row ("Item", "Value",
+  // ...) as its first row — ubiquitous in web tables, it penalizes
+  // first-row-reliant methods and is exactly what the linking-score row
+  // filter (Table V) demotes.
+  double header_prob = 0.0;
+
+  // Paper-flavoured defaults.
+  static CorpusOptions SemTabDefaults(int num_tables, uint64_t seed = 11);
+  static CorpusOptions VizNetDefaults(int num_tables, uint64_t seed = 13);
+};
+
+// Words guaranteed never to appear in any KG label: used for out-of-KG
+// tables so PLM-based models can still learn their distribution while the
+// KG pipeline finds no links (Table IV regime). Shared across train/test.
+class OutOfKgLexicon {
+ public:
+  OutOfKgLexicon(const World& world, uint64_t seed);
+
+  // A fresh-phrase cell with the surface shape of `category` ("basketball
+  // player" -> two-word person name, "city" -> one word + suffix, ...).
+  std::string Sample(const std::string& category, Rng& rng) const;
+
+ private:
+  std::vector<std::string> words_;  // tokens disjoint from KG label tokens
+  const std::string& Word(Rng& rng) const;
+};
+
+// Generates a SemTab-style corpus: fine labels, entity columns only.
+table::Corpus GenerateSemTabCorpus(const World& world,
+                                   const CorpusOptions& options);
+
+// Generates a VizNet-style corpus: coarse labels, all column kinds.
+table::Corpus GenerateVizNetCorpus(const World& world,
+                                   const CorpusOptions& options);
+
+}  // namespace kglink::data
+
+#endif  // KGLINK_DATA_CORPUS_GEN_H_

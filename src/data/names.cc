@@ -1,0 +1,108 @@
+#include "data/names.h"
+
+namespace kglink::data {
+
+namespace {
+
+const char* kOnsets[] = {"b",  "br", "c",  "ch", "d",  "dr", "f",  "g",
+                         "gr", "h",  "j",  "k",  "l",  "m",  "n",  "p",
+                         "r",  "s",  "sh", "st", "t",  "th", "v",  "w",
+                         "z",  "kr", "pl", "tr"};
+const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"};
+const char* kCodas[] = {"",  "n", "r", "l", "s",  "m",  "d",
+                        "k", "t", "x", "g", "th", "ck", "ss"};
+const char* kCitySuffixes[] = {"ton", "ville", "burg", "ford",
+                               "field", "port", "mouth", "haven"};
+const char* kCountrySuffixes[] = {"ia", "land", "stan", "ova", "esia"};
+const char* kMascots[] = {"Hawks",  "Tigers",  "Wolves",  "Falcons",
+                          "Bears",  "Comets",  "Knights", "Ravens",
+                          "Sharks", "Dragons", "Titans",  "Storm",
+                          "Rockets", "Pirates", "Lions",   "Eagles"};
+const char* kAdjectives[] = {"Silent", "Golden", "Broken",  "Hidden",
+                             "Crimson", "Frozen", "Electric", "Wandering",
+                             "Burning", "Distant", "Velvet",  "Hollow"};
+const char* kNouns[] = {"River",  "Mountain", "Dream",  "Shadow", "Garden",
+                        "Mirror", "Harbor",   "Signal", "Empire", "Horizon",
+                        "Echo",   "Lantern",  "Voyage", "Crown",  "Winter"};
+const char* kCompanySuffixes[] = {"Systems",    "Industries", "Labs",
+                                  "Corporation", "Dynamics",   "Holdings",
+                                  "Works",       "Group"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&pool)[N]) {
+  return pool[rng->Uniform(N)];
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string NameGenerator::Word() {
+  int syllables = static_cast<int>(rng_->UniformInt(2, 3));
+  std::string w;
+  for (int i = 0; i < syllables; ++i) {
+    w += Pick(rng_, kOnsets);
+    w += Pick(rng_, kVowels);
+    if (i + 1 == syllables || rng_->Bernoulli(0.4)) w += Pick(rng_, kCodas);
+  }
+  return Capitalize(w);
+}
+
+std::string NameGenerator::PersonName() { return Word() + " " + Word(); }
+
+std::string NameGenerator::PersonAlias(const std::string& full_name) {
+  auto space = full_name.find(' ');
+  if (space == std::string::npos || space == 0) return full_name;
+  return full_name.substr(0, 1) + ". " + full_name.substr(space + 1);
+}
+
+std::string NameGenerator::CityName() {
+  return Word() + Pick(rng_, kCitySuffixes);
+}
+
+std::string NameGenerator::CountryName() {
+  return Word() + Pick(rng_, kCountrySuffixes);
+}
+
+std::string NameGenerator::TeamName(const std::string& city) {
+  return city + " " + Pick(rng_, kMascots);
+}
+
+std::string NameGenerator::WorkTitle() {
+  switch (rng_->Uniform(3)) {
+    case 0:
+      return std::string("The ") + Pick(rng_, kAdjectives) + " " +
+             Pick(rng_, kNouns);
+    case 1:
+      return std::string(Pick(rng_, kNouns)) + " of " + Word();
+    default:
+      return std::string(Pick(rng_, kAdjectives)) + " " + Pick(rng_, kNouns);
+  }
+}
+
+std::string NameGenerator::CompanyName() {
+  return Word() + " " + Pick(rng_, kCompanySuffixes);
+}
+
+std::string NameGenerator::ProteinName() { return Word() + "in"; }
+
+std::string NameGenerator::GeneSymbol() {
+  std::string sym;
+  int len = static_cast<int>(rng_->UniformInt(3, 4));
+  for (int i = 0; i < len; ++i) {
+    sym += static_cast<char>('A' + rng_->Uniform(26));
+  }
+  sym += static_cast<char>('1' + rng_->Uniform(9));
+  return sym;
+}
+
+std::string NameGenerator::BandName() {
+  return std::string("The ") + Word() + "s";
+}
+
+}  // namespace kglink::data

@@ -1,0 +1,61 @@
+// Deterministic synthetic name generation for the WikiSynth world: person
+// names, place names, work titles, organization names. Names are syllabic
+// (pronounceable, high-entropy) so BM25 entity linking behaves like it does
+// on real-world proper nouns: mostly unique tokens with occasional
+// collisions.
+#ifndef KGLINK_DATA_NAMES_H_
+#define KGLINK_DATA_NAMES_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace kglink::data {
+
+class NameGenerator {
+ public:
+  explicit NameGenerator(Rng* rng) : rng_(rng) {}
+
+  // One capitalized syllabic word, 2-4 syllables.
+  std::string Word();
+  // "First Last" person name.
+  std::string PersonName();
+  // Initial-style alias for a person name ("LeBron James" -> "L. James").
+  static std::string PersonAlias(const std::string& full_name);
+  // City-style name (syllabic stem + place suffix).
+  std::string CityName();
+  // Country-style name.
+  std::string CountryName();
+  // Team name: "<city> <mascot>".
+  std::string TeamName(const std::string& city);
+  // Creative-work title, 2-3 words ("The Silent River").
+  std::string WorkTitle();
+  // Company name ("Velmor Systems").
+  std::string CompanyName();
+  // Protein-style name ("Tavorin").
+  std::string ProteinName();
+  // Gene-style symbol ("TVR2").
+  std::string GeneSymbol();
+  // Band name ("The Ravens").
+  std::string BandName();
+
+  // Draws from `gen()` until the result is not in `taken`, then records it.
+  // Dies after too many attempts (pool exhausted — raise entropy).
+  template <typename F>
+  std::string Unique(std::unordered_set<std::string>* taken, F gen) {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      std::string name = gen();
+      if (taken->insert(name).second) return name;
+    }
+    KGLINK_CHECK(false) << "name pool exhausted";
+    return {};
+  }
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace kglink::data
+
+#endif  // KGLINK_DATA_NAMES_H_

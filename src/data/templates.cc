@@ -1,0 +1,232 @@
+#include "data/templates.h"
+
+namespace kglink::data {
+
+namespace {
+
+ColumnTemplate Anchor(std::string semtab, std::string viznet) {
+  ColumnTemplate c;
+  c.kind = ColumnKind::kAnchor;
+  c.semtab_label = std::move(semtab);
+  c.viznet_label = std::move(viznet);
+  return c;
+}
+
+ColumnTemplate Related(std::string predicate, bool forward,
+                       std::string category, std::string semtab,
+                       std::string viznet) {
+  ColumnTemplate c;
+  c.kind = ColumnKind::kRelated;
+  c.predicate = std::move(predicate);
+  c.forward = forward;
+  c.related_category = std::move(category);
+  c.semtab_label = std::move(semtab);
+  c.viznet_label = std::move(viznet);
+  return c;
+}
+
+ColumnTemplate Numeric(NumericKind kind, std::string viznet) {
+  ColumnTemplate c;
+  c.kind = ColumnKind::kNumeric;
+  c.numeric_kind = kind;
+  c.semtab_label = "number";  // unused: SemTab tables drop numeric columns
+  c.viznet_label = std::move(viznet);
+  return c;
+}
+
+ColumnTemplate Date(std::string viznet) {
+  ColumnTemplate c;
+  c.kind = ColumnKind::kDate;
+  c.semtab_label = "date";  // unused: SemTab tables drop date columns
+  c.viznet_label = std::move(viznet);
+  return c;
+}
+
+std::vector<TableTemplate> BuildTemplates() {
+  std::vector<TableTemplate> t;
+
+  t.push_back({"basketball_roster",
+               "basketball player",
+               {Anchor("basketball player", "name"),
+                Related("member of sports team", true, "basketball team",
+                        "basketball team", "team"),
+                Related("position played", true, "basketball position",
+                        "position", "position"),
+                Related("place of birth", true, "city", "city", "city"),
+                Numeric(NumericKind::kScore, "score")},
+               1.4});
+
+  t.push_back({"football_roster",
+               "football player",
+               {Anchor("football player", "name"),
+                Related("member of sports team", true, "football club",
+                        "football club", "team"),
+                Related("position played", true, "football position",
+                        "position", "position"),
+                Numeric(NumericKind::kAge, "age")},
+               1.4});
+
+  // The paper's Fig. 2(b) case: a cricketer column whose only context is
+  // two date columns (valuable-context-missing).
+  t.push_back({"cricketers",
+               "cricketer",
+               {Anchor("cricketer", "name"), Date("birth date"),
+                Related("member of sports team", true, "cricket club",
+                        "cricket club", "team"),
+                Numeric(NumericKind::kScore, "score")},
+               1.2});
+
+  t.push_back({"tennis_ranking",
+               "tennis player",
+               {Anchor("tennis player", "name"),
+                Related("place of birth", true, "city", "city", "city"),
+                Numeric(NumericKind::kRank, "rank")},
+               1.0});
+
+  t.push_back({"albums",
+               "album",
+               {Anchor("album", "album"),
+                Related("performer", true, "musician", "musician", "artist"),
+                Related("genre", true, "music genre", "music genre", "genre"),
+                Numeric(NumericKind::kYear, "year")},
+               1.4});
+
+  t.push_back({"musicians",
+               "musician",
+               {Anchor("musician", "artist"),
+                Related("member of", true, "musical group", "musical group",
+                        "band"),
+                Related("genre", true, "music genre", "music genre", "genre"),
+                Date("birth date")},
+               1.2});
+
+  t.push_back({"films",
+               "film",
+               {Anchor("film", "film"),
+                Related("director", true, "film director", "film director",
+                        "director"),
+                Related("production company", true, "film studio",
+                        "film studio", "company"),
+                Numeric(NumericKind::kYear, "year")},
+               1.4});
+
+  t.push_back({"actors",
+               "actor",
+               {Anchor("actor", "name"),
+                Related("cast member", false, "film", "film", "film"),
+                Related("place of birth", true, "city", "city", "city")},
+               1.0});
+
+  t.push_back({"books",
+               "book",
+               {Anchor("book", "book"),
+                Related("author", true, "writer", "writer", "author"),
+                Numeric(NumericKind::kYear, "year")},
+               1.0});
+
+  t.push_back({"companies",
+               "company",
+               {Anchor("company", "company"),
+                Related("industry", true, "industry", "industry", "industry"),
+                Related("headquartered in", true, "city", "city", "city"),
+                Numeric(NumericKind::kSales, "sales")},
+               1.2});
+
+  t.push_back({"universities",
+               "university",
+               {Anchor("university", "university"),
+                Related("located in", true, "city", "city", "city"),
+                Numeric(NumericKind::kPopulation, "population")},
+               0.8});
+
+  t.push_back({"cities",
+               "city",
+               {Anchor("city", "city"),
+                Related("located in", true, "country", "country", "country"),
+                Numeric(NumericKind::kPopulation, "population")},
+               1.0});
+
+  // Science tables are SemTab-flavoured (the paper's Protein class).
+  t.push_back({"proteins",
+               "protein",
+               {Anchor("protein", "name"),
+                Related("encoded by", true, "gene", "gene", "code"),
+                Related("discovered by", true, "scientist", "scientist",
+                        "name")},
+               0.9,
+               /*in_semtab=*/true,
+               /*in_viznet=*/false});
+
+  t.push_back({"scientists",
+               "scientist",
+               {Anchor("scientist", "name"),
+                Related("educated at", true, "university", "university",
+                        "university")},
+               0.7,
+               /*in_semtab=*/true,
+               /*in_viznet=*/false});
+
+  t.push_back({"teams",
+               "basketball team",
+               {Anchor("basketball team", "team"),
+                Related("located in", true, "city", "city", "city"),
+                Numeric(NumericKind::kYear, "year")},
+               0.8});
+
+  // "Directory" templates: person + city, all with the SAME column-shape.
+  // Table structure alone cannot reveal the anchor's fine type — only the
+  // cell identities / KG evidence can. These inject the paper's Fig. 2(a)
+  // granularity scenario and keep context-only models honest.
+  t.push_back({"cricketer_directory",
+               "cricketer",
+               {Anchor("cricketer", "name"),
+                Related("place of birth", true, "city", "city", "city")},
+               0.6});
+  t.push_back({"musician_directory",
+               "musician",
+               {Anchor("musician", "artist"),
+                Related("place of birth", true, "city", "city", "city")},
+               0.6});
+  t.push_back({"actor_directory",
+               "actor",
+               {Anchor("actor", "name"),
+                Related("place of birth", true, "city", "city", "city")},
+               0.6});
+  t.push_back({"writer_directory",
+               "writer",
+               {Anchor("writer", "name"),
+                Related("place of birth", true, "city", "city", "city")},
+               0.6});
+
+  // Pure-numeric stats tables: VizNet-only, the main source of the
+  // no-KG-information test subset (Table IV).
+  t.push_back({"stats_season",
+               "",
+               {Numeric(NumericKind::kYear, "year"),
+                Numeric(NumericKind::kScore, "score"),
+                Numeric(NumericKind::kRank, "rank")},
+               1.0,
+               /*in_semtab=*/false,
+               /*in_viznet=*/true});
+
+  t.push_back({"stats_demographics",
+               "",
+               {Numeric(NumericKind::kAge, "age"),
+                Numeric(NumericKind::kPopulation, "population"),
+                Numeric(NumericKind::kYear, "year")},
+               0.8,
+               /*in_semtab=*/false,
+               /*in_viznet=*/true});
+
+  return t;
+}
+
+}  // namespace
+
+const std::vector<TableTemplate>& StandardTemplates() {
+  static const std::vector<TableTemplate>& templates =
+      *new std::vector<TableTemplate>(BuildTemplates());
+  return templates;
+}
+
+}  // namespace kglink::data

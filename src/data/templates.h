@@ -1,0 +1,63 @@
+// Declarative table schemas ("templates") from which both corpora are
+// sampled. Each column carries two ground-truth labels: a fine-grained
+// SemTab-style label (usually the KG type itself) and a coarse VizNet-style
+// label — the mapping between them IS the paper's type-granularity gap
+// (e.g. KG type "basketball player" vs dataset label "name").
+#ifndef KGLINK_DATA_TEMPLATES_H_
+#define KGLINK_DATA_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+namespace kglink::data {
+
+// How a column's cells are produced.
+enum class ColumnKind {
+  kAnchor,   // the row's anchor entity label
+  kRelated,  // label of an entity one KG hop from the anchor
+  kNumeric,  // synthetic numeric value (never KG-linked)
+  kDate,     // synthetic date string (never KG-linked)
+};
+
+enum class NumericKind {
+  kYear,
+  kAge,
+  kRank,
+  kScore,
+  kPopulation,
+  kSales,
+};
+
+struct ColumnTemplate {
+  ColumnKind kind = ColumnKind::kAnchor;
+  // For kRelated: predicate label to follow from the anchor; `forward`
+  // means anchor is the triple's subject.
+  std::string predicate;
+  bool forward = true;
+  // For kRelated: the category the related entity belongs to (used when a
+  // scrambled/unlinkable cell must be faked with the right shape).
+  std::string related_category;
+  // Ground-truth labels in the two corpora's granularities.
+  std::string semtab_label;
+  std::string viznet_label;
+  NumericKind numeric_kind = NumericKind::kScore;
+};
+
+struct TableTemplate {
+  std::string name;
+  // Catalog category the anchor entities are drawn from; empty for
+  // pure-numeric templates.
+  std::string anchor_category;
+  std::vector<ColumnTemplate> columns;
+  double weight = 1.0;
+  bool in_semtab = true;  // SemTab drops numeric/date columns anyway
+  bool in_viznet = true;
+};
+
+// The full template library (14 entity templates + pure-numeric "stats"
+// templates used only for the VizNet-style corpus).
+const std::vector<TableTemplate>& StandardTemplates();
+
+}  // namespace kglink::data
+
+#endif  // KGLINK_DATA_TEMPLATES_H_

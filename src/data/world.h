@@ -1,0 +1,66 @@
+// WikiSynth: the deterministic synthetic WikiData-style world backing both
+// generated corpora. Builds a multi-domain KG (sports, music, film,
+// literature, science, business, geography) with:
+//  - a type hierarchy with explicit granularity levels
+//    (human > athlete > basketball player), so the paper's type-granularity
+//    gap arises naturally;
+//  - relation paths that make the entities mentioned in one table row
+//    mutually one-hop connected (player -member of-> team -home venue->
+//    city ...), which is what KGLink's overlapping-score filter exploits;
+//  - configurable KG imperfection (missing edges, duplicate labels) to
+//    model real-world linking noise.
+#ifndef KGLINK_DATA_WORLD_H_
+#define KGLINK_DATA_WORLD_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace kglink::data {
+
+struct WorldConfig {
+  uint64_t seed = 42;
+  // Multiplies all instance counts (1.0 -> ~3k entities).
+  double scale = 1.0;
+  // Additional multiplier for OPEN-class instance counts (people, creative
+  // works, companies, proteins/genes) on top of `scale`. Closed-ish
+  // classes (cities, countries, teams, studios, bands, universities,
+  // genres, ...) recur across tables in real corpora and stay at `scale`.
+  // Large open pools keep train/test entity overlap low, forcing models
+  // to generalize from context and KG evidence instead of memorizing cell
+  // strings.
+  double open_class_scale = 1.0;
+  // Probability that a generated relation edge is silently dropped
+  // (missing-link noise, drives imperfect KG coverage).
+  double missing_edge_prob = 0.05;
+  // Probability that an instance gets a same-label duplicate entity with no
+  // useful edges (linking-ambiguity noise).
+  double duplicate_entity_prob = 0.03;
+};
+
+struct World {
+  kg::KnowledgeGraph kg;
+  // Instance entities per category ("basketball player", "city", ...).
+  std::map<std::string, std::vector<kg::EntityId>> catalog;
+  // Type entities by label ("athlete", "human", ...).
+  std::map<std::string, kg::EntityId> types;
+  // Predicate ids by label ("member of sports team", ...).
+  std::map<std::string, kg::PredicateId> predicates;
+  // Every primary label handed out (for generating guaranteed-unlinkable
+  // strings later).
+  std::unordered_set<std::string> used_labels;
+
+  const std::vector<kg::EntityId>& Instances(const std::string& category) const;
+  kg::EntityId TypeId(const std::string& type_label) const;
+  kg::PredicateId PredicateIdOf(const std::string& label) const;
+};
+
+World GenerateWorld(const WorldConfig& config);
+
+}  // namespace kglink::data
+
+#endif  // KGLINK_DATA_WORLD_H_

@@ -1,0 +1,30 @@
+#include "eval/annotator.h"
+
+namespace kglink::eval {
+
+Metrics ColumnAnnotator::Evaluate(const table::Corpus& test) {
+  return EvaluateWithPredictions(test, nullptr, nullptr);
+}
+
+Metrics ColumnAnnotator::EvaluateWithPredictions(const table::Corpus& test,
+                                                 std::vector<int>* gold_out,
+                                                 std::vector<int>* pred_out) {
+  std::vector<int> gold;
+  std::vector<int> pred;
+  for (const auto& lt : test.tables) {
+    std::vector<int> p = PredictTable(lt.table);
+    KGLINK_CHECK_EQ(p.size(), lt.column_labels.size())
+        << "annotator returned wrong column count";
+    for (size_t c = 0; c < p.size(); ++c) {
+      if (lt.column_labels[c] == table::kUnlabeled) continue;
+      gold.push_back(lt.column_labels[c]);
+      pred.push_back(p[c]);
+    }
+  }
+  Metrics m = ComputeMetrics(gold, pred, test.num_labels());
+  if (gold_out != nullptr) *gold_out = std::move(gold);
+  if (pred_out != nullptr) *pred_out = std::move(pred);
+  return m;
+}
+
+}  // namespace kglink::eval

@@ -1,0 +1,40 @@
+// The common column-type-annotation interface implemented by KGLink and
+// every baseline, plus the shared evaluation loop.
+#ifndef KGLINK_EVAL_ANNOTATOR_H_
+#define KGLINK_EVAL_ANNOTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "table/corpus.h"
+#include "table/table.h"
+
+namespace kglink::eval {
+
+class ColumnAnnotator {
+ public:
+  virtual ~ColumnAnnotator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains on `train`, using `valid` for early stopping / model selection.
+  virtual void Fit(const table::Corpus& train,
+                   const table::Corpus& valid) = 0;
+
+  // Predicted label id per column of `t` (label space = training corpus).
+  virtual std::vector<int> PredictTable(const table::Table& t) = 0;
+
+  // Runs PredictTable over the corpus and scores the labeled columns.
+  Metrics Evaluate(const table::Corpus& test);
+
+  // Like Evaluate but also returns the flat gold/pred vectors (for
+  // per-class analyses and the no-KG subset breakdowns).
+  Metrics EvaluateWithPredictions(const table::Corpus& test,
+                                  std::vector<int>* gold_out,
+                                  std::vector<int>* pred_out);
+};
+
+}  // namespace kglink::eval
+
+#endif  // KGLINK_EVAL_ANNOTATOR_H_

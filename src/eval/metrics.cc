@@ -1,0 +1,97 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace kglink::eval {
+
+Metrics ComputeMetrics(const std::vector<int>& gold,
+                       const std::vector<int>& pred, int num_classes) {
+  KGLINK_CHECK_EQ(gold.size(), pred.size());
+  Metrics m;
+  m.total = static_cast<int64_t>(gold.size());
+  if (gold.empty()) return m;
+
+  std::vector<int64_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0), support(num_classes, 0);
+  int64_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    int g = gold[i];
+    int p = pred[i];
+    KGLINK_CHECK(g >= 0 && g < num_classes) << "gold label out of range";
+    KGLINK_CHECK(p >= 0 && p < num_classes) << "pred label out of range";
+    ++support[g];
+    if (g == p) {
+      ++correct;
+      ++tp[g];
+    } else {
+      ++fn[g];
+      ++fp[p];
+    }
+  }
+  m.accuracy = static_cast<double>(correct) / static_cast<double>(m.total);
+
+  double weighted_sum = 0.0;
+  double macro_sum = 0.0;
+  int64_t supported_classes = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    ClassReport r;
+    r.label = c;
+    r.support = support[c];
+    int64_t denom_p = tp[c] + fp[c];
+    int64_t denom_r = tp[c] + fn[c];
+    r.precision = denom_p > 0 ? static_cast<double>(tp[c]) / denom_p : 0.0;
+    r.recall = denom_r > 0 ? static_cast<double>(tp[c]) / denom_r : 0.0;
+    r.f1 = (r.precision + r.recall) > 0
+               ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+               : 0.0;
+    m.per_class.push_back(r);
+    if (support[c] > 0) {
+      weighted_sum += r.f1 * static_cast<double>(support[c]);
+      macro_sum += r.f1;
+      ++supported_classes;
+    }
+  }
+  m.weighted_f1 = weighted_sum / static_cast<double>(m.total);
+  m.macro_f1 = supported_classes > 0
+                   ? macro_sum / static_cast<double>(supported_classes)
+                   : 0.0;
+  return m;
+}
+
+std::vector<ClassDelta> PerClassAccuracyDelta(const std::vector<int>& gold,
+                                              const std::vector<int>& before,
+                                              const std::vector<int>& after,
+                                              int num_classes,
+                                              int64_t min_support) {
+  KGLINK_CHECK_EQ(gold.size(), before.size());
+  KGLINK_CHECK_EQ(gold.size(), after.size());
+  std::vector<int64_t> support(num_classes, 0), ok_before(num_classes, 0),
+      ok_after(num_classes, 0);
+  for (size_t i = 0; i < gold.size(); ++i) {
+    ++support[gold[i]];
+    if (before[i] == gold[i]) ++ok_before[gold[i]];
+    if (after[i] == gold[i]) ++ok_after[gold[i]];
+  }
+  std::vector<ClassDelta> out;
+  for (int c = 0; c < num_classes; ++c) {
+    if (support[c] < min_support) continue;
+    ClassDelta d;
+    d.label = c;
+    d.support = support[c];
+    d.accuracy_before =
+        static_cast<double>(ok_before[c]) / static_cast<double>(support[c]);
+    d.accuracy_after =
+        static_cast<double>(ok_after[c]) / static_cast<double>(support[c]);
+    d.delta = d.accuracy_after - d.accuracy_before;
+    out.push_back(d);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.delta != b.delta) return a.delta > b.delta;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+}  // namespace kglink::eval

@@ -1,0 +1,53 @@
+// Evaluation metrics used throughout the paper: accuracy and weighted F1
+// (support-weighted mean of per-class F1), plus per-class breakdowns for
+// the qualitative analysis (Section V-D).
+#ifndef KGLINK_EVAL_METRICS_H_
+#define KGLINK_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace kglink::eval {
+
+struct ClassReport {
+  int label = 0;
+  int64_t support = 0;  // gold count
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct Metrics {
+  double accuracy = 0.0;
+  double weighted_f1 = 0.0;
+  double macro_f1 = 0.0;
+  int64_t total = 0;
+  std::vector<ClassReport> per_class;
+};
+
+// Computes metrics over parallel gold/pred label vectors. Labels must lie
+// in [0, num_classes). Classes with zero support are excluded from the
+// weighted/macro averages (scikit-learn convention).
+Metrics ComputeMetrics(const std::vector<int>& gold,
+                       const std::vector<int>& pred, int num_classes);
+
+// Per-class accuracy (recall) difference report between two prediction
+// vectors over the same gold labels — used for the "top classes improved by
+// the column-representation task" analysis. Only classes with at least
+// `min_support` gold samples are reported; sorted by improvement desc.
+struct ClassDelta {
+  int label = 0;
+  int64_t support = 0;
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  double delta = 0.0;
+};
+std::vector<ClassDelta> PerClassAccuracyDelta(const std::vector<int>& gold,
+                                              const std::vector<int>& before,
+                                              const std::vector<int>& after,
+                                              int num_classes,
+                                              int64_t min_support);
+
+}  // namespace kglink::eval
+
+#endif  // KGLINK_EVAL_METRICS_H_

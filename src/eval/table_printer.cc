@@ -1,0 +1,53 @@
+#include "eval/table_printer.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace kglink::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  KGLINK_CHECK_EQ(row.size(), header_.size()) << "row width mismatch";
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t w : widths) rule += std::string(w + 2, '-') + "|";
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << Render() << std::flush; }
+
+std::string TablePrinter::Pct(double fraction01) {
+  return StrFormat("%.2f", fraction01 * 100.0);
+}
+
+std::string TablePrinter::Num(double v, int prec) {
+  return StrFormat("%.*f", prec, v);
+}
+
+}  // namespace kglink::eval

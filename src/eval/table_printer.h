@@ -1,0 +1,32 @@
+// Fixed-width console table printer for the benchmark harnesses (every
+// bench prints the paper's row/column layout, then the paper's reported
+// numbers for side-by-side comparison).
+#ifndef KGLINK_EVAL_TABLE_PRINTER_H_
+#define KGLINK_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace kglink::eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Renders with column-aligned padding and a header rule.
+  std::string Render() const;
+  // Convenience: renders to stdout.
+  void Print() const;
+
+  static std::string Pct(double fraction01);   // "87.12"
+  static std::string Num(double v, int prec);  // fixed precision
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kglink::eval
+
+#endif  // KGLINK_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,204 @@
+#include "kg/knowledge_graph.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace kglink::kg {
+
+KnowledgeGraph::KnowledgeGraph() {
+  PredicateId inst = AddPredicate("instance of");
+  PredicateId sub = AddPredicate("subclass of");
+  KGLINK_CHECK_EQ(inst, kInstanceOf);
+  KGLINK_CHECK_EQ(sub, kSubclassOf);
+}
+
+EntityId KnowledgeGraph::AddEntity(Entity entity) {
+  EntityId id = static_cast<EntityId>(entities_.size());
+  if (!entity.qid.empty()) {
+    auto [it, inserted] = by_qid_.emplace(entity.qid, id);
+    KGLINK_CHECK(inserted) << "duplicate qid " << entity.qid;
+  }
+  by_label_[entity.label].push_back(id);
+  entities_.push_back(std::move(entity));
+  edges_.emplace_back();
+  neighbor_cache_.emplace_back();
+  neighbor_cache_valid_.push_back(false);
+  return id;
+}
+
+PredicateId KnowledgeGraph::AddPredicate(const std::string& label) {
+  predicate_labels_.push_back(label);
+  return static_cast<PredicateId>(predicate_labels_.size() - 1);
+}
+
+void KnowledgeGraph::AddTriple(EntityId subject, PredicateId predicate,
+                               EntityId object) {
+  KGLINK_CHECK(subject >= 0 && subject < num_entities());
+  KGLINK_CHECK(object >= 0 && object < num_entities());
+  KGLINK_CHECK(predicate >= 0 && predicate < num_predicates());
+  edges_[subject].push_back({predicate, object, /*forward=*/true});
+  edges_[object].push_back({predicate, subject, /*forward=*/false});
+  neighbor_cache_valid_[subject] = false;
+  neighbor_cache_valid_[object] = false;
+  ++num_triples_;
+}
+
+const Entity& KnowledgeGraph::entity(EntityId id) const {
+  KGLINK_CHECK(id >= 0 && id < num_entities()) << "bad entity id " << id;
+  return entities_[static_cast<size_t>(id)];
+}
+
+const std::string& KnowledgeGraph::predicate_label(PredicateId id) const {
+  KGLINK_CHECK(id >= 0 && id < num_predicates());
+  return predicate_labels_[static_cast<size_t>(id)];
+}
+
+EntityId KnowledgeGraph::FindByQid(const std::string& qid) const {
+  auto it = by_qid_.find(qid);
+  return it == by_qid_.end() ? kInvalidEntity : it->second;
+}
+
+std::vector<EntityId> KnowledgeGraph::FindByLabel(
+    const std::string& label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? std::vector<EntityId>{} : it->second;
+}
+
+const std::vector<Edge>& KnowledgeGraph::Edges(EntityId id) const {
+  KGLINK_CHECK(id >= 0 && id < num_entities());
+  return edges_[static_cast<size_t>(id)];
+}
+
+const std::vector<EntityId>& KnowledgeGraph::NeighborSet(EntityId id) const {
+  KGLINK_CHECK(id >= 0 && id < num_entities());
+  size_t i = static_cast<size_t>(id);
+  if (!neighbor_cache_valid_[i]) {
+    std::vector<EntityId> nbrs;
+    nbrs.reserve(edges_[i].size());
+    for (const Edge& e : edges_[i]) nbrs.push_back(e.target);
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    neighbor_cache_[i] = std::move(nbrs);
+    neighbor_cache_valid_[i] = true;
+  }
+  return neighbor_cache_[i];
+}
+
+bool KnowledgeGraph::IsNeighbor(EntityId id, EntityId candidate) const {
+  const auto& nbrs = NeighborSet(id);
+  return std::binary_search(nbrs.begin(), nbrs.end(), candidate);
+}
+
+std::vector<EntityId> KnowledgeGraph::InstanceTypes(EntityId id) const {
+  std::vector<EntityId> out;
+  for (const Edge& e : Edges(id)) {
+    if (e.forward && e.predicate == kInstanceOf) out.push_back(e.target);
+  }
+  return out;
+}
+
+std::vector<EntityId> KnowledgeGraph::SuperClasses(EntityId id) const {
+  std::vector<EntityId> out;
+  std::vector<EntityId> frontier = {id};
+  std::vector<bool> seen(static_cast<size_t>(num_entities()), false);
+  seen[static_cast<size_t>(id)] = true;
+  while (!frontier.empty()) {
+    EntityId cur = frontier.back();
+    frontier.pop_back();
+    for (const Edge& e : Edges(cur)) {
+      if (e.forward && e.predicate == kSubclassOf &&
+          !seen[static_cast<size_t>(e.target)]) {
+        seen[static_cast<size_t>(e.target)] = true;
+        out.push_back(e.target);
+        frontier.push_back(e.target);
+      }
+    }
+  }
+  return out;
+}
+
+bool KnowledgeGraph::IsSubtypeOf(EntityId a, EntityId b) const {
+  if (a == b) return true;
+  for (EntityId super : SuperClasses(a)) {
+    if (super == b) return true;
+  }
+  return false;
+}
+
+// ----- persistence -----
+//
+// Format (TSV, one record per line):
+//   E <qid> <label> <flags TPD-> <description> <alias1;alias2;...>
+//   P <label>                       (predicates beyond the two built-ins)
+//   T <subject-id> <predicate-id> <object-id>
+
+Status KnowledgeGraph::SaveToFile(const std::string& path) const {
+  std::string out;
+  for (PredicateId p = 2; p < num_predicates(); ++p) {
+    out += "P\t" + predicate_labels_[static_cast<size_t>(p)] + "\n";
+  }
+  for (const Entity& e : entities_) {
+    std::string flags;
+    if (e.is_type) flags += 'T';
+    if (e.is_person) flags += 'P';
+    if (e.is_date) flags += 'D';
+    if (flags.empty()) flags = "-";
+    out += "E\t" + e.qid + "\t" + e.label + "\t" + flags + "\t" +
+           e.description + "\t" + Join(e.aliases, ";") + "\n";
+  }
+  for (EntityId s = 0; s < num_entities(); ++s) {
+    for (const Edge& e : edges_[static_cast<size_t>(s)]) {
+      if (!e.forward) continue;
+      out += "T\t" + std::to_string(s) + "\t" + std::to_string(e.predicate) +
+             "\t" + std::to_string(e.target) + "\n";
+    }
+  }
+  return WriteFile(path, out);
+}
+
+StatusOr<KnowledgeGraph> KnowledgeGraph::LoadFromFile(
+    const std::string& path) {
+  KGLINK_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  KnowledgeGraph kg;
+  for (const auto& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    auto fields = Split(line, '\t');
+    if (fields[0] == "P") {
+      if (fields.size() != 2) return Status::Corruption("bad P record");
+      kg.AddPredicate(fields[1]);
+    } else if (fields[0] == "E") {
+      if (fields.size() != 6) return Status::Corruption("bad E record");
+      Entity e;
+      e.qid = fields[1];
+      e.label = fields[2];
+      e.is_type = fields[3].find('T') != std::string::npos;
+      e.is_person = fields[3].find('P') != std::string::npos;
+      e.is_date = fields[3].find('D') != std::string::npos;
+      e.description = fields[4];
+      if (!fields[5].empty()) e.aliases = Split(fields[5], ';');
+      kg.AddEntity(std::move(e));
+    } else if (fields[0] == "T") {
+      if (fields.size() != 4) return Status::Corruption("bad T record");
+      int s = 0, p = 0, o = 0;
+      double tmp = 0;
+      if (!ParseDouble(fields[1], &tmp)) return Status::Corruption("bad T");
+      s = static_cast<int>(tmp);
+      if (!ParseDouble(fields[2], &tmp)) return Status::Corruption("bad T");
+      p = static_cast<int>(tmp);
+      if (!ParseDouble(fields[3], &tmp)) return Status::Corruption("bad T");
+      o = static_cast<int>(tmp);
+      if (s < 0 || s >= kg.num_entities() || o < 0 ||
+          o >= kg.num_entities() || p < 0 || p >= kg.num_predicates()) {
+        return Status::Corruption("triple references unknown id");
+      }
+      kg.AddTriple(s, p, o);
+    } else {
+      return Status::Corruption("unknown record type: " + fields[0]);
+    }
+  }
+  return kg;
+}
+
+}  // namespace kglink::kg

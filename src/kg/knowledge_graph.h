@@ -1,0 +1,100 @@
+// In-memory property-graph knowledge graph in the WikiData mold: entities
+// with labels/aliases/descriptions, typed predicates (with distinguished
+// `instance of` / `subclass of`), and one-hop neighbourhood queries — the
+// exact surface KGLink's Part-1 algorithms consume.
+#ifndef KGLINK_KG_KNOWLEDGE_GRAPH_H_
+#define KGLINK_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kglink::kg {
+
+using EntityId = int32_t;
+using PredicateId = int32_t;
+inline constexpr EntityId kInvalidEntity = -1;
+
+// A node in the KG. `is_person` / `is_date` carry the named-entity schema
+// tags the paper obtains from spaCy (used by the candidate-type filter);
+// `is_type` marks class entities (objects of `instance of` / `subclass of`).
+struct Entity {
+  std::string qid;          // external identifier, e.g. "Q42"
+  std::string label;        // primary surface form
+  std::vector<std::string> aliases;
+  std::string description;
+  bool is_type = false;
+  bool is_person = false;
+  bool is_date = false;
+};
+
+// A directed labelled edge viewed from some entity.
+struct Edge {
+  PredicateId predicate;
+  EntityId target;
+  bool forward;  // true: this entity is the subject
+};
+
+class KnowledgeGraph {
+ public:
+  // Distinguished predicates, created by the constructor.
+  static constexpr PredicateId kInstanceOf = 0;
+  static constexpr PredicateId kSubclassOf = 1;
+
+  KnowledgeGraph();
+
+  // ----- construction -----
+  EntityId AddEntity(Entity entity);
+  PredicateId AddPredicate(const std::string& label);
+  void AddTriple(EntityId subject, PredicateId predicate, EntityId object);
+
+  // ----- lookup -----
+  int64_t num_entities() const { return static_cast<int64_t>(entities_.size()); }
+  int64_t num_triples() const { return num_triples_; }
+  int64_t num_predicates() const {
+    return static_cast<int64_t>(predicate_labels_.size());
+  }
+  const Entity& entity(EntityId id) const;
+  const std::string& predicate_label(PredicateId id) const;
+  EntityId FindByQid(const std::string& qid) const;
+  // All entities whose primary label matches exactly (case-sensitive).
+  std::vector<EntityId> FindByLabel(const std::string& label) const;
+
+  // ----- topology -----
+  // All edges incident to `id` (both directions), insertion order.
+  const std::vector<Edge>& Edges(EntityId id) const;
+  // Deduplicated, sorted one-hop neighbour entity ids (both directions).
+  // Built lazily and cached; invalidated by AddTriple.
+  const std::vector<EntityId>& NeighborSet(EntityId id) const;
+  // True if `candidate` is a one-hop neighbour of `id`.
+  bool IsNeighbor(EntityId id, EntityId candidate) const;
+
+  // Objects of `id --instance of--> *`.
+  std::vector<EntityId> InstanceTypes(EntityId id) const;
+  // Transitive closure of `subclass of` starting from (and excluding) `id`.
+  std::vector<EntityId> SuperClasses(EntityId id) const;
+  // True if `a` equals `b` or `b` is in a's subclass-of closure.
+  bool IsSubtypeOf(EntityId a, EntityId b) const;
+
+  // ----- persistence (TSV) -----
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<KnowledgeGraph> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<Entity> entities_;
+  std::vector<std::string> predicate_labels_;
+  std::vector<std::vector<Edge>> edges_;  // per entity, both directions
+  int64_t num_triples_ = 0;
+  std::unordered_map<std::string, EntityId> by_qid_;
+  std::unordered_map<std::string, std::vector<EntityId>> by_label_;
+  // Lazy neighbour-set cache (cleared on mutation).
+  mutable std::vector<std::vector<EntityId>> neighbor_cache_;
+  mutable std::vector<bool> neighbor_cache_valid_;
+};
+
+}  // namespace kglink::kg
+
+#endif  // KGLINK_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,49 @@
+#include "linker/candidate_types.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kglink::linker {
+
+std::vector<CandidateType> GenerateCandidateTypes(
+    const kg::KnowledgeGraph& kg, const std::vector<RowLinks>& row_links,
+    int col, const LinkerConfig& config) {
+  // Accumulated cts score and the set of distinct supporting rows.
+  struct Accum {
+    double score = 0.0;
+    std::unordered_set<int> rows;
+  };
+  std::unordered_map<kg::EntityId, Accum> accum;
+
+  for (size_t r = 0; r < row_links.size(); ++r) {
+    const CellLinks& cell = row_links[r].cells[static_cast<size_t>(col)];
+    for (const EntityCandidate& cand : cell.pruned) {
+      for (kg::EntityId ct : kg.NeighborSet(cand.entity)) {
+        const kg::Entity& e = kg.entity(ct);
+        // Label-based filter: PERSON / DATE entities are not column types.
+        if (e.is_person || e.is_date) continue;
+        Accum& a = accum[ct];
+        a.score += cand.overlap_score;
+        a.rows.insert(static_cast<int>(r));
+      }
+    }
+  }
+
+  std::vector<CandidateType> out;
+  for (const auto& [entity, a] : accum) {
+    // Eq. 8's r2 != r1: require corroboration from at least two rows.
+    if (a.rows.size() < 2) continue;
+    out.push_back({entity, a.score});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.entity < b.entity;
+  });
+  if (static_cast<int>(out.size()) > config.max_candidate_types) {
+    out.resize(static_cast<size_t>(config.max_candidate_types));
+  }
+  return out;
+}
+
+}  // namespace kglink::linker

@@ -1,0 +1,30 @@
+// Part-1 step 3: candidate type generation (Eq. 7-8) with the PERSON/DATE
+// label-based filter.
+#ifndef KGLINK_LINKER_CANDIDATE_TYPES_H_
+#define KGLINK_LINKER_CANDIDATE_TYPES_H_
+
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "linker/types.h"
+
+namespace kglink::linker {
+
+// Generates up to `config.max_candidate_types` candidate types for column
+// `col` from the pruned candidate entities of the kept rows (`row_links`).
+//
+// Following Eq. 8, a candidate type ct is any one-hop neighbour of a pruned
+// candidate entity; its score accumulates, over rows r2 and candidates
+// e^{r2} of that column, overlap_score(e^{r2}) for each e^{r2} that has ct
+// in its neighbourhood. To honour the r2 != r1 constraint (the type must be
+// corroborated beyond the row that introduced it), types supported by
+// fewer than two distinct rows are discarded. Entities tagged PERSON or
+// DATE are filtered out (the paper's spaCy label filter), as they are
+// unsuitable column types.
+std::vector<CandidateType> GenerateCandidateTypes(
+    const kg::KnowledgeGraph& kg, const std::vector<RowLinks>& row_links,
+    int col, const LinkerConfig& config);
+
+}  // namespace kglink::linker
+
+#endif  // KGLINK_LINKER_CANDIDATE_TYPES_H_

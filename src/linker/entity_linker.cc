@@ -1,0 +1,80 @@
+#include "linker/entity_linker.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kglink::linker {
+
+EntityLinker::EntityLinker(const kg::KnowledgeGraph* kg,
+                           const search::SearchEngine* engine,
+                           LinkerConfig config)
+    : kg_(kg), engine_(engine), config_(config) {
+  KGLINK_CHECK(kg_ != nullptr);
+  KGLINK_CHECK(engine_ != nullptr);
+  KGLINK_CHECK(engine_->finalized());
+}
+
+CellLinks EntityLinker::LinkCell(const table::Cell& cell) const {
+  CellLinks links;
+  // Numbers and dates are unsuitable for KG linking: linking score 0
+  // (paper Section III-A step 1 / Section IV preamble).
+  if (cell.kind != table::CellKind::kString) return links;
+  links.linkable = true;
+  for (const auto& hit :
+       engine_->TopK(cell.text, config_.max_entities_per_cell)) {
+    links.retrieved.push_back({hit.doc_id, hit.score, 0.0});
+  }
+  return links;
+}
+
+RowLinks EntityLinker::LinkRow(const table::Table& table, int row) const {
+  RowLinks out;
+  int cols = table.num_cols();
+  out.cells.reserve(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    out.cells.push_back(LinkCell(table.at(row, c)));
+  }
+
+  // One-hop neighbour multiset of each cell's retrieved entities:
+  // neighbour entity -> number of supporting candidates in that cell.
+  std::vector<std::unordered_map<kg::EntityId, int>> neighbor_counts(
+      static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    for (const EntityCandidate& cand : out.cells[static_cast<size_t>(c)].retrieved) {
+      for (kg::EntityId nbr : kg_->NeighborSet(cand.entity)) {
+        ++neighbor_counts[static_cast<size_t>(c)][nbr];
+      }
+    }
+  }
+
+  // Eq. 3 pruning + Eq. 6 overlap scores: keep a candidate when it appears
+  // in at least one other column's neighbour set; its overlap score counts
+  // the supporting candidate entities across all other columns.
+  for (int c1 = 0; c1 < cols; ++c1) {
+    CellLinks& cell = out.cells[static_cast<size_t>(c1)];
+    for (const EntityCandidate& cand : cell.retrieved) {
+      int support = 0;
+      for (int c2 = 0; c2 < cols; ++c2) {
+        if (c2 == c1) continue;
+        auto it = neighbor_counts[static_cast<size_t>(c2)].find(cand.entity);
+        if (it != neighbor_counts[static_cast<size_t>(c2)].end()) {
+          support += it->second;
+        }
+      }
+      if (support > 0) {
+        EntityCandidate kept = cand;
+        kept.overlap_score = static_cast<double>(support);
+        cell.pruned.push_back(kept);
+      }
+    }
+    // Eq. 4: cell linking score = max BM25 score among pruned candidates.
+    for (const EntityCandidate& cand : cell.pruned) {
+      cell.score = std::max(cell.score, cand.linking_score);
+    }
+    out.row_score += cell.score;  // Eq. 5
+  }
+  return out;
+}
+
+}  // namespace kglink::linker

@@ -1,0 +1,41 @@
+// Part-1 steps 1 & 2: cell-mention linking via BM25 (Eq. 1-2), overlapping
+// entity-set pruning (Eq. 3), overlapping scores (Eq. 6) and cell/row
+// linking scores (Eq. 4-5).
+#ifndef KGLINK_LINKER_ENTITY_LINKER_H_
+#define KGLINK_LINKER_ENTITY_LINKER_H_
+
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "linker/types.h"
+#include "search/search_engine.h"
+#include "table/table.h"
+
+namespace kglink::linker {
+
+class EntityLinker {
+ public:
+  // Both pointers must outlive the linker; `engine` must be finalized.
+  EntityLinker(const kg::KnowledgeGraph* kg,
+               const search::SearchEngine* engine, LinkerConfig config);
+
+  // Step 1: retrieve E_m for one cell. NUMBER/DATE/empty cells come back
+  // non-linkable with score 0.
+  CellLinks LinkCell(const table::Cell& cell) const;
+
+  // Steps 1+2 for a whole row: link every cell, prune with the
+  // inter-column overlap (Eq. 3), compute overlap scores (Eq. 6) and the
+  // cell/row linking scores (Eq. 4-5).
+  RowLinks LinkRow(const table::Table& table, int row) const;
+
+  const LinkerConfig& config() const { return config_; }
+
+ private:
+  const kg::KnowledgeGraph* kg_;
+  const search::SearchEngine* engine_;
+  LinkerConfig config_;
+};
+
+}  // namespace kglink::linker
+
+#endif  // KGLINK_LINKER_ENTITY_LINKER_H_

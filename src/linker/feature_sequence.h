@@ -1,0 +1,30 @@
+// Part-1 feature-sequence construction (Eq. 9): serializes the best-linked
+// entity of a column together with its one-hop neighbourhood into a text
+// sequence the Part-2 encoder turns into the column's feature vector.
+#ifndef KGLINK_LINKER_FEATURE_SEQUENCE_H_
+#define KGLINK_LINKER_FEATURE_SEQUENCE_H_
+
+#include <string>
+
+#include "kg/knowledge_graph.h"
+#include "linker/types.h"
+
+namespace kglink::linker {
+
+// S(e) = label(e) || (p_1 || label(o_1)) || ... capped at
+// config.max_feature_edges edges, " | "-separated.
+std::string SerializeFeatureSequence(const kg::KnowledgeGraph& kg,
+                                     kg::EntityId entity,
+                                     const LinkerConfig& config);
+
+// Picks the entity whose neighbourhood becomes the column's feature
+// sequence: the highest-linking-score pruned candidate across the kept
+// rows; when pruning removed everything, falls back to the best raw
+// retrieved candidate (this is why only zero-linkage columns lack feature
+// vectors, Table III). Returns kInvalidEntity when nothing was retrieved.
+kg::EntityId SelectFeatureEntity(const std::vector<RowLinks>& row_links,
+                                 int col);
+
+}  // namespace kglink::linker
+
+#endif  // KGLINK_LINKER_FEATURE_SEQUENCE_H_

@@ -1,0 +1,62 @@
+#include "linker/pipeline.h"
+
+#include "linker/candidate_types.h"
+#include "linker/feature_sequence.h"
+#include "linker/row_filter.h"
+
+namespace kglink::linker {
+
+KgPipeline::KgPipeline(const kg::KnowledgeGraph* kg,
+                       const search::SearchEngine* engine,
+                       LinkerConfig config)
+    : kg_(kg), linker_(kg, engine, config) {}
+
+ProcessedTable KgPipeline::Process(const table::Table& table) const {
+  const LinkerConfig& config = linker_.config();
+
+  // Steps 1-2: link & prune every row; collect row scores.
+  std::vector<RowLinks> all_rows;
+  all_rows.reserve(static_cast<size_t>(table.num_rows()));
+  std::vector<double> row_scores;
+  row_scores.reserve(static_cast<size_t>(table.num_rows()));
+  for (int r = 0; r < table.num_rows(); ++r) {
+    all_rows.push_back(linker_.LinkRow(table, r));
+    row_scores.push_back(all_rows.back().row_score);
+  }
+
+  // Row filter (Eq. 5 ordering or original order).
+  ProcessedTable out;
+  out.kept_rows = FilterRows(row_scores, config);
+  out.filtered = table.SelectRows(out.kept_rows);
+  out.row_links.reserve(out.kept_rows.size());
+  for (int r : out.kept_rows) {
+    out.row_links.push_back(all_rows[static_cast<size_t>(r)]);
+  }
+
+  // Step 3 per column: candidate types, feature sequence, numeric stats.
+  out.columns.resize(static_cast<size_t>(table.num_cols()));
+  for (int c = 0; c < table.num_cols(); ++c) {
+    ColumnKgInfo& info = out.columns[static_cast<size_t>(c)];
+    info.is_numeric = table.IsNumericColumn(c);
+    if (info.is_numeric) {
+      // Numeric columns: no KG linkage; candidate types are replaced by the
+      // column's summary statistics (paper Part-1 step 3).
+      info.stats = table.ColumnStats(c);
+      continue;
+    }
+    for (const CandidateType& ct :
+         GenerateCandidateTypes(*kg_, out.row_links, c, config)) {
+      info.candidate_types.push_back(ct);
+      info.candidate_type_labels.push_back(kg_->entity(ct.entity).label);
+    }
+    kg::EntityId feature_entity = SelectFeatureEntity(out.row_links, c);
+    if (feature_entity != kg::kInvalidEntity) {
+      info.has_feature = true;
+      info.feature_sequence =
+          SerializeFeatureSequence(*kg_, feature_entity, config);
+    }
+  }
+  return out;
+}
+
+}  // namespace kglink::linker

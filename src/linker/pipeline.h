@@ -1,0 +1,30 @@
+// The Part-1 orchestrator: table in, ProcessedTable out (Fig. 4's three
+// steps — mention linking, filtering, candidate-type generation — plus the
+// feature sequence and numeric-column statistics).
+#ifndef KGLINK_LINKER_PIPELINE_H_
+#define KGLINK_LINKER_PIPELINE_H_
+
+#include "linker/entity_linker.h"
+#include "linker/types.h"
+#include "search/search_engine.h"
+
+namespace kglink::linker {
+
+class KgPipeline {
+ public:
+  // Both pointers must outlive the pipeline; `engine` must be finalized.
+  KgPipeline(const kg::KnowledgeGraph* kg,
+             const search::SearchEngine* engine, LinkerConfig config);
+
+  ProcessedTable Process(const table::Table& table) const;
+
+  const LinkerConfig& config() const { return linker_.config(); }
+
+ private:
+  const kg::KnowledgeGraph* kg_;
+  EntityLinker linker_;
+};
+
+}  // namespace kglink::linker
+
+#endif  // KGLINK_LINKER_PIPELINE_H_

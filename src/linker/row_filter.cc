@@ -1,0 +1,28 @@
+#include "linker/row_filter.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace kglink::linker {
+
+std::vector<int> FilterRows(const std::vector<double>& row_scores,
+                            const LinkerConfig& config) {
+  int n = static_cast<int>(row_scores.size());
+  int k = config.top_k_rows > 0 ? config.top_k_rows : config.max_rows_cap;
+  k = std::min({k, n, config.max_rows_cap});
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (config.row_filter_mode == RowFilterMode::kLinkingScore) {
+    // Descending score; stable on ties so the original order is a
+    // deterministic tie-break.
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return row_scores[static_cast<size_t>(a)] >
+             row_scores[static_cast<size_t>(b)];
+    });
+  }
+  order.resize(static_cast<size_t>(k));
+  return order;
+}
+
+}  // namespace kglink::linker

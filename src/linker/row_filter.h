@@ -1,0 +1,21 @@
+// Part-1 row filtering: selects the top-k rows either by descending row
+// linking score (the paper's filter, Eq. 5) or in original order (the
+// Table V baseline).
+#ifndef KGLINK_LINKER_ROW_FILTER_H_
+#define KGLINK_LINKER_ROW_FILTER_H_
+
+#include <vector>
+
+#include "linker/types.h"
+
+namespace kglink::linker {
+
+// Returns the kept original-row indices, in filter order. `row_scores` is
+// parallel to the table's rows. k <= 0 means "all" (still capped at
+// config.max_rows_cap).
+std::vector<int> FilterRows(const std::vector<double>& row_scores,
+                            const LinkerConfig& config);
+
+}  // namespace kglink::linker
+
+#endif  // KGLINK_LINKER_ROW_FILTER_H_

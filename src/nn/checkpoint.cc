@@ -1,0 +1,108 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace kglink::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4b474c4bu;  // "KGLK"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveTensors(const std::string& path,
+                   const std::vector<NamedParam>& params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) {
+    WritePod(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const auto& shape = p.tensor.shape();
+    WritePod(out, static_cast<uint32_t>(shape.size()));
+    for (int d : shape) WritePod(out, static_cast<int32_t>(d));
+    const auto& data = p.tensor.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadTensors(const std::string& path, std::vector<NamedParam>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0, version = 0, count = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad checkpoint magic: " + path);
+  }
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  if (!ReadPod(in, &count)) return Status::Corruption("truncated checkpoint");
+
+  std::unordered_map<std::string, NamedParam*> by_name;
+  for (auto& p : *params) by_name[p.name] = &p;
+  size_t loaded = 0;
+
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::Corruption("bad tensor name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t ndims = 0;
+    if (!ReadPod(in, &ndims) || ndims > 8) {
+      return Status::Corruption("bad tensor rank");
+    }
+    std::vector<int> shape(ndims);
+    int64_t numel = 1;
+    for (auto& d : shape) {
+      int32_t v = 0;
+      if (!ReadPod(in, &v) || v <= 0) {
+        return Status::Corruption("bad tensor dim");
+      }
+      d = v;
+      numel *= v;
+    }
+    std::vector<float> data(static_cast<size_t>(numel));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) return Status::Corruption("truncated tensor data");
+
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::Corruption("checkpoint has unknown tensor: " + name);
+    }
+    NamedParam* target = it->second;
+    if (target->tensor.shape() != shape) {
+      return Status::Corruption("shape mismatch for tensor: " + name);
+    }
+    target->tensor.data() = std::move(data);
+    ++loaded;
+  }
+  if (loaded != params->size()) {
+    return Status::Corruption("checkpoint missing tensors");
+  }
+  return Status::Ok();
+}
+
+}  // namespace kglink::nn

@@ -1,0 +1,24 @@
+// Binary save/load of named parameter sets (model checkpoints).
+#ifndef KGLINK_NN_CHECKPOINT_H_
+#define KGLINK_NN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "util/status.h"
+
+namespace kglink::nn {
+
+// Writes all parameters (names, shapes, float data) to `path`.
+Status SaveTensors(const std::string& path,
+                   const std::vector<NamedParam>& params);
+
+// Loads a checkpoint into an existing parameter set. Every parameter must
+// be present in the file with a matching shape; extra tensors in the file
+// are an error (catches config mismatches early).
+Status LoadTensors(const std::string& path, std::vector<NamedParam>* params);
+
+}  // namespace kglink::nn
+
+#endif  // KGLINK_NN_CHECKPOINT_H_

@@ -1,0 +1,169 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace kglink::nn {
+
+namespace {
+
+// He/Glorot-style fan-in scaled init.
+float InitStd(int fan_in) { return 1.0f / std::sqrt(static_cast<float>(fan_in)); }
+
+}  // namespace
+
+// ----- Linear -----
+
+Linear::Linear(int in_dim, int out_dim, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      w_(Tensor::Randn({in_dim, out_dim}, InitStd(in_dim), rng,
+                       /*requires_grad=*/true)),
+      b_(Tensor::Zeros({1, out_dim}, /*requires_grad=*/true)) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return Add(MatMul(x, w_), b_);
+}
+
+void Linear::CollectParams(std::vector<NamedParam>* out) const {
+  out->push_back({name_ + ".w", w_});
+  out->push_back({name_ + ".b", b_});
+}
+
+// ----- LayerNormLayer -----
+
+LayerNormLayer::LayerNormLayer(int dim, std::string name)
+    : name_(std::move(name)),
+      gamma_(Tensor::Full({1, dim}, 1.0f, /*requires_grad=*/true)),
+      beta_(Tensor::Zeros({1, dim}, /*requires_grad=*/true)) {}
+
+Tensor LayerNormLayer::Forward(const Tensor& x) const {
+  return LayerNorm(x, gamma_, beta_);
+}
+
+void LayerNormLayer::CollectParams(std::vector<NamedParam>* out) const {
+  out->push_back({name_ + ".gamma", gamma_});
+  out->push_back({name_ + ".beta", beta_});
+}
+
+// ----- MultiHeadAttention -----
+
+MultiHeadAttention::MultiHeadAttention(int dim, int num_heads, Rng& rng,
+                                       std::string name)
+    : num_heads_(num_heads), head_dim_(dim / num_heads) {
+  KGLINK_CHECK_EQ(head_dim_ * num_heads, dim)
+      << "dim must be divisible by num_heads";
+  q_ = Linear(dim, dim, rng, name + ".q");
+  k_ = Linear(dim, dim, rng, name + ".k");
+  v_ = Linear(dim, dim, rng, name + ".v");
+  o_ = Linear(dim, dim, rng, name + ".o");
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x) const {
+  Tensor q = q_.Forward(x);
+  Tensor k = k_.Forward(x);
+  Tensor v = v_.Forward(x);
+  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> heads;
+  heads.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
+    Tensor kh = SliceCols(k, h * head_dim_, head_dim_);
+    Tensor vh = SliceCols(v, h * head_dim_, head_dim_);
+    Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);  // [L, L]
+    Tensor attn = Softmax(scores);
+    heads.push_back(MatMul(attn, vh));  // [L, head_dim]
+  }
+  return o_.Forward(ConcatCols(heads));
+}
+
+void MultiHeadAttention::CollectParams(std::vector<NamedParam>* out) const {
+  q_.CollectParams(out);
+  k_.CollectParams(out);
+  v_.CollectParams(out);
+  o_.CollectParams(out);
+}
+
+// ----- TransformerLayer -----
+
+TransformerLayer::TransformerLayer(int dim, int num_heads, int ffn_dim,
+                                   float dropout, Rng& rng, std::string name)
+    : dropout_(dropout),
+      attn_(dim, num_heads, rng, name + ".attn"),
+      ln1_(dim, name + ".ln1"),
+      ln2_(dim, name + ".ln2"),
+      ff1_(dim, ffn_dim, rng, name + ".ff1"),
+      ff2_(ffn_dim, dim, rng, name + ".ff2") {}
+
+Tensor TransformerLayer::Forward(const Tensor& x, Rng& rng,
+                                 bool training) const {
+  Tensor a = attn_.Forward(ln1_.Forward(x));
+  Tensor h = Add(x, Dropout(a, dropout_, rng, training));
+  Tensor f = ff2_.Forward(Gelu(ff1_.Forward(ln2_.Forward(h))));
+  return Add(h, Dropout(f, dropout_, rng, training));
+}
+
+void TransformerLayer::CollectParams(std::vector<NamedParam>* out) const {
+  attn_.CollectParams(out);
+  ln1_.CollectParams(out);
+  ln2_.CollectParams(out);
+  ff1_.CollectParams(out);
+  ff2_.CollectParams(out);
+}
+
+// ----- TransformerEncoder -----
+
+TransformerEncoder::TransformerEncoder(const EncoderConfig& config, Rng& rng)
+    : config_(config),
+      tok_emb_(Tensor::Randn({config.vocab_size, config.dim}, 0.02f, rng,
+                             /*requires_grad=*/true)),
+      pos_emb_(Tensor::Randn({config.max_seq_len, config.dim}, 0.02f, rng,
+                             /*requires_grad=*/true)),
+      seg_emb_(Tensor::Randn({config.max_segments, config.dim}, 0.02f, rng,
+                             /*requires_grad=*/true)),
+      emb_ln_(config.dim, "enc.emb_ln"),
+      final_ln_(config.dim, "enc.final_ln") {
+  KGLINK_CHECK_GT(config.vocab_size, 0) << "vocab_size must be set";
+  layers_.reserve(config.num_layers);
+  for (int i = 0; i < config.num_layers; ++i) {
+    layers_.emplace_back(config.dim, config.num_heads, config.ffn_dim,
+                         config.dropout, rng,
+                         "enc.layer" + std::to_string(i));
+  }
+}
+
+Tensor TransformerEncoder::Forward(const std::vector<int>& token_ids,
+                                   Rng& rng, bool training) const {
+  return Forward(token_ids, {}, rng, training);
+}
+
+Tensor TransformerEncoder::Forward(const std::vector<int>& token_ids,
+                                   const std::vector<int>& segment_ids,
+                                   Rng& rng, bool training) const {
+  KGLINK_CHECK(!token_ids.empty());
+  KGLINK_CHECK_LE(static_cast<int>(token_ids.size()), config_.max_seq_len)
+      << "sequence longer than max_seq_len";
+  std::vector<int> pos(token_ids.size());
+  for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
+  Tensor h = Add(EmbeddingLookup(tok_emb_, token_ids),
+                 EmbeddingLookup(pos_emb_, pos));
+  if (!segment_ids.empty()) {
+    KGLINK_CHECK_EQ(segment_ids.size(), token_ids.size());
+    h = Add(h, EmbeddingLookup(seg_emb_, segment_ids));
+  }
+  h = emb_ln_.Forward(h);
+  h = Dropout(h, config_.dropout, rng, training);
+  for (const auto& layer : layers_) h = layer.Forward(h, rng, training);
+  return final_ln_.Forward(h);
+}
+
+std::vector<NamedParam> TransformerEncoder::Parameters() const {
+  std::vector<NamedParam> out;
+  out.push_back({"enc.tok_emb", tok_emb_});
+  out.push_back({"enc.pos_emb", pos_emb_});
+  out.push_back({"enc.seg_emb", seg_emb_});
+  emb_ln_.CollectParams(&out);
+  for (const auto& layer : layers_) layer.CollectParams(&out);
+  final_ln_.CollectParams(&out);
+  return out;
+}
+
+}  // namespace kglink::nn

@@ -1,0 +1,43 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace kglink::nn {
+
+Tensor DmlmLoss(const Tensor& msk_logits, const Tensor& gt_logits, float t) {
+  KGLINK_CHECK_GT(t, 0.0f);
+  float inv_t = 1.0f / t;
+  // Teacher: softmax(gt / T), detached (Eq. 14 applied to the ground-truth
+  // table's label-token representation).
+  Tensor teacher = Detach(Softmax(Scale(gt_logits, inv_t)));
+  // Student: log-softmax(msk / T); Eq. 13 cross-entropy against teacher.
+  return SoftCrossEntropy(Scale(msk_logits, inv_t), teacher);
+}
+
+UncertaintyWeightedLoss::UncertaintyWeightedLoss(float init_log_var0,
+                                                 float init_log_var1)
+    : s0_(Tensor::Scalar(init_log_var0, /*requires_grad=*/true)),
+      s1_(Tensor::Scalar(init_log_var1, /*requires_grad=*/true)) {}
+
+Tensor UncertaintyWeightedLoss::Combine(const Tensor& dmlm_loss,
+                                        const Tensor& ce_loss) const {
+  Tensor s0 = frozen_ ? Detach(s0_) : s0_;
+  Tensor s1 = frozen_ ? Detach(s1_) : s1_;
+  // Precision weights exp(-s)/2 = 1/(2*sigma^2).
+  Tensor w0 = Scale(Exp(Scale(s0, -1.0f)), 0.5f);
+  Tensor w1 = Scale(Exp(Scale(s1, -1.0f)), 0.5f);
+  Tensor weighted = Add(Mul(w0, dmlm_loss), Mul(w1, ce_loss));
+  // Regularizer log(sigma0*sigma1) = (s0+s1)/2.
+  Tensor reg = Scale(Add(s0, s1), 0.5f);
+  return Add(weighted, reg);
+}
+
+void UncertaintyWeightedLoss::SetFrozen(bool frozen) { frozen_ = frozen; }
+
+void UncertaintyWeightedLoss::CollectParams(
+    std::vector<NamedParam>* out) const {
+  out->push_back({"uw.log_var0", s0_});
+  out->push_back({"uw.log_var1", s1_});
+}
+
+}  // namespace kglink::nn

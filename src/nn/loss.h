@@ -1,0 +1,54 @@
+// Task losses from the paper:
+//  - DMLM (Distilled Masked Language Model) loss, Eq. 13-14: soft
+//    cross-entropy between the [MASK]-token vocabulary distribution and the
+//    (temperature-scaled, detached) ground-truth-label distribution.
+//  - Uncertainty-weighted combination (Kendall et al.), Eq. 17:
+//      L = 1/(2*s0^2) * L_dmlm + 1/(2*s1^2) * L_ce + log(s0*s1),
+//    with trainable s0, s1 parameterized as log-variances for stability.
+#ifndef KGLINK_NN_LOSS_H_
+#define KGLINK_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace kglink::nn {
+
+// DMLM loss between masked-token logits and ground-truth-token logits
+// (both [n, V] in vocabulary space). The teacher (gt) side is softened by
+// temperature `t` and detached, per Hinton-style distillation; the student
+// (msk) side is scaled by the same temperature.
+Tensor DmlmLoss(const Tensor& msk_logits, const Tensor& gt_logits, float t);
+
+// The adaptive multi-task combination of Eq. 17. Holds the two trainable
+// log-variance scalars: s_i stores log(sigma_i^2), so
+//   L = exp(-s0)/2 * L_dmlm + exp(-s1)/2 * L_ce + (s0 + s1)/2,
+// which equals Eq. 17 up to reparameterization (log sigma0*sigma1 =
+// (s0+s1)/2) and is the standard numerically-stable form.
+class UncertaintyWeightedLoss {
+ public:
+  // Initial values are log(sigma^2); 0 means sigma = 1.
+  UncertaintyWeightedLoss(float init_log_var0 = 0.0f,
+                          float init_log_var1 = 0.0f);
+
+  // Combines the two task losses. When `frozen` (sigma-sensitivity sweeps,
+  // Fig. 8a) the weights contribute no gradient.
+  Tensor Combine(const Tensor& dmlm_loss, const Tensor& ce_loss) const;
+
+  float log_var0() const { return s0_.data()[0]; }
+  float log_var1() const { return s1_.data()[0]; }
+  void SetFrozen(bool frozen);
+  bool frozen() const { return frozen_; }
+
+  void CollectParams(std::vector<NamedParam>* out) const;
+
+ private:
+  Tensor s0_;  // log sigma_0^2 — DMLM task
+  Tensor s1_;  // log sigma_1^2 — classification task
+  bool frozen_ = false;
+};
+
+}  // namespace kglink::nn
+
+#endif  // KGLINK_NN_LOSS_H_

@@ -1,0 +1,73 @@
+// AdamW optimizer (paper: AdamW, eps=1e-6, lr=3e-5, linear decay without
+// warm-up) and the learning-rate schedule.
+#ifndef KGLINK_NN_OPTIM_H_
+#define KGLINK_NN_OPTIM_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace kglink::nn {
+
+struct AdamWOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-6f;
+  float weight_decay = 0.01f;
+};
+
+// Decoupled-weight-decay Adam over a fixed parameter list.
+class AdamW {
+ public:
+  AdamW(std::vector<NamedParam> params, AdamWOptions options);
+
+  // Applies one update using the gradients currently stored on the
+  // parameters, at learning rate `lr` (the schedule's current value).
+  void Step(float lr);
+  // Convenience: step at options.lr.
+  void Step() { Step(options_.lr); }
+
+  // Clears all parameter gradients.
+  void ZeroGrad();
+
+  // Global L2 gradient-norm clipping; returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<NamedParam>& params() const { return params_; }
+
+ private:
+  std::vector<NamedParam> params_;
+  AdamWOptions options_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;  // first moments
+  std::vector<std::vector<float>> v_;  // second moments
+  // Decoupled decay applies only to weight matrices — biases, LayerNorm
+  // affines and the uncertainty-loss scalars are excluded (standard BERT
+  // fine-tuning practice; also keeps frozen sigmas truly frozen).
+  std::vector<bool> decay_;
+};
+
+// Linear decay from `initial_lr` to 0 over `total_steps`, no warm-up
+// (matching the paper's experimental settings).
+class LinearDecaySchedule {
+ public:
+  LinearDecaySchedule(float initial_lr, int64_t total_steps)
+      : initial_lr_(initial_lr), total_steps_(total_steps) {}
+
+  float LrAt(int64_t step) const {
+    if (total_steps_ <= 0) return initial_lr_;
+    if (step >= total_steps_) return 0.0f;
+    return initial_lr_ *
+           (1.0f - static_cast<float>(step) / static_cast<float>(total_steps_));
+  }
+
+ private:
+  float initial_lr_;
+  int64_t total_steps_;
+};
+
+}  // namespace kglink::nn
+
+#endif  // KGLINK_NN_OPTIM_H_

@@ -1,0 +1,903 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <unordered_set>
+
+namespace kglink::nn {
+
+namespace {
+
+std::atomic<uint64_t> g_seq{0};
+
+std::shared_ptr<TensorImpl> NewImpl(std::vector<int> shape,
+                                    std::vector<float> data) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  KGLINK_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel());
+  return impl;
+}
+
+// Creates the output node of an op; requires_grad if any parent does.
+std::shared_ptr<TensorImpl> NewOutput(
+    std::vector<int> shape, std::vector<float> data,
+    std::initializer_list<Tensor> parents) {
+  auto impl = NewImpl(std::move(shape), std::move(data));
+  for (const Tensor& p : parents) {
+    if (p.requires_grad()) impl->requires_grad = true;
+  }
+  if (impl->requires_grad) {
+    for (const Tensor& p : parents) impl->parents.push_back(p.impl());
+  }
+  return impl;
+}
+
+// (rows, cols) of a 1-D-as-row-vector or 2-D tensor.
+std::pair<int, int> RowsCols(const Tensor& t) {
+  const auto& s = t.shape();
+  KGLINK_CHECK(s.size() == 1 || s.size() == 2)
+      << "expected 1-D or 2-D tensor, got " << t.ShapeString();
+  if (s.size() == 1) return {1, s[0]};
+  return {s[0], s[1]};
+}
+
+// c[m,n] += a[m,k] * b[k,n]
+void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// da[m,k] += dc[m,n] * b[k,n]^T
+void GemmAccBt(const float* dc, const float* b, float* da, int m, int k,
+               int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* dcrow = dc + static_cast<size_t>(i) * n;
+    float* darow = da + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<size_t>(p) * n;
+      float s = 0.0f;
+      for (int j = 0; j < n; ++j) s += dcrow[j] * brow[j];
+      darow[p] += s;
+    }
+  }
+}
+
+// db[k,n] += a[m,k]^T * dc[m,n]
+void GemmAccAt(const float* a, const float* dc, float* db, int m, int k,
+               int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    const float* dcrow = dc + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      float* dbrow = db + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+// Numerically-stable row-wise log-softmax into `out`.
+void RowLogSoftmax(const float* x, float* out, int rows, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<size_t>(i) * cols;
+    float* yr = out + static_cast<size_t>(i) * cols;
+    float mx = xr[0];
+    for (int j = 1; j < cols; ++j) mx = std::max(mx, xr[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < cols; ++j) sum += std::exp(xr[j] - mx);
+    float lse = mx + std::log(sum);
+    for (int j = 0; j < cols; ++j) yr[j] = xr[j] - lse;
+  }
+}
+
+}  // namespace
+
+// ----- Tensor -----
+
+Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  auto impl = NewImpl(std::move(shape), std::vector<float>(n, 0.0f));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value, bool requires_grad) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  auto impl = NewImpl(std::move(shape), std::vector<float>(n, value));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(std::vector<int> shape, std::vector<float> data,
+                        bool requires_grad) {
+  auto impl = NewImpl(std::move(shape), std::move(data));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1}, {value}, requires_grad);
+}
+
+Tensor Tensor::Randn(std::vector<int> shape, float stddev, Rng& rng,
+                     bool requires_grad) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  std::vector<float> data(n);
+  for (auto& v : data) v = stddev * static_cast<float>(rng.Gaussian());
+  return FromData(std::move(shape), std::move(data), requires_grad);
+}
+
+int Tensor::dim(int i) const {
+  KGLINK_CHECK(i >= 0 && i < static_cast<int>(impl_->shape.size()));
+  return impl_->shape[i];
+}
+
+int Tensor::rows() const { return RowsCols(*this).first; }
+int Tensor::cols() const { return RowsCols(*this).second; }
+
+float Tensor::item() const {
+  KGLINK_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+std::string Tensor::ShapeString() const {
+  std::string s = "[";
+  for (size_t i = 0; i < impl_->shape.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(impl_->shape[i]);
+  }
+  return s + "]";
+}
+
+void Tensor::Backward() const {
+  KGLINK_CHECK(defined());
+  KGLINK_CHECK_EQ(numel(), 1) << "Backward() requires a scalar root";
+  KGLINK_CHECK(requires_grad());
+
+  // Iterative DFS post-order: leaves first, root last.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      TensorImpl* p = node->parents[child++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward) (*it)->backward();
+  }
+}
+
+// ----- linear algebra -----
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  auto [m, k] = RowsCols(a);
+  auto [k2, n] = RowsCols(b);
+  KGLINK_CHECK_EQ(k, k2) << "MatMul shape mismatch " << a.ShapeString()
+                         << " x " << b.ShapeString();
+  auto out = NewOutput({m, n}, std::vector<float>(int64_t{1} * m * n, 0.0f),
+                       {a, b});
+  GemmAcc(a.data().data(), b.data().data(), out->data.data(), m, k, n);
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, bi, o, m, k, n] {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        GemmAccBt(o->grad.data(), bi->data.data(), ai->grad.data(), m, k, n);
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        GemmAccAt(ai->data.data(), o->grad.data(), bi->grad.data(), m, k, n);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  auto [m, n] = RowsCols(a);
+  auto [bm, bn] = RowsCols(b);
+  KGLINK_CHECK_EQ(n, bn) << "Add width mismatch";
+  bool broadcast = (bm == 1 && m != 1);
+  KGLINK_CHECK(broadcast || bm == m) << "Add shape mismatch";
+  std::vector<float> data(a.data());
+  const float* bd = b.data().data();
+  for (int i = 0; i < m; ++i) {
+    const float* brow = broadcast ? bd : bd + static_cast<size_t>(i) * n;
+    float* row = data.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) row[j] += brow[j];
+  }
+  auto out = NewOutput(a.shape(), std::move(data), {a, b});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, bi, o, m, n, broadcast] {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += o->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        if (broadcast) {
+          for (int i = 0; i < m; ++i) {
+            const float* gr = o->grad.data() + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j) bi->grad[j] += gr[j];
+          }
+        } else {
+          for (size_t i = 0; i < o->grad.size(); ++i) {
+            bi->grad[i] += o->grad[i];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) { return Add(a, Scale(b, -1)); }
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  KGLINK_CHECK(a.shape() == b.shape()) << "Mul shape mismatch";
+  std::vector<float> data(a.data());
+  for (size_t i = 0; i < data.size(); ++i) data[i] *= b.data()[i];
+  auto out = NewOutput(a.shape(), std::move(data), {a, b});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, bi, o] {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) {
+          ai->grad[i] += o->grad[i] * bi->data[i];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) {
+          bi->grad[i] += o->grad[i] * ai->data[i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  std::vector<float> data(a.data());
+  for (auto& v : data) v *= s;
+  auto out = NewOutput(a.shape(), std::move(data), {a});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, o, s] {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        ai->grad[i] += s * o->grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  std::vector<float> data(a.data());
+  for (auto& v : data) v += s;
+  auto out = NewOutput(a.shape(), std::move(data), {a});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, o] {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += o->grad[i];
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Transpose(const Tensor& a) {
+  auto [m, n] = RowsCols(a);
+  std::vector<float> data(static_cast<size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      data[static_cast<size_t>(j) * m + i] =
+          a.data()[static_cast<size_t>(i) * n + j];
+    }
+  }
+  auto out = NewOutput({n, m}, std::move(data), {a});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, o, m, n] {
+      ai->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          ai->grad[static_cast<size_t>(i) * n + j] +=
+              o->grad[static_cast<size_t>(j) * m + i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ----- nonlinearities -----
+
+namespace {
+
+// Generic unary op with derivative expressed from input value.
+template <typename F, typename DF>
+Tensor UnaryOp(const Tensor& a, F f, DF df) {
+  std::vector<float> data(a.data().size());
+  for (size_t i = 0; i < data.size(); ++i) data[i] = f(a.data()[i]);
+  auto out = NewOutput(a.shape(), std::move(data), {a});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, o, df] {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        ai->grad[i] += o->grad[i] * df(ai->data[i], o->data[i]);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return UnaryOp(
+      a,
+      [](float x) {
+        float inner = kC * (x + kA * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        float inner = kC * (x + kA * x * x * x);
+        float t = std::tanh(inner);
+        float sech2 = 1.0f - t * t;
+        return 0.5f * (1.0f + t) +
+               0.5f * x * sech2 * kC * (1.0f + 3.0f * kA * x * x);
+      });
+}
+
+Tensor Softmax(const Tensor& a) {
+  auto [m, n] = RowsCols(a);
+  std::vector<float> data(a.data().size());
+  RowLogSoftmax(a.data().data(), data.data(), m, n);
+  for (auto& v : data) v = std::exp(v);
+  auto out = NewOutput(a.shape(), std::move(data), {a});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, o, m, n] {
+      ai->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float* y = o->data.data() + static_cast<size_t>(i) * n;
+        const float* dy = o->grad.data() + static_cast<size_t>(i) * n;
+        float* dx = ai->grad.data() + static_cast<size_t>(i) * n;
+        float dot = 0.0f;
+        for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+        for (int j = 0; j < n; ++j) dx[j] += y[j] * (dy[j] - dot);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  auto [m, n] = RowsCols(a);
+  std::vector<float> data(a.data().size());
+  RowLogSoftmax(a.data().data(), data.data(), m, n);
+  auto out = NewOutput(a.shape(), std::move(data), {a});
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    TensorImpl* o = out.get();
+    out->backward = [ai, o, m, n] {
+      ai->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float* ls = o->data.data() + static_cast<size_t>(i) * n;
+        const float* dy = o->grad.data() + static_cast<size_t>(i) * n;
+        float* dx = ai->grad.data() + static_cast<size_t>(i) * n;
+        float dsum = 0.0f;
+        for (int j = 0; j < n; ++j) dsum += dy[j];
+        for (int j = 0; j < n; ++j) dx[j] += dy[j] - std::exp(ls[j]) * dsum;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  auto [m, n] = RowsCols(x);
+  KGLINK_CHECK_EQ(static_cast<int64_t>(n), gamma.numel());
+  KGLINK_CHECK_EQ(static_cast<int64_t>(n), beta.numel());
+  std::vector<float> data(x.data().size());
+  std::vector<float> xhat(x.data().size());
+  std::vector<float> inv_std(m);
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x.data().data() + static_cast<size_t>(i) * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += xr[j];
+    mean /= n;
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) var += (xr[j] - mean) * (xr[j] - mean);
+    var /= n;
+    float is = 1.0f / std::sqrt(var + eps);
+    inv_std[i] = is;
+    float* xh = xhat.data() + static_cast<size_t>(i) * n;
+    float* yr = data.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      xh[j] = (xr[j] - mean) * is;
+      yr[j] = gamma.data()[j] * xh[j] + beta.data()[j];
+    }
+  }
+  auto out = NewOutput(x.shape(), std::move(data), {x, gamma, beta});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    auto gi = gamma.impl();
+    auto bi = beta.impl();
+    TensorImpl* o = out.get();
+    auto xh = std::make_shared<std::vector<float>>(std::move(xhat));
+    auto is = std::make_shared<std::vector<float>>(std::move(inv_std));
+    out->backward = [xi, gi, bi, o, xh, is, m, n] {
+      for (int i = 0; i < m; ++i) {
+        const float* dy = o->grad.data() + static_cast<size_t>(i) * n;
+        const float* xhr = xh->data() + static_cast<size_t>(i) * n;
+        if (gi->requires_grad) {
+          gi->EnsureGrad();
+          for (int j = 0; j < n; ++j) gi->grad[j] += dy[j] * xhr[j];
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int j = 0; j < n; ++j) bi->grad[j] += dy[j];
+        }
+        if (xi->requires_grad) {
+          xi->EnsureGrad();
+          float* dx = xi->grad.data() + static_cast<size_t>(i) * n;
+          float mean_dxhat = 0.0f;
+          float mean_dxhat_xhat = 0.0f;
+          for (int j = 0; j < n; ++j) {
+            float dxh = dy[j] * gi->data[j];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * xhr[j];
+          }
+          mean_dxhat /= n;
+          mean_dxhat_xhat /= n;
+          for (int j = 0; j < n; ++j) {
+            float dxh = dy[j] * gi->data[j];
+            dx[j] += (*is)[i] *
+                     (dxh - mean_dxhat - xhr[j] * mean_dxhat_xhat);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  KGLINK_CHECK_LT(p, 1.0f);
+  float keep_scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(x.data().size());
+  std::vector<float> data(x.data().size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    float m = rng.Bernoulli(p) ? 0.0f : keep_scale;
+    (*mask)[i] = m;
+    data[i] = x.data()[i] * m;
+  }
+  auto out = NewOutput(x.shape(), std::move(data), {x});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    TensorImpl* o = out.get();
+    out->backward = [xi, o, mask] {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        xi->grad[i] += o->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ----- shape & indexing -----
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  auto [v, d] = RowsCols(table);
+  std::vector<float> data(ids.size() * static_cast<size_t>(d));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    KGLINK_CHECK(ids[i] >= 0 && ids[i] < v) << "embedding id out of range";
+    std::copy_n(table.data().data() + static_cast<size_t>(ids[i]) * d, d,
+                data.data() + i * d);
+  }
+  auto out = NewOutput({static_cast<int>(ids.size()), d}, std::move(data),
+                       {table});
+  if (out->requires_grad) {
+    auto ti = table.impl();
+    TensorImpl* o = out.get();
+    auto ids_copy = std::make_shared<std::vector<int>>(ids);
+    out->backward = [ti, o, ids_copy, d] {
+      ti->EnsureGrad();
+      for (size_t i = 0; i < ids_copy->size(); ++i) {
+        const float* g = o->grad.data() + i * d;
+        float* trow =
+            ti->grad.data() + static_cast<size_t>((*ids_copy)[i]) * d;
+        for (int j = 0; j < d; ++j) trow[j] += g[j];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Rows(const Tensor& x, const std::vector<int>& idx) {
+  auto [m, n] = RowsCols(x);
+  std::vector<float> data(idx.size() * static_cast<size_t>(n));
+  for (size_t i = 0; i < idx.size(); ++i) {
+    KGLINK_CHECK(idx[i] >= 0 && idx[i] < m) << "row index out of range";
+    std::copy_n(x.data().data() + static_cast<size_t>(idx[i]) * n, n,
+                data.data() + i * n);
+  }
+  auto out =
+      NewOutput({static_cast<int>(idx.size()), n}, std::move(data), {x});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    TensorImpl* o = out.get();
+    auto idx_copy = std::make_shared<std::vector<int>>(idx);
+    out->backward = [xi, o, idx_copy, n] {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < idx_copy->size(); ++i) {
+        const float* g = o->grad.data() + i * n;
+        float* xrow =
+            xi->grad.data() + static_cast<size_t>((*idx_copy)[i]) * n;
+        for (int j = 0; j < n; ++j) xrow[j] += g[j];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SliceCols(const Tensor& x, int start, int len) {
+  auto [m, n] = RowsCols(x);
+  KGLINK_CHECK(start >= 0 && len > 0 && start + len <= n);
+  std::vector<float> data(static_cast<size_t>(m) * len);
+  for (int i = 0; i < m; ++i) {
+    std::copy_n(x.data().data() + static_cast<size_t>(i) * n + start, len,
+                data.data() + static_cast<size_t>(i) * len);
+  }
+  auto out = NewOutput({m, len}, std::move(data), {x});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    TensorImpl* o = out.get();
+    out->backward = [xi, o, m, n, start, len] {
+      xi->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float* g = o->grad.data() + static_cast<size_t>(i) * len;
+        float* xg = xi->grad.data() + static_cast<size_t>(i) * n + start;
+        for (int j = 0; j < len; ++j) xg[j] += g[j];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  KGLINK_CHECK(!parts.empty());
+  int m = parts[0].rows();
+  int total = 0;
+  bool needs_grad = false;
+  for (const auto& p : parts) {
+    KGLINK_CHECK_EQ(p.rows(), m);
+    total += p.cols();
+    needs_grad = needs_grad || p.requires_grad();
+  }
+  std::vector<float> data(static_cast<size_t>(m) * total);
+  int off = 0;
+  for (const auto& p : parts) {
+    int n = p.cols();
+    for (int i = 0; i < m; ++i) {
+      std::copy_n(p.data().data() + static_cast<size_t>(i) * n, n,
+                  data.data() + static_cast<size_t>(i) * total + off);
+    }
+    off += n;
+  }
+  auto out = NewImpl({m, total}, std::move(data));
+  out->requires_grad = needs_grad;
+  if (needs_grad) {
+    for (const auto& p : parts) out->parents.push_back(p.impl());
+    TensorImpl* o = out.get();
+    auto impls = std::make_shared<std::vector<std::shared_ptr<TensorImpl>>>();
+    auto widths = std::make_shared<std::vector<int>>();
+    for (const auto& p : parts) {
+      impls->push_back(p.impl());
+      widths->push_back(p.cols());
+    }
+    out->backward = [o, impls, widths, m, total] {
+      int off2 = 0;
+      for (size_t k = 0; k < impls->size(); ++k) {
+        auto& pi = (*impls)[k];
+        int n = (*widths)[k];
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            const float* g =
+                o->grad.data() + static_cast<size_t>(i) * total + off2;
+            float* pg = pi->grad.data() + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j) pg[j] += g[j];
+          }
+        }
+        off2 += n;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  KGLINK_CHECK(!parts.empty());
+  int n = parts[0].cols();
+  int total = 0;
+  bool needs_grad = false;
+  for (const auto& p : parts) {
+    KGLINK_CHECK_EQ(p.cols(), n);
+    total += p.rows();
+    needs_grad = needs_grad || p.requires_grad();
+  }
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(total) * n);
+  for (const auto& p : parts) {
+    data.insert(data.end(), p.data().begin(), p.data().end());
+  }
+  auto out = NewImpl({total, n}, std::move(data));
+  out->requires_grad = needs_grad;
+  if (needs_grad) {
+    for (const auto& p : parts) out->parents.push_back(p.impl());
+    TensorImpl* o = out.get();
+    auto impls = std::make_shared<std::vector<std::shared_ptr<TensorImpl>>>();
+    for (const auto& p : parts) impls->push_back(p.impl());
+    out->backward = [o, impls] {
+      size_t off = 0;
+      for (auto& pi : *impls) {
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (size_t i = 0; i < pi->data.size(); ++i) {
+            pi->grad[i] += o->grad[off + i];
+          }
+        }
+        off += pi->data.size();
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Mean(const Tensor& x) {
+  float sum = 0.0f;
+  for (float v : x.data()) sum += v;
+  float inv = 1.0f / static_cast<float>(x.numel());
+  auto out = NewOutput({1}, {sum * inv}, {x});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    TensorImpl* o = out.get();
+    out->backward = [xi, o, inv] {
+      xi->EnsureGrad();
+      float g = o->grad[0] * inv;
+      for (auto& v : xi->grad) v += g;
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Sum(const Tensor& x) {
+  float sum = 0.0f;
+  for (float v : x.data()) sum += v;
+  auto out = NewOutput({1}, {sum}, {x});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    TensorImpl* o = out.get();
+    out->backward = [xi, o] {
+      xi->EnsureGrad();
+      float g = o->grad[0];
+      for (auto& v : xi->grad) v += g;
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor MeanRows(const Tensor& x) {
+  auto [m, n] = RowsCols(x);
+  std::vector<float> data(n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x.data().data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) data[j] += xr[j];
+  }
+  float inv = 1.0f / m;
+  for (auto& v : data) v *= inv;
+  auto out = NewOutput({1, n}, std::move(data), {x});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    TensorImpl* o = out.get();
+    out->backward = [xi, o, m, n, inv] {
+      xi->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        float* xg = xi->grad.data() + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) xg[j] += o->grad[j] * inv;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Detach(const Tensor& x) {
+  auto out = NewImpl(x.shape(), x.data());
+  return Tensor(std::move(out));
+}
+
+Tensor Reshape(const Tensor& x, std::vector<int> shape) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  KGLINK_CHECK_EQ(n, x.numel());
+  auto out = NewOutput(std::move(shape), x.data(), {x});
+  if (out->requires_grad) {
+    auto xi = x.impl();
+    TensorImpl* o = out.get();
+    out->backward = [xi, o] {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) xi->grad[i] += o->grad[i];
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ----- losses -----
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& labels) {
+  auto [m, n] = RowsCols(logits);
+  KGLINK_CHECK_EQ(static_cast<size_t>(m), labels.size());
+  std::vector<float> ls(logits.data().size());
+  RowLogSoftmax(logits.data().data(), ls.data(), m, n);
+  float loss = 0.0f;
+  for (int i = 0; i < m; ++i) {
+    KGLINK_CHECK(labels[i] >= 0 && labels[i] < n) << "label out of range";
+    loss -= ls[static_cast<size_t>(i) * n + labels[i]];
+  }
+  loss /= m;
+  auto out = NewOutput({1}, {loss}, {logits});
+  if (out->requires_grad) {
+    auto li = logits.impl();
+    TensorImpl* o = out.get();
+    auto ls_copy = std::make_shared<std::vector<float>>(std::move(ls));
+    auto labels_copy = std::make_shared<std::vector<int>>(labels);
+    out->backward = [li, o, ls_copy, labels_copy, m, n] {
+      li->EnsureGrad();
+      float g = o->grad[0] / m;
+      for (int i = 0; i < m; ++i) {
+        const float* lsr = ls_copy->data() + static_cast<size_t>(i) * n;
+        float* dl = li->grad.data() + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+          float p = std::exp(lsr[j]);
+          dl[j] += g * (p - (j == (*labels_copy)[i] ? 1.0f : 0.0f));
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SoftCrossEntropy(const Tensor& logits, const Tensor& targets) {
+  auto [m, n] = RowsCols(logits);
+  KGLINK_CHECK(logits.shape() == targets.shape())
+      << "SoftCrossEntropy shape mismatch";
+  std::vector<float> ls(logits.data().size());
+  RowLogSoftmax(logits.data().data(), ls.data(), m, n);
+  float loss = 0.0f;
+  for (size_t i = 0; i < ls.size(); ++i) loss -= targets.data()[i] * ls[i];
+  loss /= m;
+  // Gradients flow to logits only; targets are treated as constants (the
+  // caller detaches the teacher in distillation setups).
+  auto out = NewOutput({1}, {loss}, {logits});
+  if (out->requires_grad) {
+    auto li = logits.impl();
+    auto ti = targets.impl();
+    TensorImpl* o = out.get();
+    auto ls_copy = std::make_shared<std::vector<float>>(std::move(ls));
+    out->backward = [li, ti, o, ls_copy, m, n] {
+      li->EnsureGrad();
+      float g = o->grad[0] / m;
+      for (int i = 0; i < m; ++i) {
+        const float* lsr = ls_copy->data() + static_cast<size_t>(i) * n;
+        const float* tr = ti->data.data() + static_cast<size_t>(i) * n;
+        float* dl = li->grad.data() + static_cast<size_t>(i) * n;
+        float tsum = 0.0f;
+        for (int j = 0; j < n; ++j) tsum += tr[j];
+        for (int j = 0; j < n; ++j) {
+          dl[j] += g * (tsum * std::exp(lsr[j]) - tr[j]);
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor MseLoss(const Tensor& a, const Tensor& b) {
+  KGLINK_CHECK(a.shape() == b.shape());
+  Tensor diff = Sub(a, b);
+  return Mean(Mul(diff, diff));
+}
+
+Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float eps) {
+  KGLINK_CHECK_EQ(a.numel(), b.numel());
+  Tensor dot = Sum(Mul(a, b));
+  Tensor na = Sum(Mul(a, a));
+  Tensor nb = Sum(Mul(b, b));
+  // s = dot / sqrt(na*nb + eps) implemented with primitive ops so the
+  // gradient is exact.
+  Tensor prod = Mul(na, nb);
+  Tensor denom =
+      UnaryOp(
+          AddScalar(prod, eps), [](float x) { return 1.0f / std::sqrt(x); },
+          [](float x, float y) {
+            (void)x;
+            return -0.5f * y * y * y;
+          });
+  return Mul(dot, denom);
+}
+
+}  // namespace kglink::nn

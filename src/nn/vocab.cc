@@ -1,0 +1,148 @@
+#include "nn/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace kglink::nn {
+
+namespace {
+
+constexpr const char* kSpecialNames[] = {"[PAD]", "[UNK]", "[CLS]", "[SEP]",
+                                         "[MASK]"};
+
+bool IsAllDigits(std::string_view w) {
+  if (w.empty()) return false;
+  for (char c : w) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary() {
+  for (const char* name : kSpecialNames) AddToken(name);
+}
+
+int Vocabulary::AddToken(std::string token) {
+  auto [it, inserted] =
+      index_.emplace(token, static_cast<int>(tokens_.size()));
+  if (inserted) tokens_.push_back(std::move(token));
+  return it->second;
+}
+
+std::string Vocabulary::NumberToken(double value) {
+  if (!std::isfinite(value)) return "<num_nan>";
+  double a = std::abs(value);
+  // Per-decade year buckets: the VizNet-style "Year" class depends on them.
+  if (a >= 1000 && a < 3000 && value > 0 &&
+      std::floor(value) == value) {
+    int decade = static_cast<int>(value) / 10;
+    return "<yr" + std::to_string(decade) + ">";
+  }
+  char sign = value < 0 ? 'm' : 'p';
+  int mag;
+  if (a < 1e-9) {
+    mag = -10;  // zero bucket
+  } else {
+    mag = static_cast<int>(std::floor(std::log10(a)));
+    mag = std::clamp(mag, -4, 12);
+  }
+  return std::string("<num_") + sign + std::to_string(mag) + ">";
+}
+
+std::string Vocabulary::NormalizeWord(std::string_view word) {
+  if (IsAllDigits(word)) {
+    double v = 0;
+    for (char c : word) v = v * 10 + (c - '0');
+    return NumberToken(v);
+  }
+  return ToLower(word);
+}
+
+Vocabulary Vocabulary::Build(const std::vector<std::string>& corpus,
+                             int max_size) {
+  Vocabulary vocab;
+  // Pre-seed every bucket token so unseen magnitudes at test time still get
+  // a dedicated embedding.
+  vocab.AddToken("<num_nan>");
+  for (int d = 100; d < 300; ++d) {
+    vocab.AddToken("<yr" + std::to_string(d) + ">");
+  }
+  for (int mag = -10; mag <= 12; ++mag) {
+    vocab.AddToken("<num_p" + std::to_string(mag) + ">");
+    vocab.AddToken("<num_m" + std::to_string(mag) + ">");
+  }
+
+  std::unordered_map<std::string, int64_t> counts;
+  for (const auto& text : corpus) {
+    for (const auto& w : SplitWords(text)) {
+      ++counts[NormalizeWord(w)];
+    }
+  }
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  for (const auto& [word, count] : sorted) {
+    if (vocab.size() >= max_size) break;
+    vocab.AddToken(word);
+  }
+  return vocab;
+}
+
+int Vocabulary::Id(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kUnk : it->second;
+}
+
+std::vector<int> Vocabulary::EncodeText(std::string_view text,
+                                        int max_tokens) const {
+  std::vector<int> ids;
+  for (const auto& w : SplitWords(text)) {
+    if (max_tokens > 0 && static_cast<int>(ids.size()) >= max_tokens) break;
+    ids.push_back(Id(NormalizeWord(w)));
+  }
+  return ids;
+}
+
+const std::string& Vocabulary::TokenText(int id) const {
+  KGLINK_CHECK(id >= 0 && id < size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+Status Vocabulary::SaveToFile(const std::string& path) const {
+  std::string out;
+  for (const auto& t : tokens_) {
+    out += t;
+    out += '\n';
+  }
+  return WriteFile(path, out);
+}
+
+StatusOr<Vocabulary> Vocabulary::LoadFromFile(const std::string& path) {
+  KGLINK_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  Vocabulary vocab;
+  vocab.tokens_.clear();
+  vocab.index_.clear();
+  for (auto& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    vocab.AddToken(std::move(line));
+  }
+  if (vocab.size() < kNumSpecials) {
+    return Status::Corruption("vocabulary file missing special tokens");
+  }
+  for (int i = 0; i < kNumSpecials; ++i) {
+    if (vocab.tokens_[i] != kSpecialNames[i]) {
+      return Status::Corruption("vocabulary special tokens out of order");
+    }
+  }
+  return vocab;
+}
+
+}  // namespace kglink::nn

@@ -1,0 +1,63 @@
+// Corpus-derived word vocabulary with BERT-style special tokens and
+// magnitude-bucketed number tokens. Stands in for the WordPiece tokenizer
+// of the paper's PLM: words are lowercased alphanumeric runs; numeric
+// tokens are collapsed into buckets so the model can generalize over
+// numeric columns (years get decade buckets, other numbers get sign +
+// order-of-magnitude buckets).
+#ifndef KGLINK_NN_VOCAB_H_
+#define KGLINK_NN_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kglink::nn {
+
+class Vocabulary {
+ public:
+  // Special token ids (fixed positions).
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kCls = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kMask = 4;
+  static constexpr int kNumSpecials = 5;
+
+  Vocabulary();
+
+  // Builds a vocabulary from raw corpus texts: specials + all number-bucket
+  // tokens + the `max_size - reserved` most frequent normalized words.
+  static Vocabulary Build(const std::vector<std::string>& corpus,
+                          int max_size);
+
+  // Canonical token for one word (digit runs become bucket tokens).
+  static std::string NormalizeWord(std::string_view word);
+  // Bucket token for a numeric value (sign + order of magnitude; integral
+  // years 1000-2999 get per-decade tokens).
+  static std::string NumberToken(double value);
+
+  // Token id for a normalized token; kUnk when absent.
+  int Id(std::string_view token) const;
+  // Tokenizes free text (SplitWords + NormalizeWord) into ids; truncates to
+  // max_tokens when positive.
+  std::vector<int> EncodeText(std::string_view text,
+                              int max_tokens = 0) const;
+  const std::string& TokenText(int id) const;
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Vocabulary> LoadFromFile(const std::string& path);
+
+ private:
+  int AddToken(std::string token);
+
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace kglink::nn
+
+#endif  // KGLINK_NN_VOCAB_H_

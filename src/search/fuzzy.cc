@@ -1,0 +1,92 @@
+#include "search/fuzzy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace kglink::search {
+
+std::vector<std::string> FuzzyTermIndex::Deletions(std::string_view term) {
+  std::vector<std::string> out;
+  out.reserve(term.size());
+  for (size_t i = 0; i < term.size(); ++i) {
+    std::string d;
+    d.reserve(term.size() - 1);
+    d.append(term.substr(0, i));
+    d.append(term.substr(i + 1));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void FuzzyTermIndex::AddTerm(const std::string& term) {
+  KGLINK_CHECK(!finalized_) << "AddTerm after Finalize";
+  if (term.empty()) return;
+  auto [it, inserted] = seen_.emplace(term, true);
+  if (!inserted) return;
+  int32_t index = static_cast<int32_t>(terms_.size());
+  terms_.push_back(term);
+  variants_[term].push_back(index);
+  for (auto& d : Deletions(term)) {
+    variants_[std::move(d)].push_back(index);
+  }
+}
+
+void FuzzyTermIndex::Finalize() {
+  KGLINK_CHECK(!finalized_);
+  finalized_ = true;
+}
+
+bool FuzzyTermIndex::WithinOneEdit(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  size_t la = a.size();
+  size_t lb = b.size();
+  if (lb - la > 1) return false;
+  if (la == lb) {
+    // Same length: zero/one substitution, or one adjacent transposition.
+    size_t first = la;
+    for (size_t i = 0; i < la; ++i) {
+      if (a[i] != b[i]) {
+        first = i;
+        break;
+      }
+    }
+    if (first == la) return true;  // equal
+    // Substitution: all further characters equal.
+    if (a.substr(first + 1) == b.substr(first + 1)) return true;
+    // Transposition of first and first+1.
+    return first + 1 < la && a[first] == b[first + 1] &&
+           a[first + 1] == b[first] &&
+           a.substr(first + 2) == b.substr(first + 2);
+  }
+  // Length differs by one: b with one character deleted must equal a.
+  size_t i = 0;
+  while (i < la && a[i] == b[i]) ++i;
+  return a.substr(i) == b.substr(i + 1);
+}
+
+std::vector<std::string> FuzzyTermIndex::Lookup(std::string_view term) const {
+  KGLINK_CHECK(finalized_) << "Lookup before Finalize";
+  std::set<int32_t> candidates;
+  auto consider = [&](const std::string& key) {
+    auto it = variants_.find(key);
+    if (it == variants_.end()) return;
+    for (int32_t idx : it->second) candidates.insert(idx);
+  };
+  std::string exact(term);
+  consider(exact);
+  for (auto& d : Deletions(term)) consider(d);
+
+  std::vector<std::string> out;
+  for (int32_t idx : candidates) {
+    const std::string& cand = terms_[static_cast<size_t>(idx)];
+    // Symmetric-delete candidates can be up to distance 2 (deletion on
+    // both sides); verify the true edit distance.
+    if (WithinOneEdit(term, cand)) out.push_back(cand);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kglink::search

@@ -1,0 +1,52 @@
+// Fuzzy term matching (edit distance <= 1) via the symmetric-delete
+// technique (SymSpell): each indexed term is stored under all of its
+// single-character deletions, so a lookup only needs to generate the
+// query's deletions instead of scanning the vocabulary. This is the
+// analogue of Elasticsearch's `fuzziness: 1`, and the natural upgrade
+// path for linking typo-damaged cell mentions (see DESIGN.md's noise
+// model): a cell token one edit away from an entity token can still reach
+// its posting list.
+//
+// Standalone component: EntityLinker uses exact BM25 by default (as the
+// paper specifies); callers can pre-expand query terms with this index.
+#ifndef KGLINK_SEARCH_FUZZY_H_
+#define KGLINK_SEARCH_FUZZY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kglink::search {
+
+class FuzzyTermIndex {
+ public:
+  // Adds a vocabulary term (idempotent). Call before Finalize().
+  void AddTerm(const std::string& term);
+  // Freezes the index (sorts candidate lists for deterministic output).
+  void Finalize();
+
+  // All indexed terms within Damerau-Levenshtein distance 1 of `term`
+  // (including the exact term when indexed), lexicographically sorted.
+  std::vector<std::string> Lookup(std::string_view term) const;
+
+  // True if a and b are equal or within one edit (insert, delete,
+  // substitute, or adjacent transposition).
+  static bool WithinOneEdit(std::string_view a, std::string_view b);
+
+  int64_t num_terms() const { return static_cast<int64_t>(terms_.size()); }
+  bool finalized() const { return finalized_; }
+
+ private:
+  static std::vector<std::string> Deletions(std::string_view term);
+
+  bool finalized_ = false;
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, bool> seen_;
+  // deletion-variant (or term itself) -> indices into terms_.
+  std::unordered_map<std::string, std::vector<int32_t>> variants_;
+};
+
+}  // namespace kglink::search
+
+#endif  // KGLINK_SEARCH_FUZZY_H_

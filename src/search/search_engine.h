@@ -1,0 +1,77 @@
+// Inverted-index BM25 retrieval over short text documents — the stand-in
+// for the paper's Elasticsearch index of WikiData entity labels. Scores are
+// exactly the paper's Eq. 1 (BM25) with Eq. 2 (IDF).
+#ifndef KGLINK_SEARCH_SEARCH_ENGINE_H_
+#define KGLINK_SEARCH_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "util/check.h"
+
+namespace kglink::search {
+
+// BM25 free parameters (Elasticsearch defaults).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+struct SearchResult {
+  int32_t doc_id;
+  double score;
+};
+
+class SearchEngine {
+ public:
+  explicit SearchEngine(Bm25Params params = {});
+
+  // Adds a document. doc_id is caller-defined (entity id); duplicates are a
+  // programming error. Call before Finalize().
+  void AddDocument(int32_t doc_id, std::string_view text);
+
+  // Freezes the index: computes IDF and average document length. Must be
+  // called once before queries.
+  void Finalize();
+
+  // Top-k documents by BM25 score for a free-text query. Ties broken by
+  // doc id for determinism. Documents with zero overlap are not returned.
+  std::vector<SearchResult> TopK(std::string_view query, int k) const;
+
+  // BM25 score of one document for a query (0 if no term overlap).
+  double Score(std::string_view query, int32_t doc_id) const;
+
+  // Eq. 2 IDF of a term (0 for unseen terms is NOT guaranteed; unseen terms
+  // get the max IDF ln(N+0.5)/0.5+1 shape with n(w)=0).
+  double Idf(std::string_view term) const;
+
+  int64_t num_documents() const { return static_cast<int64_t>(doc_len_.size()); }
+  double average_doc_length() const { return avg_doc_len_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  struct Posting {
+    int32_t doc_index;  // dense internal index
+    int32_t term_freq;
+  };
+
+  Bm25Params params_;
+  bool finalized_ = false;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<int32_t> doc_len_;        // in terms
+  std::vector<int32_t> external_ids_;   // dense index -> doc_id
+  std::unordered_map<int32_t, int32_t> id_to_index_;
+  double avg_doc_len_ = 0.0;
+};
+
+// Indexes every KG entity: document text = label + aliases. Finalized.
+SearchEngine IndexKnowledgeGraph(const kg::KnowledgeGraph& kg,
+                                 Bm25Params params = {});
+
+}  // namespace kglink::search
+
+#endif  // KGLINK_SEARCH_SEARCH_ENGINE_H_

@@ -1,0 +1,92 @@
+#include "table/corpus.h"
+
+#include <algorithm>
+#include <map>
+
+namespace kglink::table {
+
+int64_t Corpus::num_labeled_columns() const {
+  int64_t n = 0;
+  for (const auto& lt : tables) {
+    for (int label : lt.column_labels) {
+      if (label != kUnlabeled) ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<int64_t> Corpus::LabelHistogram() const {
+  std::vector<int64_t> hist(label_names.size(), 0);
+  for (const auto& lt : tables) {
+    for (int label : lt.column_labels) {
+      if (label != kUnlabeled) ++hist[static_cast<size_t>(label)];
+    }
+  }
+  return hist;
+}
+
+SplitCorpus StratifiedSplit(const Corpus& corpus, double train_frac,
+                            double valid_frac, Rng& rng) {
+  KGLINK_CHECK(train_frac > 0 && valid_frac >= 0 &&
+               train_frac + valid_frac < 1.0);
+  // Group table indices by the first labeled column's class.
+  std::map<int, std::vector<size_t>> strata;
+  for (size_t i = 0; i < corpus.tables.size(); ++i) {
+    int key = kUnlabeled;
+    for (int label : corpus.tables[i].column_labels) {
+      if (label != kUnlabeled) {
+        key = label;
+        break;
+      }
+    }
+    strata[key].push_back(i);
+  }
+
+  SplitCorpus out;
+  for (Corpus* split : {&out.train, &out.valid, &out.test}) {
+    split->name = corpus.name;
+    split->label_names = corpus.label_names;
+  }
+  out.train.name += "/train";
+  out.valid.name += "/valid";
+  out.test.name += "/test";
+
+  for (auto& [key, indices] : strata) {
+    rng.Shuffle(indices);
+    size_t n = indices.size();
+    size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(n));
+    size_t n_valid = static_cast<size_t>(valid_frac * static_cast<double>(n));
+    // Tiny strata: guarantee at least one training sample.
+    if (n_train == 0 && n > 0) n_train = 1;
+    for (size_t i = 0; i < n; ++i) {
+      const LabeledTable& lt = corpus.tables[indices[i]];
+      if (i < n_train) {
+        out.train.tables.push_back(lt);
+      } else if (i < n_train + n_valid) {
+        out.valid.tables.push_back(lt);
+      } else {
+        out.test.tables.push_back(lt);
+      }
+    }
+  }
+  return out;
+}
+
+Corpus SubsampleTables(const Corpus& corpus, double fraction, Rng& rng) {
+  KGLINK_CHECK(fraction > 0 && fraction <= 1.0);
+  Corpus out;
+  out.name = corpus.name;
+  out.label_names = corpus.label_names;
+  std::vector<size_t> indices(corpus.tables.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+  size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(fraction *
+                             static_cast<double>(corpus.tables.size())));
+  indices.resize(keep);
+  std::sort(indices.begin(), indices.end());
+  for (size_t i : indices) out.tables.push_back(corpus.tables[i]);
+  return out;
+}
+
+}  // namespace kglink::table

@@ -1,0 +1,56 @@
+// Labeled table corpora: column-type labels, label vocabulary, and the
+// stratified 7:1:2 train/valid/test split the paper uses.
+#ifndef KGLINK_TABLE_CORPUS_H_
+#define KGLINK_TABLE_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kglink::table {
+
+inline constexpr int kUnlabeled = -1;
+
+// A table whose columns carry semantic-type labels (ids into the corpus
+// label vocabulary; kUnlabeled for columns without ground truth).
+struct LabeledTable {
+  Table table;
+  std::vector<int> column_labels;
+};
+
+// A collection of labeled tables sharing one label vocabulary.
+struct Corpus {
+  std::string name;
+  std::vector<std::string> label_names;
+  std::vector<LabeledTable> tables;
+
+  int num_labels() const { return static_cast<int>(label_names.size()); }
+  // Total labeled columns.
+  int64_t num_labeled_columns() const;
+  // Per-label column counts.
+  std::vector<int64_t> LabelHistogram() const;
+};
+
+struct SplitCorpus {
+  Corpus train;
+  Corpus valid;
+  Corpus test;
+};
+
+// Splits tables into train/valid/test with the given fractions, keeping
+// each class's sample proportion approximately constant across splits
+// (stratified by the table's first labeled column, which in our generated
+// corpora is the table's anchor column). Deterministic given the Rng.
+SplitCorpus StratifiedSplit(const Corpus& corpus, double train_frac,
+                            double valid_frac, Rng& rng);
+
+// Keeps the first `fraction` of the training tables (after a deterministic
+// shuffle) — used by the data-efficiency experiment (Fig. 9).
+Corpus SubsampleTables(const Corpus& corpus, double fraction, Rng& rng);
+
+}  // namespace kglink::table
+
+#endif  // KGLINK_TABLE_CORPUS_H_

@@ -1,0 +1,27 @@
+// Corpus persistence: saves/loads a labeled corpus as a directory of CSV
+// files plus a manifest — the same shape in which the paper publishes its
+// modified SemTab/VizNet datasets. Layout:
+//
+//   <dir>/corpus.meta      first line: corpus name; then one label per line
+//   <dir>/tables.tsv       per table: <file>\t<comma-separated label ids>
+//   <dir>/t<index>.csv     the table cells
+#ifndef KGLINK_TABLE_CORPUS_IO_H_
+#define KGLINK_TABLE_CORPUS_IO_H_
+
+#include <string>
+
+#include "table/corpus.h"
+#include "util/status.h"
+
+namespace kglink::table {
+
+// Writes the corpus under `dir` (created if absent; existing files with
+// colliding names are overwritten).
+Status SaveCorpus(const Corpus& corpus, const std::string& dir);
+
+// Loads a corpus previously written by SaveCorpus.
+StatusOr<Corpus> LoadCorpus(const std::string& dir);
+
+}  // namespace kglink::table
+
+#endif  // KGLINK_TABLE_CORPUS_IO_H_

@@ -1,0 +1,119 @@
+#include "table/ner.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace kglink::table {
+
+namespace {
+
+const char* kMonths[] = {"january",  "february", "march",    "april",
+                         "may",      "june",     "july",     "august",
+                         "september", "october",  "november", "december",
+                         "jan",      "feb",      "mar",      "apr",
+                         "jun",      "jul",      "aug",      "sep",
+                         "oct",      "nov",      "dec"};
+
+bool IsMonthWord(const std::string& w) {
+  for (const char* m : kMonths) {
+    if (w == m) return true;
+  }
+  return false;
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// yyyy-mm-dd / yyyy/mm/dd / dd-mm-yyyy / mm/dd/yyyy etc.
+bool IsSeparatedDate(std::string_view s, char sep) {
+  auto parts = Split(s, sep);
+  if (parts.size() != 3) return false;
+  for (const auto& p : parts) {
+    if (!AllDigits(p) || p.size() > 4) return false;
+  }
+  // At least one 4-digit (year-like) component, others 1-2 digits.
+  bool has_year = false;
+  for (const auto& p : parts) {
+    if (p.size() == 4) has_year = true;
+  }
+  return has_year;
+}
+
+}  // namespace
+
+bool NamedEntityRecognizer::IsDate(std::string_view text) {
+  auto stripped = StripWhitespace(text);
+  if (stripped.empty()) return false;
+  if (IsSeparatedDate(stripped, '-') || IsSeparatedDate(stripped, '/') ||
+      IsSeparatedDate(stripped, '.')) {
+    return true;
+  }
+  // "March 5, 1990" / "5 March 1990" / "March 1990".
+  auto words = SplitWords(stripped);
+  if (words.size() < 2 || words.size() > 4) return false;
+  bool month = false;
+  bool year = false;
+  for (const auto& w : words) {
+    if (IsMonthWord(w)) {
+      month = true;
+    } else if (AllDigits(w) && w.size() == 4) {
+      year = true;
+    } else if (AllDigits(w) && w.size() <= 2) {
+      // day number
+    } else {
+      return false;
+    }
+  }
+  return month && year;
+}
+
+CellKind NamedEntityRecognizer::ClassifyCell(std::string_view text) {
+  auto stripped = StripWhitespace(text);
+  if (stripped.empty()) return CellKind::kEmpty;
+  if (IsDate(stripped)) return CellKind::kDate;
+  if (LooksLikeNumber(stripped)) return CellKind::kNumber;
+  return CellKind::kString;
+}
+
+bool NamedEntityRecognizer::LooksLikePerson(std::string_view text) {
+  auto stripped = StripWhitespace(text);
+  if (stripped.empty()) return false;
+  // Split on spaces keeping original casing.
+  std::vector<std::string> words;
+  std::string cur;
+  for (char c : stripped) {
+    if (c == ' ') {
+      if (!cur.empty()) words.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  if (words.size() < 2 || words.size() > 4) return false;
+  for (const auto& w : words) {
+    // Each word: capitalized alphabetic, or an initial like "J.".
+    if (w.size() >= 2 && w[1] == '.' &&
+        std::isupper(static_cast<unsigned char>(w[0]))) {
+      continue;
+    }
+    if (!std::isupper(static_cast<unsigned char>(w[0]))) return false;
+    for (size_t i = 1; i < w.size(); ++i) {
+      if (!std::isalpha(static_cast<unsigned char>(w[i])) && w[i] != '\'' &&
+          w[i] != '-') {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace kglink::table

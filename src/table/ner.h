@@ -1,0 +1,31 @@
+// Rule-based named-entity schema — the substitute for the paper's spaCy
+// usage. Two jobs:
+//  1. classify cell text as NUMBER / DATE / STRING (number & date cells get
+//     linking score 0 and are never linked to the KG);
+//  2. flag PERSON-like strings (the candidate-type filter rejects PERSON
+//     and DATE entities as column types).
+#ifndef KGLINK_TABLE_NER_H_
+#define KGLINK_TABLE_NER_H_
+
+#include <string_view>
+
+#include "table/table.h"
+
+namespace kglink::table {
+
+class NamedEntityRecognizer {
+ public:
+  // Cell-kind detection used by Table::FromStrings.
+  static CellKind ClassifyCell(std::string_view text);
+
+  // Date heuristics: ISO dates, slashed dates, "<Month> d, yyyy".
+  static bool IsDate(std::string_view text);
+
+  // PERSON heuristic for raw text: 2-3 capitalized alphabetic words,
+  // optionally with a middle initial ("LeBron James", "W. G. Grace").
+  static bool LooksLikePerson(std::string_view text);
+};
+
+}  // namespace kglink::table
+
+#endif  // KGLINK_TABLE_NER_H_

@@ -1,0 +1,101 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+#include "table/ner.h"
+#include "util/string_util.h"
+
+namespace kglink::table {
+
+Table::Table(std::string id, int num_rows, int num_cols)
+    : id_(std::move(id)),
+      num_rows_(num_rows),
+      num_cols_(num_cols),
+      cells_(static_cast<size_t>(num_rows) * num_cols) {
+  KGLINK_CHECK_GE(num_rows, 0);
+  KGLINK_CHECK_GE(num_cols, 0);
+}
+
+Table Table::FromStrings(std::string id,
+                         const std::vector<std::vector<std::string>>& rows) {
+  int num_rows = static_cast<int>(rows.size());
+  int num_cols = rows.empty() ? 0 : static_cast<int>(rows[0].size());
+  Table t(std::move(id), num_rows, num_cols);
+  for (int r = 0; r < num_rows; ++r) {
+    KGLINK_CHECK_EQ(static_cast<int>(rows[r].size()), num_cols)
+        << "ragged table row " << r;
+    for (int c = 0; c < num_cols; ++c) {
+      Cell& cell = t.at(r, c);
+      cell.text = rows[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      cell.kind = NamedEntityRecognizer::ClassifyCell(cell.text);
+      if (cell.kind == CellKind::kNumber) {
+        double v = 0;
+        if (ParseDouble(cell.text, &v)) {
+          cell.number = v;
+        } else {
+          cell.kind = CellKind::kString;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Cell& Table::at(int row, int col) {
+  KGLINK_CHECK(row >= 0 && row < num_rows_ && col >= 0 && col < num_cols_)
+      << "cell (" << row << "," << col << ") out of range";
+  return cells_[static_cast<size_t>(row) * num_cols_ + col];
+}
+
+const Cell& Table::at(int row, int col) const {
+  KGLINK_CHECK(row >= 0 && row < num_rows_ && col >= 0 && col < num_cols_)
+      << "cell (" << row << "," << col << ") out of range";
+  return cells_[static_cast<size_t>(row) * num_cols_ + col];
+}
+
+bool Table::IsNumericColumn(int col) const {
+  bool any = false;
+  for (int r = 0; r < num_rows_; ++r) {
+    const Cell& cell = at(r, col);
+    if (cell.kind == CellKind::kEmpty) continue;
+    if (cell.kind != CellKind::kNumber) return false;
+    any = true;
+  }
+  return any;
+}
+
+NumericStats Table::ColumnStats(int col) const {
+  NumericStats stats;
+  std::vector<double> values;
+  for (int r = 0; r < num_rows_; ++r) {
+    const Cell& cell = at(r, col);
+    if (cell.kind == CellKind::kNumber) values.push_back(cell.number);
+  }
+  stats.count = static_cast<int>(values.size());
+  if (values.empty()) return stats;
+  double sum = 0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  double ss = 0;
+  for (double v : values) ss += (v - stats.mean) * (v - stats.mean);
+  stats.variance = ss / static_cast<double>(values.size());
+  std::sort(values.begin(), values.end());
+  size_t mid = values.size() / 2;
+  stats.median = values.size() % 2 == 1
+                     ? values[mid]
+                     : 0.5 * (values[mid - 1] + values[mid]);
+  return stats;
+}
+
+Table Table::SelectRows(const std::vector<int>& row_indices) const {
+  Table out(id_, static_cast<int>(row_indices.size()), num_cols_);
+  out.column_names_ = column_names_;
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    for (int c = 0; c < num_cols_; ++c) {
+      out.at(static_cast<int>(i), c) = at(row_indices[i], c);
+    }
+  }
+  return out;
+}
+
+}  // namespace kglink::table

@@ -1,0 +1,80 @@
+// Relational-table data model: typed cells, columns, and numeric column
+// statistics (the paper substitutes a numeric column's candidate types with
+// its mean / variance / median).
+#ifndef KGLINK_TABLE_TABLE_H_
+#define KGLINK_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kglink::table {
+
+// Cell content kind, assigned by the named-entity recognizer.
+enum class CellKind {
+  kEmpty,
+  kString,
+  kNumber,
+  kDate,
+};
+
+struct Cell {
+  std::string text;
+  CellKind kind = CellKind::kEmpty;
+  double number = 0.0;  // parsed value when kind == kNumber
+};
+
+// Per-column numeric summary (prepended to numeric columns in place of
+// candidate types, per the paper's Part-1 step 3).
+struct NumericStats {
+  double mean = 0.0;
+  double variance = 0.0;
+  double median = 0.0;
+  int count = 0;
+};
+
+// A rectangular table. Row-major storage.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string id, int num_rows, int num_cols);
+
+  // Builds a table from raw strings, running cell-kind detection.
+  static Table FromStrings(std::string id,
+                           const std::vector<std::vector<std::string>>& rows);
+
+  const std::string& id() const { return id_; }
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+
+  Cell& at(int row, int col);
+  const Cell& at(int row, int col) const;
+
+  // Column header names; empty when the source had none.
+  std::vector<std::string>& column_names() { return column_names_; }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  // True when every non-empty cell in the column is numeric (the paper's
+  // "numeric column" definition for Table III).
+  bool IsNumericColumn(int col) const;
+
+  // Mean/variance/median over the numeric cells of a column.
+  NumericStats ColumnStats(int col) const;
+
+  // A new table containing the given rows of this one, in order.
+  Table SelectRows(const std::vector<int>& row_indices) const;
+
+ private:
+  std::string id_;
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  std::vector<Cell> cells_;
+  std::vector<std::string> column_names_;
+};
+
+}  // namespace kglink::table
+
+#endif  // KGLINK_TABLE_TABLE_H_

@@ -1,0 +1,60 @@
+// Fatal-assertion macros for programming errors (CHECK-style). These abort
+// with a message; they are not for recoverable conditions (use Status).
+#ifndef KGLINK_UTIL_CHECK_H_
+#define KGLINK_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace kglink::internal {
+
+// Accumulates a failure message via operator<< and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets the ternary in KGLINK_CHECK produce void on both branches while the
+// streamed message still binds to CheckFailure (operator& binds looser than
+// operator<<). Same trick as glog's LogMessageVoidify.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace kglink::internal
+
+// Usage: KGLINK_CHECK(cond) << "context " << value;
+#define KGLINK_CHECK(cond)                                      \
+  (cond) ? (void)0                                              \
+         : ::kglink::internal::Voidify() &                      \
+               ::kglink::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define KGLINK_CHECK_EQ(a, b) KGLINK_CHECK((a) == (b))
+#define KGLINK_CHECK_NE(a, b) KGLINK_CHECK((a) != (b))
+#define KGLINK_CHECK_LT(a, b) KGLINK_CHECK((a) < (b))
+#define KGLINK_CHECK_LE(a, b) KGLINK_CHECK((a) <= (b))
+#define KGLINK_CHECK_GT(a, b) KGLINK_CHECK((a) > (b))
+#define KGLINK_CHECK_GE(a, b) KGLINK_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define KGLINK_DCHECK(cond) KGLINK_CHECK(cond)
+#else
+#define KGLINK_DCHECK(cond) KGLINK_CHECK(true)
+#endif
+
+#endif  // KGLINK_UTIL_CHECK_H_

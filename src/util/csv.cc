@@ -1,0 +1,107 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace kglink {
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty() && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\r') {
+      // swallow; \n ends the row
+    } else if (c == '\n') {
+      end_row();
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("CSV ends inside a quoted field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  KGLINK_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseCsv(text);
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      const std::string& f = row[i];
+      bool needs_quote = f.find_first_of(",\"\n\r") != std::string::npos;
+      if (needs_quote) {
+        out.push_back('"');
+        for (char c : f) {
+          if (c == '"') out.push_back('"');
+          out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out.append(f);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return ss.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace kglink

@@ -1,0 +1,34 @@
+// Minimal RFC-4180-ish CSV reader/writer: quoted fields, embedded commas,
+// doubled quotes, CRLF tolerance. Used by dataset export and the
+// annotate_csv example.
+#ifndef KGLINK_UTIL_CSV_H_
+#define KGLINK_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kglink {
+
+// Parses a whole CSV document into rows of fields.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text);
+
+// Reads and parses a CSV file.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+// Serializes rows to CSV, quoting only when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+// Reads a whole file into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+// Writes a string to a file (truncating).
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace kglink
+
+#endif  // KGLINK_UTIL_CSV_H_

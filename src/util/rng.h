@@ -1,0 +1,125 @@
+// Deterministic pseudo-random number generation. Every stochastic component
+// in the library (data generation, initialization, dropout, shuffling) takes
+// an explicit Rng so experiments are reproducible bit-for-bit from a seed.
+#ifndef KGLINK_UTIL_RNG_H_
+#define KGLINK_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kglink {
+
+// xoshiro256** with a splitmix64 seeding stage. Small, fast, and identical
+// across platforms (unlike std::mt19937 + std::distributions, whose outputs
+// are not pinned by the standard).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    KGLINK_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    KGLINK_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  // Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Samples an index from unnormalized non-negative weights. Weights summing
+  // to zero fall back to uniform.
+  size_t Categorical(const std::vector<double>& weights) {
+    KGLINK_CHECK(!weights.empty());
+    double total = 0;
+    for (double w : weights) {
+      KGLINK_DCHECK(w >= 0);
+      total += w;
+    }
+    if (total <= 0) return Uniform(weights.size());
+    double r = UniformDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child generator (for parallel substreams).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace kglink
+
+#endif  // KGLINK_UTIL_RNG_H_

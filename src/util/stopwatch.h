@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the runtime experiments (Fig. 7, Fig. 10b).
+#ifndef KGLINK_UTIL_STOPWATCH_H_
+#define KGLINK_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kglink {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kglink
+
+#endif  // KGLINK_UTIL_STOPWATCH_H_

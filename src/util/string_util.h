@@ -1,0 +1,41 @@
+// Small string helpers shared across modules.
+#ifndef KGLINK_UTIL_STRING_UTIL_H_
+#define KGLINK_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kglink {
+
+// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits into maximal runs of alphanumeric characters, lowercased. This is
+// the word segmentation used by both the BM25 analyzer and the NN tokenizer.
+std::vector<std::string> SplitWords(std::string_view s);
+
+// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// True if s parses entirely as a (possibly signed, possibly decimal,
+// possibly thousands-separated) number.
+bool LooksLikeNumber(std::string_view s);
+
+// Parses s as double; returns false on failure.
+bool ParseDouble(std::string_view s, double* out);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace kglink
+
+#endif  // KGLINK_UTIL_STRING_UTIL_H_

@@ -1,0 +1,290 @@
+// World & corpus generator tests: structural invariants of WikiSynth and
+// the statistical properties the paper's Table III depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "data/corpus_gen.h"
+#include "data/names.h"
+#include "data/templates.h"
+#include "data/world.h"
+#include "table/ner.h"
+#include "util/string_util.h"
+
+namespace kglink::data {
+namespace {
+
+WorldConfig SmallWorld(uint64_t seed = 42) {
+  WorldConfig c;
+  c.seed = seed;
+  c.scale = 0.3;
+  return c;
+}
+
+TEST(NamesTest, DeterministicAndShaped) {
+  Rng rng1(5);
+  Rng rng2(5);
+  NameGenerator g1(&rng1);
+  NameGenerator g2(&rng2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(g1.PersonName(), g2.PersonName());
+  }
+  Rng rng3(6);
+  NameGenerator g(&rng3);
+  std::string person = g.PersonName();
+  EXPECT_NE(person.find(' '), std::string::npos);
+  EXPECT_EQ(NameGenerator::PersonAlias("LeBron James"), "L. James");
+  std::string band = g.BandName();
+  EXPECT_EQ(band.rfind("The ", 0), 0u);
+  std::string gene = g.GeneSymbol();
+  EXPECT_GE(gene.size(), 4u);
+}
+
+TEST(WorldTest, GeneratesAllCategories) {
+  World world = GenerateWorld(SmallWorld());
+  for (const char* cat :
+       {"basketball player", "football player", "cricketer",
+        "tennis player", "basketball team", "football club", "cricket club",
+        "musician", "musical group", "album", "film", "actor",
+        "film director", "film studio", "writer", "book", "scientist",
+        "university", "protein", "gene", "company", "city", "country",
+        "music genre", "industry", "sport"}) {
+    EXPECT_FALSE(world.Instances(cat).empty()) << cat;
+  }
+}
+
+TEST(WorldTest, PersonsAreHumanWithOccupationEdges) {
+  // WikiData-style people: `instance of` = human; the fine type is an
+  // `occupation` edge (the paper's Fig. 1 granularity situation).
+  World world = GenerateWorld(SmallWorld());
+  kg::PredicateId occupation = world.PredicateIdOf("occupation");
+  int with_occupation = 0;
+  for (kg::EntityId id : world.Instances("basketball player")) {
+    auto types = world.kg.InstanceTypes(id);
+    ASSERT_FALSE(types.empty());
+    EXPECT_EQ(world.kg.entity(types[0]).label, "human");
+    EXPECT_TRUE(world.kg.entity(id).is_person);
+    for (const kg::Edge& e : world.kg.Edges(id)) {
+      if (e.predicate == occupation && e.forward) {
+        EXPECT_EQ(world.kg.entity(e.target).label, "basketball player");
+        ++with_occupation;
+      }
+    }
+  }
+  // Occupation edges are subject to missing-edge noise but mostly present.
+  EXPECT_GT(with_occupation,
+            static_cast<int>(world.Instances("basketball player").size() /
+                             2));
+}
+
+TEST(WorldTest, NonPersonInstancesKeepFineInstanceOf) {
+  World world = GenerateWorld(SmallWorld());
+  for (kg::EntityId id : world.Instances("basketball team")) {
+    auto types = world.kg.InstanceTypes(id);
+    ASSERT_FALSE(types.empty());
+    EXPECT_EQ(world.kg.entity(types[0]).label, "basketball team");
+  }
+}
+
+TEST(WorldTest, TypeHierarchyGranularityChain) {
+  World world = GenerateWorld(SmallWorld());
+  kg::EntityId bball = world.TypeId("basketball player");
+  kg::EntityId athlete = world.TypeId("athlete");
+  kg::EntityId human = world.TypeId("human");
+  EXPECT_TRUE(world.kg.IsSubtypeOf(bball, athlete));
+  EXPECT_TRUE(world.kg.IsSubtypeOf(bball, human));
+  EXPECT_FALSE(world.kg.IsSubtypeOf(human, bball));
+}
+
+TEST(WorldTest, RowCoherenceViaOneHop) {
+  // A player's team (when present) must be a one-hop neighbour: this is
+  // the property KGLink's overlap filter exploits.
+  World world = GenerateWorld(SmallWorld());
+  kg::PredicateId member = world.PredicateIdOf("member of sports team");
+  int checked = 0;
+  for (kg::EntityId p : world.Instances("football player")) {
+    for (const kg::Edge& e : world.kg.Edges(p)) {
+      if (e.predicate == member && e.forward) {
+        EXPECT_TRUE(world.kg.IsNeighbor(p, e.target));
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  World a = GenerateWorld(SmallWorld(7));
+  World b = GenerateWorld(SmallWorld(7));
+  EXPECT_EQ(a.kg.num_entities(), b.kg.num_entities());
+  EXPECT_EQ(a.kg.num_triples(), b.kg.num_triples());
+  EXPECT_EQ(a.kg.entity(100).label, b.kg.entity(100).label);
+  World c = GenerateWorld(SmallWorld(8));
+  EXPECT_NE(a.kg.entity(100).label, c.kg.entity(100).label);
+}
+
+TEST(WorldTest, ScaleGrowsTheWorld) {
+  WorldConfig small = SmallWorld();
+  WorldConfig big = SmallWorld();
+  big.scale = 1.0;
+  EXPECT_GT(GenerateWorld(big).kg.num_entities(),
+            GenerateWorld(small).kg.num_entities());
+}
+
+TEST(TemplatesTest, LibraryIsWellFormed) {
+  const auto& templates = StandardTemplates();
+  EXPECT_GE(templates.size(), 15u);
+  bool any_numeric_only = false;
+  for (const auto& t : templates) {
+    EXPECT_FALSE(t.columns.empty()) << t.name;
+    if (t.anchor_category.empty()) {
+      any_numeric_only = true;
+      EXPECT_FALSE(t.in_semtab) << t.name;
+      for (const auto& c : t.columns) {
+        EXPECT_TRUE(c.kind == ColumnKind::kNumeric ||
+                    c.kind == ColumnKind::kDate)
+            << t.name;
+      }
+    }
+    for (const auto& c : t.columns) {
+      if (c.kind == ColumnKind::kRelated) {
+        EXPECT_FALSE(c.predicate.empty()) << t.name;
+        EXPECT_FALSE(c.related_category.empty()) << t.name;
+      }
+      EXPECT_FALSE(c.viznet_label.empty()) << t.name;
+    }
+  }
+  EXPECT_TRUE(any_numeric_only);
+}
+
+class CorpusGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World(GenerateWorld(SmallWorld()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+World* CorpusGenTest::world_ = nullptr;
+
+TEST_F(CorpusGenTest, SemTabHasNoNumericOrDateColumns) {
+  table::Corpus corpus =
+      GenerateSemTabCorpus(*world_, CorpusOptions::SemTabDefaults(40));
+  EXPECT_EQ(corpus.tables.size(), 40u);
+  for (const auto& lt : corpus.tables) {
+    for (int c = 0; c < lt.table.num_cols(); ++c) {
+      EXPECT_FALSE(lt.table.IsNumericColumn(c));
+      for (int r = 0; r < lt.table.num_rows(); ++r) {
+        EXPECT_NE(lt.table.at(r, c).kind, table::CellKind::kDate);
+      }
+    }
+  }
+}
+
+TEST_F(CorpusGenTest, SemTabLabelsAreFineGrained) {
+  table::Corpus corpus =
+      GenerateSemTabCorpus(*world_, CorpusOptions::SemTabDefaults(40));
+  std::set<std::string> names(corpus.label_names.begin(),
+                              corpus.label_names.end());
+  EXPECT_TRUE(names.count("basketball player") || names.count("cricketer") ||
+              names.count("football player"));
+  EXPECT_FALSE(names.count("name"));  // coarse label must not appear
+}
+
+TEST_F(CorpusGenTest, VizNetHasNumericColumnsAndCoarseLabels) {
+  table::Corpus corpus =
+      GenerateVizNetCorpus(*world_, CorpusOptions::VizNetDefaults(80));
+  int numeric = 0, total = 0;
+  for (const auto& lt : corpus.tables) {
+    for (int c = 0; c < lt.table.num_cols(); ++c) {
+      ++total;
+      if (lt.table.IsNumericColumn(c)) ++numeric;
+    }
+  }
+  EXPECT_GT(numeric, 0);
+  double frac = static_cast<double>(numeric) / total;
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.4);
+  std::set<std::string> names(corpus.label_names.begin(),
+                              corpus.label_names.end());
+  EXPECT_TRUE(names.count("name"));
+  EXPECT_FALSE(names.count("basketball player"));
+}
+
+TEST_F(CorpusGenTest, ColumnLabelsMatchColumnCount) {
+  table::Corpus corpus =
+      GenerateVizNetCorpus(*world_, CorpusOptions::VizNetDefaults(40));
+  for (const auto& lt : corpus.tables) {
+    EXPECT_EQ(static_cast<int>(lt.column_labels.size()),
+              lt.table.num_cols());
+    for (int label : lt.column_labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, corpus.num_labels());
+    }
+  }
+}
+
+TEST_F(CorpusGenTest, DeterministicForSeed) {
+  table::Corpus a =
+      GenerateVizNetCorpus(*world_, CorpusOptions::VizNetDefaults(20, 3));
+  table::Corpus b =
+      GenerateVizNetCorpus(*world_, CorpusOptions::VizNetDefaults(20, 3));
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    ASSERT_EQ(a.tables[i].table.num_rows(), b.tables[i].table.num_rows());
+    for (int r = 0; r < a.tables[i].table.num_rows(); ++r) {
+      for (int c = 0; c < a.tables[i].table.num_cols(); ++c) {
+        EXPECT_EQ(a.tables[i].table.at(r, c).text,
+                  b.tables[i].table.at(r, c).text);
+      }
+    }
+  }
+}
+
+TEST_F(CorpusGenTest, OutOfKgLexiconIsDisjointFromKgTokens) {
+  OutOfKgLexicon lexicon(*world_, 123);
+  // Collect KG tokens.
+  std::unordered_set<std::string> kg_tokens;
+  for (kg::EntityId id = 0; id < world_->kg.num_entities(); ++id) {
+    for (const auto& w : SplitWords(world_->kg.entity(id).label)) {
+      kg_tokens.insert(w);
+    }
+    for (const auto& alias : world_->kg.entity(id).aliases) {
+      for (const auto& w : SplitWords(alias)) kg_tokens.insert(w);
+    }
+  }
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    for (const auto& w : SplitWords(lexicon.Sample("basketball player",
+                                                   rng))) {
+      EXPECT_FALSE(kg_tokens.count(w)) << w;
+    }
+    for (const auto& w : SplitWords(lexicon.Sample("city", rng))) {
+      EXPECT_FALSE(kg_tokens.count(w)) << w;
+    }
+  }
+}
+
+TEST_F(CorpusGenTest, UnlinkableFractionProducesOutOfKgTables) {
+  CorpusOptions opts = CorpusOptions::VizNetDefaults(60);
+  opts.unlinkable_prob = 1.0;
+  opts.scrambled_prob = 0.0;
+  table::Corpus corpus = GenerateVizNetCorpus(*world_, opts);
+  // Every string cell must be out-of-KG (no exact label match).
+  for (const auto& lt : corpus.tables) {
+    for (int r = 0; r < lt.table.num_rows(); ++r) {
+      for (int c = 0; c < lt.table.num_cols(); ++c) {
+        const auto& cell = lt.table.at(r, c);
+        if (cell.kind != table::CellKind::kString) continue;
+        EXPECT_TRUE(world_->kg.FindByLabel(cell.text).empty()) << cell.text;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kglink::data

@@ -1,0 +1,143 @@
+// Fuzzy term index tests: edit-distance predicate correctness (all four
+// Damerau operations), lookup recall/precision, and property sweeps
+// against a brute-force distance check.
+#include "search/fuzzy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/names.h"
+#include "util/rng.h"
+
+namespace kglink::search {
+namespace {
+
+TEST(WithinOneEditTest, AllOperations) {
+  EXPECT_TRUE(FuzzyTermIndex::WithinOneEdit("lebron", "lebron"));  // equal
+  EXPECT_TRUE(FuzzyTermIndex::WithinOneEdit("lebron", "lebro"));   // delete
+  EXPECT_TRUE(FuzzyTermIndex::WithinOneEdit("lebro", "lebron"));   // insert
+  EXPECT_TRUE(FuzzyTermIndex::WithinOneEdit("lebron", "lebrun"));  // subst
+  EXPECT_TRUE(FuzzyTermIndex::WithinOneEdit("lebron", "leborn"));  // transp
+  EXPECT_TRUE(FuzzyTermIndex::WithinOneEdit("a", ""));
+  EXPECT_TRUE(FuzzyTermIndex::WithinOneEdit("", ""));
+}
+
+TEST(WithinOneEditTest, RejectsDistanceTwo) {
+  EXPECT_FALSE(FuzzyTermIndex::WithinOneEdit("lebron", "lebr"));
+  EXPECT_FALSE(FuzzyTermIndex::WithinOneEdit("lebron", "lberno"));
+  EXPECT_FALSE(FuzzyTermIndex::WithinOneEdit("abc", "cba"));
+  EXPECT_FALSE(FuzzyTermIndex::WithinOneEdit("abcd", "abXY"));
+  EXPECT_FALSE(FuzzyTermIndex::WithinOneEdit("ab", ""));
+}
+
+TEST(FuzzyIndexTest, LookupFindsNeighbors) {
+  FuzzyTermIndex index;
+  for (const char* t : {"lebron", "james", "lebrun", "jamie", "curry"}) {
+    index.AddTerm(t);
+  }
+  index.Finalize();
+  auto hits = index.Lookup("lebron");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], "lebron");
+  EXPECT_EQ(hits[1], "lebrun");
+  // Typo'd query still reaches the right terms.
+  auto typo_hits = index.Lookup("leborn");
+  EXPECT_FALSE(typo_hits.empty());
+  EXPECT_EQ(typo_hits[0], "lebron");
+  // No false positives at distance 2+.
+  EXPECT_TRUE(index.Lookup("xyzzy").empty());
+}
+
+TEST(FuzzyIndexTest, DuplicateAddIsIdempotent) {
+  FuzzyTermIndex index;
+  index.AddTerm("word");
+  index.AddTerm("word");
+  index.Finalize();
+  EXPECT_EQ(index.num_terms(), 1);
+  EXPECT_EQ(index.Lookup("word").size(), 1u);
+}
+
+TEST(FuzzyIndexTest, EmptyTermIgnored) {
+  FuzzyTermIndex index;
+  index.AddTerm("");
+  index.Finalize();
+  EXPECT_EQ(index.num_terms(), 0);
+}
+
+// Brute-force Damerau-Levenshtein (restricted) for verification.
+int BruteDistance(const std::string& a, const std::string& b) {
+  size_t la = a.size();
+  size_t lb = b.size();
+  std::vector<std::vector<int>> d(la + 1, std::vector<int>(lb + 1, 0));
+  for (size_t i = 0; i <= la; ++i) d[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= lb; ++j) d[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= la; ++i) {
+    for (size_t j = 1; j <= lb; ++j) {
+      int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return d[la][lb];
+}
+
+TEST(FuzzyPropertyTest, PredicateMatchesBruteForce) {
+  Rng rng(17);
+  data::NameGenerator names(&rng);
+  std::vector<std::string> words;
+  for (int i = 0; i < 40; ++i) words.push_back(names.Word());
+  // Include mutated copies to exercise near-miss pairs.
+  for (int i = 0; i < 40; ++i) {
+    std::string w = words[static_cast<size_t>(i)];
+    size_t pos = rng.Uniform(w.size());
+    switch (rng.Uniform(3)) {
+      case 0:
+        w.erase(pos, 1);
+        break;
+      case 1:
+        w.insert(pos, 1, 'x');
+        break;
+      default:
+        if (pos + 1 < w.size()) std::swap(w[pos], w[pos + 1]);
+    }
+    words.push_back(std::move(w));
+  }
+  for (const auto& a : words) {
+    for (const auto& b : words) {
+      EXPECT_EQ(FuzzyTermIndex::WithinOneEdit(a, b),
+                BruteDistance(a, b) <= 1)
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(FuzzyPropertyTest, LookupEqualsLinearScan) {
+  Rng rng(18);
+  data::NameGenerator names(&rng);
+  FuzzyTermIndex index;
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 120; ++i) {
+    std::string w = names.Word();
+    vocab.push_back(w);
+    index.AddTerm(w);
+  }
+  index.Finalize();
+  for (int q = 0; q < 30; ++q) {
+    std::string query = vocab[rng.Uniform(vocab.size())];
+    if (rng.Bernoulli(0.5) && query.size() > 2) {
+      query.erase(rng.Uniform(query.size()), 1);
+    }
+    std::set<std::string> expected;
+    for (const auto& t : vocab) {
+      if (FuzzyTermIndex::WithinOneEdit(query, t)) expected.insert(t);
+    }
+    auto got = index.Lookup(query);
+    EXPECT_EQ(std::set<std::string>(got.begin(), got.end()), expected)
+        << query;
+  }
+}
+
+}  // namespace
+}  // namespace kglink::search

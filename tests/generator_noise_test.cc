@@ -1,0 +1,125 @@
+// Tests for the difficulty-calibration mechanisms in the generators:
+// decoy entities, header rows, scrambled tables, open-class scaling, and
+// their downstream effect on the Part-1 pipeline (the Table III regime).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "linker/pipeline.h"
+#include "search/search_engine.h"
+
+namespace kglink::data {
+namespace {
+
+TEST(GeneratorNoiseTest, DecoyEntitiesShareLabelsAndStayOutOfCatalog) {
+  WorldConfig wc;
+  wc.scale = 0.3;
+  wc.duplicate_entity_prob = 0.5;
+  World world = GenerateWorld(wc);
+  std::set<kg::EntityId> in_catalog;
+  for (const auto& [category, ids] : world.catalog) {
+    in_catalog.insert(ids.begin(), ids.end());
+  }
+  int decoys = 0;
+  int cross_typed = 0;
+  for (kg::EntityId id = 0; id < world.kg.num_entities(); ++id) {
+    const kg::Entity& e = world.kg.entity(id);
+    if (e.is_type || in_catalog.count(id)) continue;
+    // Non-catalog instance entities are decoys: same label as a real one.
+    if (world.kg.FindByLabel(e.label).size() >= 2) {
+      ++decoys;
+      // Decoys have exactly their instance-of edge, no useful relations.
+      EXPECT_EQ(world.kg.Edges(id).size(), 1u);
+      auto real_ids = world.kg.FindByLabel(e.label);
+      for (kg::EntityId other : real_ids) {
+        if (other == id || !in_catalog.count(other)) continue;
+        if (world.kg.InstanceTypes(id) != world.kg.InstanceTypes(other)) {
+          ++cross_typed;
+        }
+      }
+    }
+  }
+  EXPECT_GT(decoys, 20);
+  EXPECT_GT(cross_typed, 3);  // about half carry a wrong type
+}
+
+TEST(GeneratorNoiseTest, OpenClassScaleOnlyGrowsOpenPools) {
+  WorldConfig base;
+  base.scale = 0.3;
+  WorldConfig open = base;
+  open.open_class_scale = 3.0;
+  World a = GenerateWorld(base);
+  World b = GenerateWorld(open);
+  EXPECT_GT(b.Instances("musician").size(),
+            2 * a.Instances("musician").size());
+  EXPECT_EQ(b.Instances("city").size(), a.Instances("city").size());
+  EXPECT_EQ(b.Instances("music genre").size(),
+            a.Instances("music genre").size());
+}
+
+TEST(GeneratorNoiseTest, HeaderRowsAppearAndAreUnlinkable) {
+  WorldConfig wc;
+  wc.scale = 0.3;
+  World world = GenerateWorld(wc);
+  CorpusOptions opts = CorpusOptions::SemTabDefaults(30);
+  opts.header_prob = 1.0;
+  table::Corpus corpus = GenerateSemTabCorpus(world, opts);
+  const char* header_words[] = {"Item",  "Entry",  "Title", "Record",
+                                "Detail", "Info",   "Value", "Total",
+                                "Amount", "When"};
+  for (const auto& lt : corpus.tables) {
+    for (int c = 0; c < lt.table.num_cols(); ++c) {
+      const std::string& first = lt.table.at(0, c).text;
+      bool is_header = false;
+      for (const char* w : header_words) {
+        if (first == w) is_header = true;
+      }
+      EXPECT_TRUE(is_header) << first;
+      EXPECT_TRUE(world.kg.FindByLabel(first).empty());
+    }
+  }
+}
+
+TEST(GeneratorNoiseTest, ScrambledTablesLoseCandidateTypes) {
+  // Pools must be large enough that a random same-category entity is
+  // unlikely to be one-hop coherent by chance.
+  WorldConfig wc;
+  wc.scale = 0.5;
+  wc.open_class_scale = 6.0;
+  World world = GenerateWorld(wc);
+  search::SearchEngine engine = search::IndexKnowledgeGraph(world.kg);
+  linker::KgPipeline pipeline(&world.kg, &engine, {});
+
+  auto ct_fraction = [&](double scrambled_prob) {
+    CorpusOptions opts = CorpusOptions::SemTabDefaults(20, 3);
+    opts.scrambled_prob = scrambled_prob;
+    table::Corpus corpus = GenerateSemTabCorpus(world, opts);
+    int64_t with_ct = 0, total = 0;
+    for (const auto& lt : corpus.tables) {
+      linker::ProcessedTable pt = pipeline.Process(lt.table);
+      for (const auto& col : pt.columns) {
+        ++total;
+        if (!col.candidate_types.empty()) ++with_ct;
+      }
+    }
+    return static_cast<double>(with_ct) / static_cast<double>(total);
+  };
+  double coherent = ct_fraction(0.0);
+  double scrambled = ct_fraction(1.0);
+  EXPECT_GT(coherent, scrambled + 0.2);
+}
+
+TEST(GeneratorNoiseTest, MissingEdgeProbThinsTheGraph) {
+  WorldConfig dense;
+  dense.scale = 0.3;
+  dense.missing_edge_prob = 0.0;
+  WorldConfig sparse = dense;
+  sparse.missing_edge_prob = 0.5;
+  EXPECT_GT(GenerateWorld(dense).kg.num_triples(),
+            GenerateWorld(sparse).kg.num_triples());
+}
+
+}  // namespace
+}  // namespace kglink::data

@@ -1,0 +1,173 @@
+// Cross-module integration tests: determinism of the whole stack, odd
+// table shapes flowing end-to-end, and failure-injection cases (empty
+// cells, single columns, very wide tables, all-numeric tables).
+#include <gtest/gtest.h>
+
+#include "baselines/doduo.h"
+#include "core/annotator.h"
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "eval/metrics.h"
+#include "search/search_engine.h"
+
+namespace kglink {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::WorldConfig wc;
+    wc.scale = 0.25;
+    world_ = new data::World(data::GenerateWorld(wc));
+    engine_ = new search::SearchEngine(
+        search::IndexKnowledgeGraph(world_->kg));
+    table::Corpus corpus = data::GenerateSemTabCorpus(
+        *world_, data::CorpusOptions::SemTabDefaults(40));
+    Rng rng(5);
+    split_ = new table::SplitCorpus(
+        table::StratifiedSplit(corpus, 0.7, 0.1, rng));
+  }
+  static void TearDownTestSuite() {
+    delete split_;
+    delete engine_;
+    delete world_;
+  }
+
+  static core::KgLinkOptions FastOptions(uint64_t seed = 99) {
+    core::KgLinkOptions o;
+    o.epochs = 2;
+    o.encoder.dim = 24;
+    o.encoder.num_heads = 2;
+    o.encoder.num_layers = 1;
+    o.encoder.ffn_dim = 32;
+    o.serializer.max_seq_len = 96;
+    o.linker.top_k_rows = 8;
+    o.seed = seed;
+    return o;
+  }
+
+  static data::World* world_;
+  static search::SearchEngine* engine_;
+  static table::SplitCorpus* split_;
+};
+data::World* IntegrationTest::world_ = nullptr;
+search::SearchEngine* IntegrationTest::engine_ = nullptr;
+table::SplitCorpus* IntegrationTest::split_ = nullptr;
+
+TEST_F(IntegrationTest, FullStackIsDeterministicGivenSeed) {
+  std::vector<std::vector<int>> runs;
+  for (int run = 0; run < 2; ++run) {
+    core::KgLinkAnnotator annotator(&world_->kg, engine_, FastOptions(7));
+    annotator.Fit(split_->train, split_->valid);
+    std::vector<int> all;
+    for (int i = 0; i < 3; ++i) {
+      auto p = annotator.PredictTable(
+          split_->test.tables[static_cast<size_t>(i)].table);
+      all.insert(all.end(), p.begin(), p.end());
+    }
+    runs.push_back(std::move(all));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST_F(IntegrationTest, DifferentSeedsDifferentModels) {
+  std::vector<double> accs;
+  for (uint64_t seed : {11u, 12u}) {
+    core::KgLinkAnnotator annotator(&world_->kg, engine_,
+                                    FastOptions(seed));
+    annotator.Fit(split_->train, split_->valid);
+    accs.push_back(annotator.Evaluate(split_->test).accuracy);
+  }
+  // Not asserting inequality of accuracy (can tie); assert the epochs ran.
+  EXPECT_EQ(accs.size(), 2u);
+}
+
+TEST_F(IntegrationTest, HandlesDegenerateTablesAtPredictTime) {
+  core::KgLinkAnnotator annotator(&world_->kg, engine_, FastOptions());
+  annotator.Fit(split_->train, split_->valid);
+
+  // Single column, single row.
+  table::Table tiny = table::Table::FromStrings("tiny", {{"Rust"}});
+  EXPECT_EQ(annotator.PredictTable(tiny).size(), 1u);
+
+  // Empty cells sprinkled in.
+  table::Table holes = table::Table::FromStrings(
+      "holes", {{"", "x"}, {"y", ""}, {"", ""}});
+  EXPECT_EQ(annotator.PredictTable(holes).size(), 2u);
+
+  // All-numeric table.
+  table::Table nums = table::Table::FromStrings(
+      "nums", {{"1", "2", "3"}, {"4", "5", "6"}});
+  EXPECT_EQ(annotator.PredictTable(nums).size(), 3u);
+
+  // Wider than max_cols: must split into chunks and still cover all
+  // columns.
+  std::vector<std::string> wide_row(12, "alpha");
+  table::Table wide = table::Table::FromStrings(
+      "wide", {wide_row, wide_row, wide_row});
+  std::vector<int> pred = annotator.PredictTable(wide);
+  EXPECT_EQ(pred.size(), 12u);
+}
+
+TEST_F(IntegrationTest, BaselineHandlesDegenerateTables) {
+  baselines::PlmOptions o;
+  o.encoder.dim = 16;
+  o.encoder.num_heads = 2;
+  o.encoder.num_layers = 1;
+  o.encoder.ffn_dim = 16;
+  o.max_seq_len = 64;
+  o.epochs = 1;
+  baselines::DoduoAnnotator doduo(o);
+  doduo.Fit(split_->train, split_->valid);
+  table::Table holes = table::Table::FromStrings(
+      "holes", {{"", ""}, {"", ""}});
+  EXPECT_EQ(doduo.PredictTable(holes).size(), 2u);
+}
+
+TEST_F(IntegrationTest, TrainingImprovesOverInitialization) {
+  // One-epoch model vs four-epoch model on the same seed: more training
+  // must not reduce train-split accuracy materially (sanity of the whole
+  // optimization stack).
+  double acc1, acc4;
+  {
+    core::KgLinkOptions o = FastOptions(21);
+    o.epochs = 1;
+    core::KgLinkAnnotator a(&world_->kg, engine_, o);
+    a.Fit(split_->train, split_->valid);
+    acc1 = a.Evaluate(split_->train).accuracy;
+  }
+  {
+    core::KgLinkOptions o = FastOptions(21);
+    o.epochs = 4;
+    core::KgLinkAnnotator a(&world_->kg, engine_, o);
+    a.Fit(split_->train, split_->valid);
+    acc4 = a.Evaluate(split_->train).accuracy;
+  }
+  EXPECT_GE(acc4 + 0.05, acc1);
+}
+
+TEST_F(IntegrationTest, KgPersistenceRoundTripsThroughPipeline) {
+  // Save the world KG, reload it, rebuild the index: the Part-1 pipeline
+  // must produce identical candidate types.
+  std::string path = "/tmp/kglink_integration_kg.tsv";
+  ASSERT_TRUE(world_->kg.SaveToFile(path).ok());
+  auto loaded = kg::KnowledgeGraph::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  search::SearchEngine engine2 = search::IndexKnowledgeGraph(*loaded);
+
+  linker::KgPipeline p1(&world_->kg, engine_, {});
+  linker::KgPipeline p2(&*loaded, &engine2, {});
+  const table::Table& t = split_->test.tables[0].table;
+  linker::ProcessedTable a = p1.Process(t);
+  linker::ProcessedTable b = p2.Process(t);
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    EXPECT_EQ(a.columns[c].candidate_type_labels,
+              b.columns[c].candidate_type_labels);
+    EXPECT_EQ(a.columns[c].feature_sequence, b.columns[c].feature_sequence);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kglink

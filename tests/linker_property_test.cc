@@ -1,0 +1,133 @@
+// Property tests of the Part-1 pipeline over the generated world: for
+// many configurations and tables, structural invariants must hold
+// (pruned ⊆ retrieved, score bounds, row/type budgets, numeric exclusion).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "linker/pipeline.h"
+#include "search/search_engine.h"
+
+namespace kglink::linker {
+namespace {
+
+struct Shared {
+  data::World world;
+  search::SearchEngine engine;
+  table::Corpus corpus;
+  Shared()
+      : world(data::GenerateWorld({.seed = 21, .scale = 0.3})),
+        engine(search::IndexKnowledgeGraph(world.kg)),
+        corpus(data::GenerateVizNetCorpus(
+            world, data::CorpusOptions::VizNetDefaults(16))) {}
+};
+
+Shared& Env() {
+  static Shared& env = *new Shared();
+  return env;
+}
+
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PipelinePropertyTest, InvariantsHold) {
+  auto [top_k, max_entities, max_ct, mode] = GetParam();
+  LinkerConfig config;
+  config.top_k_rows = top_k;
+  config.max_entities_per_cell = max_entities;
+  config.max_candidate_types = max_ct;
+  config.row_filter_mode = mode == 0 ? RowFilterMode::kLinkingScore
+                                     : RowFilterMode::kOriginalOrder;
+  Shared& env = Env();
+  KgPipeline pipeline(&env.world.kg, &env.engine, config);
+
+  for (size_t i = 0; i < env.corpus.tables.size(); i += 3) {
+    const table::Table& t = env.corpus.tables[i].table;
+    ProcessedTable pt = pipeline.Process(t);
+
+    // Row budget respected; kept rows are valid, unique source indices.
+    int expected_rows = std::min(
+        {t.num_rows(), top_k > 0 ? top_k : config.max_rows_cap,
+         config.max_rows_cap});
+    EXPECT_EQ(pt.filtered.num_rows(), expected_rows);
+    std::set<int> unique_rows(pt.kept_rows.begin(), pt.kept_rows.end());
+    EXPECT_EQ(unique_rows.size(), pt.kept_rows.size());
+    for (int r : pt.kept_rows) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, t.num_rows());
+    }
+    // Linking-score mode: kept rows sorted by non-increasing score.
+    if (config.row_filter_mode == RowFilterMode::kLinkingScore) {
+      for (size_t r = 1; r < pt.row_links.size(); ++r) {
+        EXPECT_GE(pt.row_links[r - 1].row_score + 1e-9,
+                  pt.row_links[r].row_score);
+      }
+    }
+
+    EXPECT_EQ(pt.columns.size(), static_cast<size_t>(t.num_cols()));
+    for (const RowLinks& row : pt.row_links) {
+      double recomputed = 0;
+      for (const CellLinks& cell : row.cells) {
+        // Retrieval budget.
+        EXPECT_LE(cell.retrieved.size(),
+                  static_cast<size_t>(max_entities));
+        // Pruned candidates are a subset of retrieved candidates.
+        for (const EntityCandidate& p : cell.pruned) {
+          bool found = false;
+          for (const EntityCandidate& r2 : cell.retrieved) {
+            if (r2.entity == p.entity) found = true;
+          }
+          EXPECT_TRUE(found);
+          EXPECT_GT(p.overlap_score, 0.0);
+          EXPECT_GE(p.linking_score, 0.0);
+        }
+        // Non-linkable cells have no candidates and zero score.
+        if (!cell.linkable) {
+          EXPECT_TRUE(cell.retrieved.empty());
+          EXPECT_EQ(cell.score, 0.0);
+        }
+        EXPECT_GE(cell.score, 0.0);
+        recomputed += cell.score;
+      }
+      EXPECT_NEAR(row.row_score, recomputed, 1e-9);
+    }
+
+    for (int c = 0; c < t.num_cols(); ++c) {
+      const ColumnKgInfo& info = pt.columns[static_cast<size_t>(c)];
+      EXPECT_LE(info.candidate_types.size(), static_cast<size_t>(max_ct));
+      EXPECT_EQ(info.candidate_types.size(),
+                info.candidate_type_labels.size());
+      // Candidate-type scores sorted descending.
+      for (size_t j = 1; j < info.candidate_types.size(); ++j) {
+        EXPECT_GE(info.candidate_types[j - 1].score,
+                  info.candidate_types[j].score);
+      }
+      // Numeric columns never carry KG info; stats are populated.
+      if (info.is_numeric) {
+        EXPECT_TRUE(info.candidate_types.empty());
+        EXPECT_FALSE(info.has_feature);
+        EXPECT_GT(info.stats.count, 0);
+      }
+      // Feature flag consistent with the sequence.
+      EXPECT_EQ(info.has_feature, !info.feature_sequence.empty());
+      // No PERSON/DATE candidate types (paper's label filter).
+      for (const CandidateType& ct : info.candidate_types) {
+        EXPECT_FALSE(Env().world.kg.entity(ct.entity).is_person);
+        EXPECT_FALSE(Env().world.kg.entity(ct.entity).is_date);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelinePropertyTest,
+    ::testing::Combine(::testing::Values(5, 25, 0),   // top_k (0 = all)
+                       ::testing::Values(3, 10),      // entities per cell
+                       ::testing::Values(1, 3),       // candidate types
+                       ::testing::Values(0, 1)));     // filter mode
+
+}  // namespace
+}  // namespace kglink::linker

@@ -1,0 +1,237 @@
+// Part-1 pipeline tests: BM25 cell linking, Eq. 3 pruning, Eq. 4-6 scores,
+// row filtering, candidate-type generation with the PERSON/DATE filter,
+// and feature sequences — on a hand-built KG where the right answers are
+// known exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "linker/candidate_types.h"
+#include "linker/entity_linker.h"
+#include "linker/feature_sequence.h"
+#include "linker/pipeline.h"
+#include "linker/row_filter.h"
+#include "search/search_engine.h"
+
+namespace kglink::linker {
+namespace {
+
+// Fixture world: two musicians with albums (Fig. 5's scenario).
+//   peter "Peter Steele" --instance of--> human(person type, but entity
+//     flagged person)  --performer of--> rust
+//   rust "Rust" --instance of--> album_type
+//   decoy "Rust" (no edges) -- linking ambiguity
+//   mia "Mia Torv" --performer of--> echo "Echo"
+class LinkerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    human_ = kg_.AddEntity({"T1", "human", {}, "", true, false, false});
+    musician_ = kg_.AddEntity({"T2", "musician", {}, "", true, false, false});
+    album_type_ = kg_.AddEntity({"T3", "album", {}, "", true, false, false});
+    peter_ = kg_.AddEntity(
+        {"Q1", "Peter Steele", {}, "", false, true, false});
+    rust_ = kg_.AddEntity({"Q2", "Rust", {}, "", false, false, false});
+    decoy_rust_ = kg_.AddEntity({"Q3", "Rust", {}, "", false, false, false});
+    mia_ = kg_.AddEntity({"Q4", "Mia Torv", {}, "", false, true, false});
+    echo_ = kg_.AddEntity({"Q5", "Echo", {}, "", false, false, false});
+    performer_ = kg_.AddPredicate("performer");
+    kg_.AddTriple(peter_, kg::KnowledgeGraph::kInstanceOf, human_);
+    kg_.AddTriple(peter_, kg::KnowledgeGraph::kInstanceOf, musician_);
+    kg_.AddTriple(mia_, kg::KnowledgeGraph::kInstanceOf, musician_);
+    kg_.AddTriple(rust_, kg::KnowledgeGraph::kInstanceOf, album_type_);
+    kg_.AddTriple(echo_, kg::KnowledgeGraph::kInstanceOf, album_type_);
+    kg_.AddTriple(rust_, performer_, peter_);
+    kg_.AddTriple(echo_, performer_, mia_);
+    engine_ = std::make_unique<search::SearchEngine>(
+        search::IndexKnowledgeGraph(kg_));
+    // Fig. 5 table: album | artist.
+    tbl_ = table::Table::FromStrings(
+        "fig5", {{"Rust", "Peter Steele"}, {"Echo", "Mia Torv"}});
+  }
+
+  LinkerConfig config_;
+  kg::KnowledgeGraph kg_;
+  kg::EntityId human_, musician_, album_type_, peter_, rust_, decoy_rust_,
+      mia_, echo_;
+  kg::PredicateId performer_;
+  std::unique_ptr<search::SearchEngine> engine_;
+  table::Table tbl_;
+};
+
+TEST_F(LinkerFixture, NumberAndDateCellsGetZeroScore) {
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  table::Cell number{"1993", table::CellKind::kNumber, 1993};
+  CellLinks links = linker.LinkCell(number);
+  EXPECT_FALSE(links.linkable);
+  EXPECT_TRUE(links.retrieved.empty());
+  EXPECT_EQ(links.score, 0.0);
+  table::Cell date{"1993-05-01", table::CellKind::kDate, 0};
+  EXPECT_FALSE(linker.LinkCell(date).linkable);
+}
+
+TEST_F(LinkerFixture, LinkCellRetrievesBothRustEntities) {
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  table::Cell cell{"Rust", table::CellKind::kString, 0};
+  CellLinks links = linker.LinkCell(cell);
+  ASSERT_EQ(links.retrieved.size(), 2u);
+  std::set<kg::EntityId> ids = {links.retrieved[0].entity,
+                                links.retrieved[1].entity};
+  EXPECT_TRUE(ids.count(rust_));
+  EXPECT_TRUE(ids.count(decoy_rust_));
+}
+
+TEST_F(LinkerFixture, OverlapPruningDropsTheDecoy) {
+  // Fig. 5's red link: Rust--performer--Peter Steele means only the real
+  // Rust survives pruning, because the decoy has no neighbours in the
+  // other column's retrieved set.
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  RowLinks row = linker.LinkRow(tbl_, 0);
+  const CellLinks& album_cell = row.cells[0];
+  ASSERT_EQ(album_cell.pruned.size(), 1u);
+  EXPECT_EQ(album_cell.pruned[0].entity, rust_);
+  EXPECT_GT(album_cell.pruned[0].overlap_score, 0.0);
+  const CellLinks& artist_cell = row.cells[1];
+  ASSERT_EQ(artist_cell.pruned.size(), 1u);
+  EXPECT_EQ(artist_cell.pruned[0].entity, peter_);
+  // Row score = sum of max pruned linking scores (Eq. 4-5).
+  EXPECT_NEAR(row.row_score, album_cell.score + artist_cell.score, 1e-9);
+  EXPECT_GT(row.row_score, 0.0);
+}
+
+TEST_F(LinkerFixture, RowFilterOrdersByScore) {
+  LinkerConfig config;
+  config.top_k_rows = 2;
+  std::vector<double> scores = {0.5, 3.0, 1.0, 2.0};
+  auto kept = FilterRows(scores, config);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 1);
+  EXPECT_EQ(kept[1], 3);
+  config.row_filter_mode = RowFilterMode::kOriginalOrder;
+  kept = FilterRows(scores, config);
+  EXPECT_EQ(kept[0], 0);
+  EXPECT_EQ(kept[1], 1);
+}
+
+TEST_F(LinkerFixture, RowFilterAllModeCaps) {
+  LinkerConfig config;
+  config.top_k_rows = 0;  // "all"
+  config.max_rows_cap = 3;
+  std::vector<double> scores = {1, 2, 3, 4, 5};
+  EXPECT_EQ(FilterRows(scores, config).size(), 3u);
+}
+
+TEST_F(LinkerFixture, CandidateTypesVoteAcrossRows) {
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  std::vector<RowLinks> rows = {linker.LinkRow(tbl_, 0),
+                                linker.LinkRow(tbl_, 1)};
+  // Artist column: 'musician' is a one-hop neighbour (instance of) of both
+  // Peter and Mia -> corroborated across 2 rows.
+  auto artist_types = GenerateCandidateTypes(kg_, rows, 1, config_);
+  ASSERT_FALSE(artist_types.empty());
+  EXPECT_EQ(artist_types[0].entity, musician_);
+  // Album column: 'album' type from both Rust and Echo.
+  auto album_types = GenerateCandidateTypes(kg_, rows, 0, config_);
+  ASSERT_FALSE(album_types.empty());
+  EXPECT_EQ(album_types[0].entity, album_type_);
+}
+
+TEST_F(LinkerFixture, PersonEntitiesFilteredFromCandidateTypes) {
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  std::vector<RowLinks> rows = {linker.LinkRow(tbl_, 0),
+                                linker.LinkRow(tbl_, 1)};
+  for (int col = 0; col < 2; ++col) {
+    for (const auto& ct : GenerateCandidateTypes(kg_, rows, col, config_)) {
+      EXPECT_FALSE(kg_.entity(ct.entity).is_person)
+          << kg_.entity(ct.entity).label;
+    }
+  }
+}
+
+TEST_F(LinkerFixture, SingleRowYieldsNoCandidateTypes) {
+  // Eq. 8's corroboration requirement: one row cannot vote alone.
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  std::vector<RowLinks> rows = {linker.LinkRow(tbl_, 0)};
+  EXPECT_TRUE(GenerateCandidateTypes(kg_, rows, 0, config_).empty());
+}
+
+TEST_F(LinkerFixture, FeatureSequenceSerializesNeighbourhood) {
+  std::string s = SerializeFeatureSequence(kg_, peter_, config_);
+  EXPECT_NE(s.find("Peter Steele"), std::string::npos);
+  EXPECT_NE(s.find("instance of"), std::string::npos);
+  EXPECT_NE(s.find("musician"), std::string::npos);
+  EXPECT_NE(s.find("performer"), std::string::npos);
+}
+
+TEST_F(LinkerFixture, FeatureSequenceRespectsEdgeBudget) {
+  LinkerConfig config;
+  config.max_feature_edges = 1;
+  std::string s = SerializeFeatureSequence(kg_, peter_, config);
+  // Only one " | " separator section.
+  size_t first = s.find(" | ");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(s.find(" | ", first + 3), std::string::npos);
+}
+
+TEST_F(LinkerFixture, SelectFeatureEntityFallsBackToRetrieved) {
+  // A single-column table: pruning removes everything (no other columns),
+  // but retrieval still supplies the feature entity.
+  table::Table single = table::Table::FromStrings("s", {{"Rust"}});
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  std::vector<RowLinks> rows = {linker.LinkRow(single, 0)};
+  EXPECT_TRUE(rows[0].cells[0].pruned.empty());
+  kg::EntityId id = SelectFeatureEntity(rows, 0);
+  EXPECT_NE(id, kg::kInvalidEntity);
+}
+
+TEST_F(LinkerFixture, PipelineEndToEnd) {
+  KgPipeline pipeline(&kg_, engine_.get(), config_);
+  ProcessedTable pt = pipeline.Process(tbl_);
+  EXPECT_EQ(pt.filtered.num_rows(), 2);
+  EXPECT_EQ(pt.columns.size(), 2u);
+  EXPECT_FALSE(pt.columns[0].is_numeric);
+  ASSERT_FALSE(pt.columns[1].candidate_types.empty());
+  EXPECT_EQ(pt.columns[1].candidate_type_labels[0], "musician");
+  EXPECT_TRUE(pt.columns[0].has_feature);
+  EXPECT_TRUE(pt.columns[1].has_feature);
+}
+
+TEST_F(LinkerFixture, PipelineNumericColumnGetsStatsNotLinks) {
+  table::Table t = table::Table::FromStrings(
+      "nums", {{"Rust", "10"}, {"Echo", "20"}, {"Rust", "30"}});
+  KgPipeline pipeline(&kg_, engine_.get(), config_);
+  ProcessedTable pt = pipeline.Process(t);
+  ASSERT_EQ(pt.columns.size(), 2u);
+  EXPECT_TRUE(pt.columns[1].is_numeric);
+  EXPECT_FALSE(pt.columns[1].has_feature);
+  EXPECT_TRUE(pt.columns[1].candidate_types.empty());
+  EXPECT_DOUBLE_EQ(pt.columns[1].stats.mean, 20.0);
+  EXPECT_DOUBLE_EQ(pt.columns[1].stats.median, 20.0);
+}
+
+TEST_F(LinkerFixture, PipelineTopKLimitsRows) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back({"Rust", "Peter Steele"});
+  table::Table t = table::Table::FromStrings("big", rows);
+  LinkerConfig config;
+  config.top_k_rows = 4;
+  KgPipeline pipeline(&kg_, engine_.get(), config);
+  ProcessedTable pt = pipeline.Process(t);
+  EXPECT_EQ(pt.filtered.num_rows(), 4);
+  EXPECT_EQ(pt.kept_rows.size(), 4u);
+  EXPECT_EQ(pt.row_links.size(), 4u);
+}
+
+TEST_F(LinkerFixture, UnlinkableTableHasNoKgInfo) {
+  table::Table t = table::Table::FromStrings(
+      "none", {{"Zzyx Qwfp", "Vbnm Hjkl"}, {"Qqq Www", "Rrr Ttt"}});
+  KgPipeline pipeline(&kg_, engine_.get(), config_);
+  ProcessedTable pt = pipeline.Process(t);
+  for (const auto& col : pt.columns) {
+    EXPECT_TRUE(col.candidate_types.empty());
+    EXPECT_FALSE(col.has_feature);
+  }
+}
+
+}  // namespace
+}  // namespace kglink::linker

@@ -1,0 +1,83 @@
+// Metrics tests: accuracy, weighted F1 (validated against hand-computed
+// scikit-learn-convention values), per-class deltas, table printer.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table_printer.h"
+
+namespace kglink::eval {
+namespace {
+
+TEST(MetricsTest, PerfectPredictions) {
+  Metrics m = ComputeMetrics({0, 1, 2, 1}, {0, 1, 2, 1}, 3);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.weighted_f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+  EXPECT_EQ(m.total, 4);
+}
+
+TEST(MetricsTest, HandComputedWeightedF1) {
+  // gold: [0,0,0,1], pred: [0,0,1,1]
+  //   class0: tp=2 fp=0 fn=1 -> p=1, r=2/3, f1=0.8, support 3
+  //   class1: tp=1 fp=1 fn=0 -> p=0.5, r=1, f1=2/3, support 1
+  // weighted = (0.8*3 + 2/3*1)/4 = 0.7666...
+  Metrics m = ComputeMetrics({0, 0, 0, 1}, {0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.75);
+  EXPECT_NEAR(m.weighted_f1, (0.8 * 3 + (2.0 / 3.0)) / 4.0, 1e-12);
+  EXPECT_NEAR(m.macro_f1, (0.8 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_EQ(m.per_class[0].support, 3);
+  EXPECT_DOUBLE_EQ(m.per_class[0].precision, 1.0);
+  EXPECT_NEAR(m.per_class[0].recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, UnsupportedClassesExcludedFromAverages) {
+  // Class 2 never appears in gold; predictions into it only hurt class 0.
+  Metrics m = ComputeMetrics({0, 0}, {0, 2}, 3);
+  // class0: tp=1 fn=1 fp=0 -> f1 = 2/3; class2 support 0 excluded.
+  EXPECT_NEAR(m.weighted_f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.macro_f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyInput) {
+  Metrics m = ComputeMetrics({}, {}, 4);
+  EXPECT_EQ(m.total, 0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+}
+
+TEST(MetricsTest, PerClassAccuracyDelta) {
+  std::vector<int> gold = {0, 0, 0, 1, 1, 1};
+  std::vector<int> before = {0, 1, 1, 1, 0, 0};  // class0: 1/3, class1: 1/3
+  std::vector<int> after = {0, 0, 0, 1, 0, 0};   // class0: 3/3, class1: 1/3
+  auto deltas = PerClassAccuracyDelta(gold, before, after, 2,
+                                      /*min_support=*/1);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].label, 0);  // biggest improvement first
+  EXPECT_NEAR(deltas[0].delta, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(deltas[1].delta, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, PerClassDeltaRespectsMinSupport) {
+  std::vector<int> gold = {0, 1};
+  auto deltas = PerClassAccuracyDelta(gold, gold, gold, 2,
+                                      /*min_support=*/2);
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter p({"Model", "Acc"});
+  p.AddRow({"KGLink", "87.12"});
+  p.AddRow({"A", "1"});
+  std::string out = p.Render();
+  EXPECT_NE(out.find("| Model  | Acc   |"), std::string::npos);
+  EXPECT_NE(out.find("| KGLink | 87.12 |"), std::string::npos);
+  EXPECT_NE(out.find("| A      | 1     |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(TablePrinter::Pct(0.87123), "87.12");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace kglink::eval

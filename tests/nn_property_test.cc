@@ -1,0 +1,169 @@
+// Algebraic property tests of the tensor library and layers: linearity,
+// distributivity, normalization invariances, dropout statistics, and
+// optimizer behaviour — parameterized over shapes and magnitudes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace kglink::nn {
+namespace {
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  float m = 0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+class MatMulPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulPropertyTest, DistributesOverAddition) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::Randn({m, k}, 1.0f, rng);
+  Tensor b = Tensor::Randn({k, n}, 1.0f, rng);
+  Tensor c = Tensor::Randn({k, n}, 1.0f, rng);
+  Tensor lhs = MatMul(a, Add(b, c));
+  Tensor rhs = Add(MatMul(a, b), MatMul(a, c));
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-4f * k);
+}
+
+TEST_P(MatMulPropertyTest, TransposeReversesProduct) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m + k + n));
+  Tensor a = Tensor::Randn({m, k}, 1.0f, rng);
+  Tensor b = Tensor::Randn({k, n}, 1.0f, rng);
+  Tensor lhs = Transpose(MatMul(a, b));
+  Tensor rhs = MatMul(Transpose(b), Transpose(a));
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-4f * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulPropertyTest,
+    ::testing::Combine(::testing::Values(1, 3, 8), ::testing::Values(2, 5),
+                       ::testing::Values(1, 4, 7)));
+
+TEST(LayerNormPropertyTest, ShiftAndScaleInvariant) {
+  Rng rng(3);
+  Tensor gamma = Tensor::Full({1, 6}, 1.0f);
+  Tensor beta = Tensor::Zeros({1, 6});
+  Tensor x = Tensor::Randn({4, 6}, 1.0f, rng);
+  Tensor shifted = AddScalar(Scale(x, 5.0f), 3.0f);
+  Tensor a = LayerNorm(x, gamma, beta);
+  Tensor b = LayerNorm(shifted, gamma, beta);
+  // Same direction per row after normalization (up to eps effects).
+  EXPECT_LT(MaxAbsDiff(a, b), 5e-3f);
+}
+
+TEST(DropoutPropertyTest, PreservesExpectationAndZeroes) {
+  Rng rng(4);
+  Tensor x = Tensor::Full({1, 20000}, 1.0f, /*requires_grad=*/false);
+  for (float p : {0.1f, 0.5f, 0.8f}) {
+    Rng drop_rng(static_cast<uint64_t>(p * 100));
+    Tensor y = Dropout(x, p, drop_rng, /*training=*/true);
+    double sum = 0;
+    int64_t zeros = 0;
+    for (float v : y.data()) {
+      sum += v;
+      if (v == 0.0f) ++zeros;
+    }
+    // Inverted dropout: E[y] = x.
+    EXPECT_NEAR(sum / static_cast<double>(y.numel()), 1.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()),
+                p, 0.03);
+  }
+}
+
+TEST(DropoutPropertyTest, IdentityAtEval) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, rng);
+  Rng drop_rng(1);
+  Tensor y = Dropout(x, 0.5f, drop_rng, /*training=*/false);
+  EXPECT_EQ(MaxAbsDiff(x, y), 0.0f);
+}
+
+TEST(SoftmaxPropertyTest, OrderPreserving) {
+  Rng rng(6);
+  Tensor x = Tensor::Randn({1, 10}, 2.0f, rng);
+  Tensor y = Softmax(x);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (x.data()[i] > x.data()[j]) {
+        EXPECT_GE(y.data()[i], y.data()[j]);
+      }
+    }
+  }
+}
+
+TEST(CrossEntropyPropertyTest, LowerForCorrectConfidentPrediction) {
+  Tensor confident = Tensor::FromData({1, 3}, {8.0f, 0.0f, 0.0f});
+  Tensor uncertain = Tensor::FromData({1, 3}, {0.1f, 0.0f, 0.0f});
+  Tensor wrong = Tensor::FromData({1, 3}, {0.0f, 8.0f, 0.0f});
+  float c = CrossEntropy(confident, {0}).item();
+  float u = CrossEntropy(uncertain, {0}).item();
+  float w = CrossEntropy(wrong, {0}).item();
+  EXPECT_LT(c, u);
+  EXPECT_LT(u, w);
+}
+
+class AdamPropertyTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamPropertyTest, ConvergesOnShiftedQuadratic) {
+  float target = GetParam();
+  Tensor x = Tensor::Scalar(0.0f, /*requires_grad=*/true);
+  AdamWOptions opts;
+  opts.lr = 0.05f;
+  opts.weight_decay = 0.0f;
+  AdamW opt({{"x", x}}, opts);
+  Tensor t = Tensor::Scalar(target);
+  for (int i = 0; i < 800; ++i) {
+    opt.ZeroGrad();
+    MseLoss(x, t).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.item(), target, 0.05f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, AdamPropertyTest,
+                         ::testing::Values(-3.0f, 0.5f, 7.0f));
+
+TEST(RngForkTest, SubstreamsAreIndependent) {
+  Rng parent(9);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child1.Next() == child2.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(EncoderPropertyTest, LongerSequenceKeepsPrefixShape) {
+  EncoderConfig cfg;
+  cfg.vocab_size = 30;
+  cfg.max_seq_len = 16;
+  cfg.dim = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_dim = 8;
+  cfg.dropout = 0;
+  Rng init(10);
+  TransformerEncoder enc(cfg, init);
+  Rng r(1);
+  for (int len : {1, 2, 8, 16}) {
+    std::vector<int> tokens(static_cast<size_t>(len), 3);
+    Tensor h = enc.Forward(tokens, r, false);
+    EXPECT_EQ(h.rows(), len);
+    EXPECT_EQ(h.cols(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace kglink::nn

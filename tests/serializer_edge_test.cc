@@ -1,0 +1,96 @@
+// Additional serializer and tokenizer edge cases: extreme budgets, label
+// slots at capacity, segment-id consistency, empty tables' handling at the
+// component level.
+#include <gtest/gtest.h>
+
+#include "core/serializer.h"
+
+namespace kglink::core {
+namespace {
+
+nn::Vocabulary SmallVocab() {
+  return nn::Vocabulary::Build({"alpha beta gamma delta epsilon label"},
+                               100000);
+}
+
+linker::ProcessedTable OneColumn(const std::string& cell, int rows) {
+  std::vector<std::vector<std::string>> cells(
+      static_cast<size_t>(rows), std::vector<std::string>{cell});
+  linker::ProcessedTable pt;
+  pt.filtered = table::Table::FromStrings("t", cells);
+  pt.columns.resize(1);
+  return pt;
+}
+
+TEST(SerializerEdgeTest, SegmentsParallelToTokens) {
+  nn::Vocabulary vocab = SmallVocab();
+  TableSerializer ser(&vocab, {});
+  auto pt = OneColumn("alpha beta", 3);
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].tokens.size(), chunks[0].segments.size());
+  for (int s : chunks[0].segments) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 16);
+  }
+}
+
+TEST(SerializerEdgeTest, SegmentsIdentifyColumns) {
+  nn::Vocabulary vocab = SmallVocab();
+  TableSerializer ser(&vocab, {});
+  linker::ProcessedTable pt;
+  pt.filtered = table::Table::FromStrings(
+      "t", {{"alpha", "beta"}, {"gamma", "delta"}});
+  pt.columns.resize(2);
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  const auto& chunk = chunks[0];
+  // Tokens belonging to column 0's span have segment 0; column 1's have 1.
+  int c1_start = chunk.columns[1].cls_pos;
+  for (int i = 0; i < c1_start; ++i) {
+    EXPECT_EQ(chunk.segments[static_cast<size_t>(i)], 0);
+  }
+  EXPECT_EQ(chunk.segments[static_cast<size_t>(c1_start)], 1);
+}
+
+TEST(SerializerEdgeTest, LongLabelTruncatedToMaxLabelTokens) {
+  nn::Vocabulary vocab = SmallVocab();
+  SerializerConfig config;
+  config.max_label_tokens = 2;
+  TableSerializer ser(&vocab, config);
+  auto pt = OneColumn("alpha", 1);
+  std::vector<std::string> labels = {"alpha beta gamma delta"};
+  auto gt = ser.Serialize(pt, LabelSlot::kGroundTruth, &labels, true);
+  EXPECT_EQ(gt[0].columns[0].label_positions.size(), 2u);
+}
+
+TEST(SerializerEdgeTest, ManyRowsRespectPerColumnCap) {
+  nn::Vocabulary vocab = SmallVocab();
+  SerializerConfig config;
+  config.max_tokens_per_col = 16;
+  TableSerializer ser(&vocab, config);
+  auto pt = OneColumn("alpha beta gamma", 100);
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  // One column: [CLS] + slot + pad-ct + cells <= 16, plus [SEP].
+  EXPECT_LE(chunks[0].tokens.size(), 17u);
+}
+
+TEST(SerializerEdgeTest, UnknownWordsBecomeUnk) {
+  nn::Vocabulary vocab = SmallVocab();
+  TableSerializer ser(&vocab, {});
+  auto pt = OneColumn("zzzz qqqq", 2);
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  int unk_count = 0;
+  for (int tok : chunks[0].tokens) {
+    if (tok == nn::Vocabulary::kUnk) ++unk_count;
+  }
+  EXPECT_GE(unk_count, 2);
+}
+
+TEST(SerializerEdgeTest, FeatureEncodingOfEmptyStringIsEmpty) {
+  nn::Vocabulary vocab = SmallVocab();
+  TableSerializer ser(&vocab, {});
+  EXPECT_TRUE(ser.EncodeFeature("").empty());
+}
+
+}  // namespace
+}  // namespace kglink::core

@@ -1,0 +1,179 @@
+// Part-2 serialization tests (Eq. 10-11 + KGLink's label slot and KG
+// prefixes): structure, budgets, chunking, masked/ground-truth alignment.
+#include "core/serializer.h"
+
+#include <gtest/gtest.h>
+
+namespace kglink::core {
+namespace {
+
+// Builds a ProcessedTable by hand (no KG needed).
+linker::ProcessedTable MakeProcessed(
+    const std::vector<std::vector<std::string>>& cells,
+    const std::vector<std::vector<std::string>>& candidate_types) {
+  linker::ProcessedTable pt;
+  pt.filtered = table::Table::FromStrings("t", cells);
+  pt.columns.resize(static_cast<size_t>(pt.filtered.num_cols()));
+  for (size_t c = 0; c < pt.columns.size(); ++c) {
+    auto& info = pt.columns[c];
+    info.is_numeric = pt.filtered.IsNumericColumn(static_cast<int>(c));
+    if (info.is_numeric) {
+      info.stats = pt.filtered.ColumnStats(static_cast<int>(c));
+    } else if (c < candidate_types.size()) {
+      info.candidate_type_labels = candidate_types[c];
+      for (size_t i = 0; i < candidate_types[c].size(); ++i) {
+        info.candidate_types.push_back({static_cast<int>(i), 1.0});
+      }
+    }
+  }
+  return pt;
+}
+
+nn::Vocabulary MakeVocab() {
+  return nn::Vocabulary::Build(
+      {"rust echo peter steele mia torv musician album human",
+       "alpha beta gamma delta"},
+      100000);
+}
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  SerializerTest() : vocab_(MakeVocab()) {}
+  nn::Vocabulary vocab_;
+};
+
+TEST_F(SerializerTest, OneClsPerColumnAndTrailingSep) {
+  TableSerializer ser(&vocab_, {});
+  auto pt = MakeProcessed({{"rust", "peter steele"}, {"echo", "mia torv"}},
+                          {{}, {}});
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr,
+                              /*use_candidate_types=*/true);
+  ASSERT_EQ(chunks.size(), 1u);
+  const auto& chunk = chunks[0];
+  ASSERT_EQ(chunk.columns.size(), 2u);
+  for (const auto& sc : chunk.columns) {
+    EXPECT_EQ(chunk.tokens[static_cast<size_t>(sc.cls_pos)],
+              nn::Vocabulary::kCls);
+  }
+  EXPECT_EQ(chunk.tokens.back(), nn::Vocabulary::kSep);
+  // Exactly two [CLS] tokens in the whole sequence (multi-column Eq. 11).
+  int cls_count = 0;
+  for (int tok : chunk.tokens) {
+    if (tok == nn::Vocabulary::kCls) ++cls_count;
+  }
+  EXPECT_EQ(cls_count, 2);
+}
+
+TEST_F(SerializerTest, MaskSlotAtInferenceIsSingleMask) {
+  TableSerializer ser(&vocab_, {});
+  auto pt = MakeProcessed({{"rust"}}, {{}});
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  const auto& sc = chunks[0].columns[0];
+  ASSERT_EQ(sc.label_positions.size(), 1u);
+  EXPECT_EQ(chunks[0].tokens[static_cast<size_t>(sc.label_positions[0])],
+            nn::Vocabulary::kMask);
+}
+
+TEST_F(SerializerTest, MaskedAndGroundTruthAlign) {
+  TableSerializer ser(&vocab_, {});
+  auto pt = MakeProcessed({{"rust", "peter steele"}}, {{}, {}});
+  std::vector<std::string> labels = {"album", "musician"};
+  auto msk = ser.Serialize(pt, LabelSlot::kMask, &labels, true);
+  auto gt = ser.Serialize(pt, LabelSlot::kGroundTruth, &labels, true);
+  ASSERT_EQ(msk.size(), 1u);
+  ASSERT_EQ(gt.size(), 1u);
+  EXPECT_EQ(msk[0].tokens.size(), gt[0].tokens.size());
+  for (size_t c = 0; c < 2; ++c) {
+    const auto& m = msk[0].columns[c];
+    const auto& g = gt[0].columns[c];
+    ASSERT_EQ(m.label_positions, g.label_positions);
+    for (size_t i = 0; i < m.label_positions.size(); ++i) {
+      int mpos = m.label_positions[i];
+      EXPECT_EQ(msk[0].tokens[static_cast<size_t>(mpos)],
+                nn::Vocabulary::kMask);
+      // Ground-truth slot holds the label's token, not [MASK].
+      EXPECT_NE(gt[0].tokens[static_cast<size_t>(mpos)],
+                nn::Vocabulary::kMask);
+    }
+  }
+  // Column 1's gt slot is the "musician" token.
+  int pos = gt[0].columns[1].label_positions[0];
+  EXPECT_EQ(gt[0].tokens[static_cast<size_t>(pos)], vocab_.Id("musician"));
+}
+
+TEST_F(SerializerTest, CandidateTypesAppearAfterLabelSlot) {
+  TableSerializer ser(&vocab_, {});
+  auto pt = MakeProcessed({{"rust"}}, {{"album", "musician"}});
+  auto with = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  auto without = ser.Serialize(pt, LabelSlot::kMask, nullptr, false);
+  // The candidate-type tokens must be present only in the former.
+  auto contains = [&](const SerializedTable& st, int id) {
+    for (int tok : st.tokens) {
+      if (tok == id) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(with[0], vocab_.Id("album")));
+  EXPECT_TRUE(contains(with[0], vocab_.Id("musician")));
+  EXPECT_FALSE(contains(without[0], vocab_.Id("album")));
+}
+
+TEST_F(SerializerTest, NumericColumnGetsStatsTokens) {
+  TableSerializer ser(&vocab_, {});
+  auto pt = MakeProcessed({{"10"}, {"20"}, {"30"}}, {});
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  // mean=20 var=66.7 median=20 -> bucket tokens <num_p1>, <num_p1>, <num_p1>
+  int bucket = vocab_.Id(nn::Vocabulary::NumberToken(20.0));
+  int count = 0;
+  for (int tok : chunks[0].tokens) {
+    if (tok == bucket) ++count;
+  }
+  EXPECT_GE(count, 2);  // mean + median at least
+}
+
+TEST_F(SerializerTest, WideTablesSplitIntoChunks) {
+  SerializerConfig config;
+  config.max_cols = 3;
+  TableSerializer ser(&vocab_, config);
+  std::vector<std::string> row(7, "alpha");
+  auto pt = MakeProcessed({row}, std::vector<std::vector<std::string>>(7));
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  ASSERT_EQ(chunks.size(), 3u);  // 3 + 3 + 1 columns
+  EXPECT_EQ(chunks[0].columns.size(), 3u);
+  EXPECT_EQ(chunks[2].columns.size(), 1u);
+  // Source columns cover 0..6 exactly once.
+  std::vector<int> seen;
+  for (const auto& chunk : chunks) {
+    for (const auto& sc : chunk.columns) seen.push_back(sc.source_col);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST_F(SerializerTest, RespectsSequenceCap) {
+  SerializerConfig config;
+  config.max_seq_len = 48;
+  TableSerializer ser(&vocab_, config);
+  std::vector<std::vector<std::string>> cells;
+  for (int r = 0; r < 50; ++r) {
+    cells.push_back({"alpha beta gamma delta", "rust echo peter",
+                     "mia torv musician", "album human alpha"});
+  }
+  auto pt = MakeProcessed(cells, std::vector<std::vector<std::string>>(4));
+  auto chunks = ser.Serialize(pt, LabelSlot::kMask, nullptr, true);
+  for (const auto& chunk : chunks) {
+    EXPECT_LE(chunk.tokens.size(), 48u);
+  }
+}
+
+TEST_F(SerializerTest, EncodeFeatureTruncates) {
+  SerializerConfig config;
+  config.max_feature_tokens = 5;
+  TableSerializer ser(&vocab_, config);
+  auto ids = ser.EncodeFeature(
+      "rust echo peter steele mia torv musician album");
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+}  // namespace
+}  // namespace kglink::core

@@ -1,0 +1,106 @@
+// Tests for the Sherlock-style feature baseline and corpus persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/sherlock.h"
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "table/corpus_io.h"
+#include "util/csv.h"
+
+namespace kglink {
+namespace {
+
+TEST(SherlockFeaturesTest, DimensionAndDeterminism) {
+  baselines::SherlockAnnotator sherlock(baselines::SherlockOptions{});
+  table::Table t = table::Table::FromStrings(
+      "t", {{"Alice Smith", "42"}, {"Bob Jones", "17"}});
+  auto f1 = sherlock.ExtractFeatures(t, 0);
+  auto f2 = sherlock.ExtractFeatures(t, 0);
+  EXPECT_EQ(static_cast<int>(f1.size()), sherlock.feature_dim());
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(SherlockFeaturesTest, DiscriminativeStats) {
+  baselines::SherlockAnnotator sherlock(baselines::SherlockOptions{});
+  table::Table t = table::Table::FromStrings(
+      "t", {{"Alice Smith", "1984", "x"},
+            {"Bob Jones", "1990", "y"},
+            {"Cara Flint", "2001", "z"}});
+  auto person_col = sherlock.ExtractFeatures(t, 0);
+  auto year_col = sherlock.ExtractFeatures(t, 1);
+  // Feature 10 is the numeric-cell fraction, 17/18 person/year shapes.
+  EXPECT_EQ(person_col[10], 0.0f);
+  EXPECT_EQ(year_col[10], 1.0f);
+  EXPECT_GT(person_col[17], 0.9f);  // person-like fraction
+  EXPECT_EQ(year_col[17], 0.0f);
+  EXPECT_GT(year_col[18], 0.9f);  // year-like fraction
+}
+
+TEST(SherlockTest, LearnsOnSmallCorpus) {
+  data::WorldConfig wc;
+  wc.scale = 0.25;
+  data::World world = data::GenerateWorld(wc);
+  table::Corpus corpus = data::GenerateSemTabCorpus(
+      world, data::CorpusOptions::SemTabDefaults(36));
+  Rng rng(9);
+  table::SplitCorpus split = table::StratifiedSplit(corpus, 0.7, 0.1, rng);
+  baselines::SherlockOptions o;
+  o.epochs = 8;
+  baselines::SherlockAnnotator sherlock(o);
+  sherlock.Fit(split.train, split.valid);
+  eval::Metrics m = sherlock.Evaluate(split.train);
+  EXPECT_GT(m.accuracy, 2.0 / split.train.num_labels());
+  auto pred = sherlock.PredictTable(split.test.tables[0].table);
+  EXPECT_EQ(pred.size(), split.test.tables[0].column_labels.size());
+}
+
+TEST(CorpusIoTest, SaveLoadRoundTrip) {
+  data::WorldConfig wc;
+  wc.scale = 0.25;
+  data::World world = data::GenerateWorld(wc);
+  table::Corpus corpus = data::GenerateVizNetCorpus(
+      world, data::CorpusOptions::VizNetDefaults(10));
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "kglink_corpus_io").string();
+  ASSERT_TRUE(table::SaveCorpus(corpus, dir).ok());
+  auto loaded = table::LoadCorpus(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, corpus.name);
+  EXPECT_EQ(loaded->label_names, corpus.label_names);
+  ASSERT_EQ(loaded->tables.size(), corpus.tables.size());
+  for (size_t i = 0; i < corpus.tables.size(); ++i) {
+    const auto& a = corpus.tables[i];
+    const auto& b = loaded->tables[i];
+    EXPECT_EQ(a.column_labels, b.column_labels);
+    ASSERT_EQ(a.table.num_rows(), b.table.num_rows());
+    ASSERT_EQ(a.table.num_cols(), b.table.num_cols());
+    for (int r = 0; r < a.table.num_rows(); ++r) {
+      for (int c = 0; c < a.table.num_cols(); ++c) {
+        EXPECT_EQ(a.table.at(r, c).text, b.table.at(r, c).text);
+        EXPECT_EQ(a.table.at(r, c).kind, b.table.at(r, c).kind);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusIoTest, LoadRejectsMissingDirectory) {
+  EXPECT_FALSE(table::LoadCorpus("/nonexistent/kglink").ok());
+}
+
+TEST(CorpusIoTest, LoadRejectsBadLabels) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "kglink_corpus_bad").string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteFile(dir + "/corpus.meta", "c\nlabel0\n").ok());
+  ASSERT_TRUE(WriteFile(dir + "/t0.csv", "a,b\n").ok());
+  ASSERT_TRUE(WriteFile(dir + "/tables.tsv", "t0.csv\t0,7\n").ok());
+  EXPECT_FALSE(table::LoadCorpus(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace kglink

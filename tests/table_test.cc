@@ -1,0 +1,177 @@
+// Table / NER / corpus tests: cell-kind detection, numeric statistics, row
+// selection, stratified splitting, subsampling.
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include "table/corpus.h"
+#include "table/ner.h"
+#include "util/rng.h"
+
+namespace kglink::table {
+namespace {
+
+TEST(NerTest, ClassifiesNumbers) {
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("42"), CellKind::kNumber);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("-3.5"), CellKind::kNumber);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("1,234"), CellKind::kNumber);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell(" 17 "), CellKind::kNumber);
+}
+
+TEST(NerTest, ClassifiesDates) {
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("1984-03-05"),
+            CellKind::kDate);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("3/5/1984"),
+            CellKind::kDate);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("March 5, 1984"),
+            CellKind::kDate);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("5 March 1984"),
+            CellKind::kDate);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("March 1984"),
+            CellKind::kDate);
+}
+
+TEST(NerTest, PlainYearIsNumberNotDate) {
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("1984"), CellKind::kNumber);
+}
+
+TEST(NerTest, ClassifiesStringsAndEmpty) {
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("LeBron James"),
+            CellKind::kString);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell(""), CellKind::kEmpty);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("  "), CellKind::kEmpty);
+  EXPECT_EQ(NamedEntityRecognizer::ClassifyCell("March and April"),
+            CellKind::kString);
+}
+
+TEST(NerTest, PersonHeuristic) {
+  EXPECT_TRUE(NamedEntityRecognizer::LooksLikePerson("LeBron James"));
+  EXPECT_TRUE(NamedEntityRecognizer::LooksLikePerson("W. G. Grace"));
+  EXPECT_TRUE(NamedEntityRecognizer::LooksLikePerson("Mary-Jane O'Neil"));
+  EXPECT_FALSE(NamedEntityRecognizer::LooksLikePerson("lebron james"));
+  EXPECT_FALSE(NamedEntityRecognizer::LooksLikePerson("Single"));
+  EXPECT_FALSE(NamedEntityRecognizer::LooksLikePerson("A B C D E"));
+  EXPECT_FALSE(NamedEntityRecognizer::LooksLikePerson("Item 42"));
+}
+
+TEST(TableTest, FromStringsDetectsKindsAndParsesNumbers) {
+  Table t = Table::FromStrings("t1", {{"Alice Smith", "42", "1990-01-02"},
+                                      {"Bob Jones", "17.5", "2001-12-31"}});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.num_cols(), 3);
+  EXPECT_EQ(t.at(0, 0).kind, CellKind::kString);
+  EXPECT_EQ(t.at(0, 1).kind, CellKind::kNumber);
+  EXPECT_DOUBLE_EQ(t.at(1, 1).number, 17.5);
+  EXPECT_EQ(t.at(1, 2).kind, CellKind::kDate);
+}
+
+TEST(TableTest, NumericColumnDetection) {
+  Table t = Table::FromStrings(
+      "t2", {{"1", "x", ""}, {"2", "3", ""}, {"3", "y", ""}});
+  EXPECT_TRUE(t.IsNumericColumn(0));
+  EXPECT_FALSE(t.IsNumericColumn(1));  // mixed
+  EXPECT_FALSE(t.IsNumericColumn(2));  // all empty
+}
+
+TEST(TableTest, ColumnStats) {
+  Table t = Table::FromStrings("t3", {{"1"}, {"2"}, {"3"}, {"10"}});
+  NumericStats s = t.ColumnStats(0);
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.variance, (9 + 4 + 1 + 36) / 4.0);
+}
+
+TEST(TableTest, SelectRowsReorders) {
+  Table t = Table::FromStrings("t4", {{"a"}, {"b"}, {"c"}});
+  Table sel = t.SelectRows({2, 0});
+  EXPECT_EQ(sel.num_rows(), 2);
+  EXPECT_EQ(sel.at(0, 0).text, "c");
+  EXPECT_EQ(sel.at(1, 0).text, "a");
+  EXPECT_EQ(sel.id(), "t4");
+}
+
+Corpus MakeCorpus(int per_class, int classes) {
+  Corpus corpus;
+  corpus.name = "test";
+  for (int c = 0; c < classes; ++c) {
+    corpus.label_names.push_back("class" + std::to_string(c));
+  }
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      LabeledTable lt;
+      lt.table = Table::FromStrings(
+          "t" + std::to_string(c) + "_" + std::to_string(i), {{"x", "y"}});
+      lt.column_labels = {c, (c + 1) % classes};
+      corpus.tables.push_back(std::move(lt));
+    }
+  }
+  return corpus;
+}
+
+TEST(CorpusTest, HistogramAndCounts) {
+  Corpus corpus = MakeCorpus(5, 3);
+  EXPECT_EQ(corpus.num_labeled_columns(), 30);
+  auto hist = corpus.LabelHistogram();
+  ASSERT_EQ(hist.size(), 3u);
+  for (int64_t h : hist) EXPECT_EQ(h, 10);
+}
+
+TEST(CorpusTest, StratifiedSplitProportionsAndPartition) {
+  Corpus corpus = MakeCorpus(20, 4);
+  Rng rng(5);
+  SplitCorpus split = StratifiedSplit(corpus, 0.7, 0.1, rng);
+  EXPECT_EQ(split.train.tables.size() + split.valid.tables.size() +
+                split.test.tables.size(),
+            corpus.tables.size());
+  // Stratified: each class contributes ~70% of its tables to train.
+  auto count_first_label = [](const Corpus& c, int label) {
+    int n = 0;
+    for (const auto& lt : c.tables) {
+      if (lt.column_labels[0] == label) ++n;
+    }
+    return n;
+  };
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(count_first_label(split.train, c), 14);
+    EXPECT_EQ(count_first_label(split.valid, c), 2);
+    EXPECT_EQ(count_first_label(split.test, c), 4);
+  }
+  // Label vocabulary shared.
+  EXPECT_EQ(split.test.label_names, corpus.label_names);
+}
+
+TEST(CorpusTest, SplitIsDeterministicGivenSeed) {
+  Corpus corpus = MakeCorpus(10, 2);
+  Rng rng1(7);
+  Rng rng2(7);
+  SplitCorpus a = StratifiedSplit(corpus, 0.7, 0.1, rng1);
+  SplitCorpus b = StratifiedSplit(corpus, 0.7, 0.1, rng2);
+  ASSERT_EQ(a.train.tables.size(), b.train.tables.size());
+  for (size_t i = 0; i < a.train.tables.size(); ++i) {
+    EXPECT_EQ(a.train.tables[i].table.id(), b.train.tables[i].table.id());
+  }
+}
+
+TEST(CorpusTest, TinyStrataKeepOneTrainingSample) {
+  Corpus corpus = MakeCorpus(1, 3);
+  Rng rng(9);
+  SplitCorpus split = StratifiedSplit(corpus, 0.7, 0.1, rng);
+  EXPECT_EQ(split.train.tables.size(), 3u);
+}
+
+TEST(CorpusTest, SubsampleTables) {
+  Corpus corpus = MakeCorpus(10, 2);
+  Rng rng(11);
+  Corpus sub = SubsampleTables(corpus, 0.4, rng);
+  EXPECT_EQ(sub.tables.size(), 8u);  // 0.4 * 20
+  EXPECT_EQ(sub.label_names, corpus.label_names);
+  Rng rng2(11);
+  Corpus sub2 = SubsampleTables(corpus, 0.4, rng2);
+  for (size_t i = 0; i < sub.tables.size(); ++i) {
+    EXPECT_EQ(sub.tables[i].table.id(), sub2.tables[i].table.id());
+  }
+}
+
+}  // namespace
+}  // namespace kglink::table

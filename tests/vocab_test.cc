@@ -1,0 +1,105 @@
+// Vocabulary/tokenizer tests: specials, frequency-based construction,
+// number bucketing, persistence.
+#include "nn/vocab.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace kglink::nn {
+namespace {
+
+TEST(VocabTest, SpecialsHaveFixedIds) {
+  Vocabulary v = Vocabulary::Build({}, 1000);
+  EXPECT_EQ(v.Id("[PAD]"), Vocabulary::kPad);
+  EXPECT_EQ(v.Id("[UNK]"), Vocabulary::kUnk);
+  EXPECT_EQ(v.Id("[CLS]"), Vocabulary::kCls);
+  EXPECT_EQ(v.Id("[SEP]"), Vocabulary::kSep);
+  EXPECT_EQ(v.Id("[MASK]"), Vocabulary::kMask);
+}
+
+TEST(VocabTest, FrequencyOrderAndCap) {
+  std::vector<std::string> corpus = {"apple apple apple banana banana",
+                                     "cherry"};
+  Vocabulary v = Vocabulary::Build(corpus, 100000);
+  int apple = v.Id("apple");
+  int banana = v.Id("banana");
+  int cherry = v.Id("cherry");
+  EXPECT_NE(apple, Vocabulary::kUnk);
+  EXPECT_LT(apple, banana);
+  EXPECT_LT(banana, cherry);
+}
+
+TEST(VocabTest, UnknownWordsMapToUnk) {
+  Vocabulary v = Vocabulary::Build({"hello world"}, 100000);
+  auto ids = v.EncodeText("hello zorgblatt");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0], Vocabulary::kUnk);
+  EXPECT_EQ(ids[1], Vocabulary::kUnk);
+}
+
+TEST(VocabTest, NumberBuckets) {
+  // Years get decade buckets.
+  EXPECT_EQ(Vocabulary::NumberToken(1984), "<yr198>");
+  EXPECT_EQ(Vocabulary::NumberToken(1989), "<yr198>");
+  EXPECT_EQ(Vocabulary::NumberToken(2023), "<yr202>");
+  // Other magnitudes get sign + order buckets.
+  EXPECT_EQ(Vocabulary::NumberToken(5.0), "<num_p0>");
+  EXPECT_EQ(Vocabulary::NumberToken(523456), "<num_p5>");
+  EXPECT_EQ(Vocabulary::NumberToken(-42), "<num_m1>");
+  EXPECT_EQ(Vocabulary::NumberToken(0.003), "<num_p-3>");
+  EXPECT_EQ(Vocabulary::NumberToken(0.0), "<num_p-10>");
+}
+
+TEST(VocabTest, BucketsPreSeededEvenIfUnseen) {
+  Vocabulary v = Vocabulary::Build({"just words"}, 100000);
+  // Never appeared in the corpus, still has a dedicated id.
+  EXPECT_NE(v.Id(Vocabulary::NumberToken(1877)), Vocabulary::kUnk);
+  EXPECT_NE(v.Id(Vocabulary::NumberToken(-9.9e8)), Vocabulary::kUnk);
+}
+
+TEST(VocabTest, EncodeTextBucketsDigitRuns) {
+  Vocabulary v = Vocabulary::Build({"score 1995"}, 100000);
+  auto ids = v.EncodeText("in 1995 the score was 23");
+  // "1995" and "23" become bucket tokens, not UNK.
+  bool has_year = false;
+  for (int id : ids) {
+    if (v.TokenText(id) == "<yr199>") has_year = true;
+  }
+  EXPECT_TRUE(has_year);
+}
+
+TEST(VocabTest, EncodeTextTruncates) {
+  Vocabulary v = Vocabulary::Build({"a b c d e"}, 100000);
+  EXPECT_EQ(v.EncodeText("a b c d e", 3).size(), 3u);
+  EXPECT_EQ(v.EncodeText("a b c d e", 0).size(), 5u);
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocabulary v = Vocabulary::Build({"alpha beta beta"}, 100000);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "kglink_vocab_test.txt")
+          .string();
+  ASSERT_TRUE(v.SaveToFile(path).ok());
+  auto loaded = Vocabulary::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), v.size());
+  EXPECT_EQ(loaded->Id("beta"), v.Id("beta"));
+  EXPECT_EQ(loaded->Id("[MASK]"), Vocabulary::kMask);
+  std::remove(path.c_str());
+}
+
+TEST(VocabTest, LoadRejectsGarbage) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "kglink_vocab_bad.txt")
+          .string();
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not\na\nvalid\nvocab\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(Vocabulary::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kglink::nn
