@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ksweep.dir/bench_fig10_ksweep.cc.o"
+  "CMakeFiles/bench_fig10_ksweep.dir/bench_fig10_ksweep.cc.o.d"
+  "bench_fig10_ksweep"
+  "bench_fig10_ksweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sigma.dir/bench_fig8_sigma.cc.o"
+  "CMakeFiles/bench_fig8_sigma.dir/bench_fig8_sigma.cc.o.d"
+  "bench_fig8_sigma"
+  "bench_fig8_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

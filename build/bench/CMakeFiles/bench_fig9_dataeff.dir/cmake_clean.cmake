@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dataeff.dir/bench_fig9_dataeff.cc.o"
+  "CMakeFiles/bench_fig9_dataeff.dir/bench_fig9_dataeff.cc.o.d"
+  "bench_fig9_dataeff"
+  "bench_fig9_dataeff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dataeff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qualitative.dir/bench_qualitative.cc.o"
+  "CMakeFiles/bench_qualitative.dir/bench_qualitative.cc.o.d"
+  "bench_qualitative"
+  "bench_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_ablation.cc" "bench/CMakeFiles/bench_table2_ablation.dir/bench_table2_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_table2_ablation.dir/bench_table2_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/kglink_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kglink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kglink_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kglink_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/kglink_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/kglink_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kglink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kglink_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kglink_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/kglink_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kglink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

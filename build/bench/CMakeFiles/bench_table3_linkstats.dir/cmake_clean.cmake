@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_linkstats.dir/bench_table3_linkstats.cc.o"
+  "CMakeFiles/bench_table3_linkstats.dir/bench_table3_linkstats.cc.o.d"
+  "bench_table3_linkstats"
+  "bench_table3_linkstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_linkstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_nokg.dir/bench_table4_nokg.cc.o"
+  "CMakeFiles/bench_table4_nokg.dir/bench_table4_nokg.cc.o.d"
+  "bench_table4_nokg"
+  "bench_table4_nokg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_nokg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_rowfilter.dir/bench_table5_rowfilter.cc.o"
+  "CMakeFiles/bench_table5_rowfilter.dir/bench_table5_rowfilter.cc.o.d"
+  "bench_table5_rowfilter"
+  "bench_table5_rowfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rowfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/kglink_bench_common.dir/bench_common.cc.o.d"
+  "libkglink_bench_common.a"
+  "libkglink_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

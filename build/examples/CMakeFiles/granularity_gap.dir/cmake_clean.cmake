@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_gap.dir/granularity_gap.cpp.o"
+  "CMakeFiles/granularity_gap.dir/granularity_gap.cpp.o.d"
+  "granularity_gap"
+  "granularity_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_cli.dir/kglink_cli.cpp.o"
+  "CMakeFiles/kglink_cli.dir/kglink_cli.cpp.o.d"
+  "kglink_cli"
+  "kglink_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/doduo.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/doduo.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/doduo.cc.o.d"
+  "/root/repo/src/baselines/hnn.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/hnn.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/hnn.cc.o.d"
+  "/root/repo/src/baselines/mtab.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/mtab.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/mtab.cc.o.d"
+  "/root/repo/src/baselines/plm_annotator.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/plm_annotator.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/plm_annotator.cc.o.d"
+  "/root/repo/src/baselines/reca.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/reca.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/reca.cc.o.d"
+  "/root/repo/src/baselines/sherlock.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/sherlock.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/sherlock.cc.o.d"
+  "/root/repo/src/baselines/sudowoodo.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/sudowoodo.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/sudowoodo.cc.o.d"
+  "/root/repo/src/baselines/tabert.cc" "src/baselines/CMakeFiles/kglink_baselines.dir/tabert.cc.o" "gcc" "src/baselines/CMakeFiles/kglink_baselines.dir/tabert.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kglink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/kglink_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kglink_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/kglink_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/kglink_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/kglink_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kglink_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_baselines.dir/doduo.cc.o"
+  "CMakeFiles/kglink_baselines.dir/doduo.cc.o.d"
+  "CMakeFiles/kglink_baselines.dir/hnn.cc.o"
+  "CMakeFiles/kglink_baselines.dir/hnn.cc.o.d"
+  "CMakeFiles/kglink_baselines.dir/mtab.cc.o"
+  "CMakeFiles/kglink_baselines.dir/mtab.cc.o.d"
+  "CMakeFiles/kglink_baselines.dir/plm_annotator.cc.o"
+  "CMakeFiles/kglink_baselines.dir/plm_annotator.cc.o.d"
+  "CMakeFiles/kglink_baselines.dir/reca.cc.o"
+  "CMakeFiles/kglink_baselines.dir/reca.cc.o.d"
+  "CMakeFiles/kglink_baselines.dir/sherlock.cc.o"
+  "CMakeFiles/kglink_baselines.dir/sherlock.cc.o.d"
+  "CMakeFiles/kglink_baselines.dir/sudowoodo.cc.o"
+  "CMakeFiles/kglink_baselines.dir/sudowoodo.cc.o.d"
+  "CMakeFiles/kglink_baselines.dir/tabert.cc.o"
+  "CMakeFiles/kglink_baselines.dir/tabert.cc.o.d"
+  "libkglink_baselines.a"
+  "libkglink_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kglink_baselines.
+# This may be replaced when dependencies are built.

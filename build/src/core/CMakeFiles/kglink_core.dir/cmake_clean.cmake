@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_core.dir/annotator.cc.o"
+  "CMakeFiles/kglink_core.dir/annotator.cc.o.d"
+  "CMakeFiles/kglink_core.dir/model.cc.o"
+  "CMakeFiles/kglink_core.dir/model.cc.o.d"
+  "CMakeFiles/kglink_core.dir/serializer.cc.o"
+  "CMakeFiles/kglink_core.dir/serializer.cc.o.d"
+  "libkglink_core.a"
+  "libkglink_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

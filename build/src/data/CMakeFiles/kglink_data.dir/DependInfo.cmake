@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus_gen.cc" "src/data/CMakeFiles/kglink_data.dir/corpus_gen.cc.o" "gcc" "src/data/CMakeFiles/kglink_data.dir/corpus_gen.cc.o.d"
+  "/root/repo/src/data/names.cc" "src/data/CMakeFiles/kglink_data.dir/names.cc.o" "gcc" "src/data/CMakeFiles/kglink_data.dir/names.cc.o.d"
+  "/root/repo/src/data/templates.cc" "src/data/CMakeFiles/kglink_data.dir/templates.cc.o" "gcc" "src/data/CMakeFiles/kglink_data.dir/templates.cc.o.d"
+  "/root/repo/src/data/world.cc" "src/data/CMakeFiles/kglink_data.dir/world.cc.o" "gcc" "src/data/CMakeFiles/kglink_data.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kglink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kglink_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/kglink_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_data.dir/corpus_gen.cc.o"
+  "CMakeFiles/kglink_data.dir/corpus_gen.cc.o.d"
+  "CMakeFiles/kglink_data.dir/names.cc.o"
+  "CMakeFiles/kglink_data.dir/names.cc.o.d"
+  "CMakeFiles/kglink_data.dir/templates.cc.o"
+  "CMakeFiles/kglink_data.dir/templates.cc.o.d"
+  "CMakeFiles/kglink_data.dir/world.cc.o"
+  "CMakeFiles/kglink_data.dir/world.cc.o.d"
+  "libkglink_data.a"
+  "libkglink_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/annotator.cc" "src/eval/CMakeFiles/kglink_eval.dir/annotator.cc.o" "gcc" "src/eval/CMakeFiles/kglink_eval.dir/annotator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/kglink_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/kglink_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/eval/CMakeFiles/kglink_eval.dir/table_printer.cc.o" "gcc" "src/eval/CMakeFiles/kglink_eval.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kglink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/kglink_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_eval.dir/annotator.cc.o"
+  "CMakeFiles/kglink_eval.dir/annotator.cc.o.d"
+  "CMakeFiles/kglink_eval.dir/metrics.cc.o"
+  "CMakeFiles/kglink_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/kglink_eval.dir/table_printer.cc.o"
+  "CMakeFiles/kglink_eval.dir/table_printer.cc.o.d"
+  "libkglink_eval.a"
+  "libkglink_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/kglink_kg.dir/knowledge_graph.cc.o.d"
+  "libkglink_kg.a"
+  "libkglink_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linker/candidate_types.cc" "src/linker/CMakeFiles/kglink_linker.dir/candidate_types.cc.o" "gcc" "src/linker/CMakeFiles/kglink_linker.dir/candidate_types.cc.o.d"
+  "/root/repo/src/linker/entity_linker.cc" "src/linker/CMakeFiles/kglink_linker.dir/entity_linker.cc.o" "gcc" "src/linker/CMakeFiles/kglink_linker.dir/entity_linker.cc.o.d"
+  "/root/repo/src/linker/feature_sequence.cc" "src/linker/CMakeFiles/kglink_linker.dir/feature_sequence.cc.o" "gcc" "src/linker/CMakeFiles/kglink_linker.dir/feature_sequence.cc.o.d"
+  "/root/repo/src/linker/pipeline.cc" "src/linker/CMakeFiles/kglink_linker.dir/pipeline.cc.o" "gcc" "src/linker/CMakeFiles/kglink_linker.dir/pipeline.cc.o.d"
+  "/root/repo/src/linker/row_filter.cc" "src/linker/CMakeFiles/kglink_linker.dir/row_filter.cc.o" "gcc" "src/linker/CMakeFiles/kglink_linker.dir/row_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kglink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kglink_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/kglink_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/kglink_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_linker.dir/candidate_types.cc.o"
+  "CMakeFiles/kglink_linker.dir/candidate_types.cc.o.d"
+  "CMakeFiles/kglink_linker.dir/entity_linker.cc.o"
+  "CMakeFiles/kglink_linker.dir/entity_linker.cc.o.d"
+  "CMakeFiles/kglink_linker.dir/feature_sequence.cc.o"
+  "CMakeFiles/kglink_linker.dir/feature_sequence.cc.o.d"
+  "CMakeFiles/kglink_linker.dir/pipeline.cc.o"
+  "CMakeFiles/kglink_linker.dir/pipeline.cc.o.d"
+  "CMakeFiles/kglink_linker.dir/row_filter.cc.o"
+  "CMakeFiles/kglink_linker.dir/row_filter.cc.o.d"
+  "libkglink_linker.a"
+  "libkglink_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

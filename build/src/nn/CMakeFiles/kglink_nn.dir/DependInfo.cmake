@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/kglink_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/kglink_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/kglink_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/kglink_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/kglink_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/kglink_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/kglink_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/kglink_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/kglink_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/kglink_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/vocab.cc" "src/nn/CMakeFiles/kglink_nn.dir/vocab.cc.o" "gcc" "src/nn/CMakeFiles/kglink_nn.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kglink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

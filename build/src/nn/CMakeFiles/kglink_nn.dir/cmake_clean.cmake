@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/kglink_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/kglink_nn.dir/layers.cc.o"
+  "CMakeFiles/kglink_nn.dir/layers.cc.o.d"
+  "CMakeFiles/kglink_nn.dir/loss.cc.o"
+  "CMakeFiles/kglink_nn.dir/loss.cc.o.d"
+  "CMakeFiles/kglink_nn.dir/optim.cc.o"
+  "CMakeFiles/kglink_nn.dir/optim.cc.o.d"
+  "CMakeFiles/kglink_nn.dir/tensor.cc.o"
+  "CMakeFiles/kglink_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/kglink_nn.dir/vocab.cc.o"
+  "CMakeFiles/kglink_nn.dir/vocab.cc.o.d"
+  "libkglink_nn.a"
+  "libkglink_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

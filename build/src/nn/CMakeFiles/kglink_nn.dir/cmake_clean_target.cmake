@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkglink_nn.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/fuzzy.cc" "src/search/CMakeFiles/kglink_search.dir/fuzzy.cc.o" "gcc" "src/search/CMakeFiles/kglink_search.dir/fuzzy.cc.o.d"
+  "/root/repo/src/search/search_engine.cc" "src/search/CMakeFiles/kglink_search.dir/search_engine.cc.o" "gcc" "src/search/CMakeFiles/kglink_search.dir/search_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kglink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kglink_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_search.dir/fuzzy.cc.o"
+  "CMakeFiles/kglink_search.dir/fuzzy.cc.o.d"
+  "CMakeFiles/kglink_search.dir/search_engine.cc.o"
+  "CMakeFiles/kglink_search.dir/search_engine.cc.o.d"
+  "libkglink_search.a"
+  "libkglink_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_table.dir/corpus.cc.o"
+  "CMakeFiles/kglink_table.dir/corpus.cc.o.d"
+  "CMakeFiles/kglink_table.dir/corpus_io.cc.o"
+  "CMakeFiles/kglink_table.dir/corpus_io.cc.o.d"
+  "CMakeFiles/kglink_table.dir/ner.cc.o"
+  "CMakeFiles/kglink_table.dir/ner.cc.o.d"
+  "CMakeFiles/kglink_table.dir/table.cc.o"
+  "CMakeFiles/kglink_table.dir/table.cc.o.d"
+  "libkglink_table.a"
+  "libkglink_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kglink_util.dir/csv.cc.o"
+  "CMakeFiles/kglink_util.dir/csv.cc.o.d"
+  "CMakeFiles/kglink_util.dir/status.cc.o"
+  "CMakeFiles/kglink_util.dir/status.cc.o.d"
+  "CMakeFiles/kglink_util.dir/string_util.cc.o"
+  "CMakeFiles/kglink_util.dir/string_util.cc.o.d"
+  "libkglink_util.a"
+  "libkglink_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kglink_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

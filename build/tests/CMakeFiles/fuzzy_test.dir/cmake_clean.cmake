@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_test.dir/fuzzy_test.cc.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy_test.cc.o.d"
+  "fuzzy_test"
+  "fuzzy_test.pdb"
+  "fuzzy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

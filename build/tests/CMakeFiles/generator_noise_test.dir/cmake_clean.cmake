@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_noise_test.dir/generator_noise_test.cc.o"
+  "CMakeFiles/generator_noise_test.dir/generator_noise_test.cc.o.d"
+  "generator_noise_test"
+  "generator_noise_test.pdb"
+  "generator_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

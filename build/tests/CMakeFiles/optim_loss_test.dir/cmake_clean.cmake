@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optim_loss_test.dir/optim_loss_test.cc.o"
+  "CMakeFiles/optim_loss_test.dir/optim_loss_test.cc.o.d"
+  "optim_loss_test"
+  "optim_loss_test.pdb"
+  "optim_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optim_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

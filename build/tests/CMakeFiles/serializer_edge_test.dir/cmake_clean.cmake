@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializer_edge_test.dir/serializer_edge_test.cc.o"
+  "CMakeFiles/serializer_edge_test.dir/serializer_edge_test.cc.o.d"
+  "serializer_edge_test"
+  "serializer_edge_test.pdb"
+  "serializer_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializer_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sherlock_corpusio_test.dir/sherlock_corpusio_test.cc.o"
+  "CMakeFiles/sherlock_corpusio_test.dir/sherlock_corpusio_test.cc.o.d"
+  "sherlock_corpusio_test"
+  "sherlock_corpusio_test.pdb"
+  "sherlock_corpusio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sherlock_corpusio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

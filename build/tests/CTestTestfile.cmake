@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/layers_test[1]_include.cmake")
+include("/root/repo/build/tests/optim_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/vocab_test[1]_include.cmake")
+include("/root/repo/build/tests/kg_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/linker_test[1]_include.cmake")
+include("/root/repo/build/tests/serializer_test[1]_include.cmake")
+include("/root/repo/build/tests/annotator_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/linker_property_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sherlock_corpusio_test[1]_include.cmake")
+include("/root/repo/build/tests/serializer_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_noise_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzy_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
