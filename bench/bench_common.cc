@@ -2,12 +2,46 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace kglink::bench {
 
 namespace {
+
+// Exit-time export targets (set once by InitObservabilityFromEnv).
+std::string& TracePath() {
+  static std::string& path = *new std::string();
+  return path;
+}
+std::string& MetricsPath() {
+  static std::string& path = *new std::string();
+  return path;
+}
+
+void ExportObservabilityAtExit() {
+  if (!TracePath().empty()) {
+    obs::TraceRecorder::Global().Stop();
+    Status s = obs::TraceRecorder::Global().WriteChromeJson(TracePath());
+    if (!s.ok()) {
+      KGLINK_LOG(kWarn, "bench.trace_export_failed")
+          .With("path", TracePath())
+          .With("status", s.ToString());
+    }
+  }
+  if (!MetricsPath().empty()) {
+    Status s = obs::MetricsRegistry::Global().WriteSnapshot(MetricsPath());
+    if (!s.ok()) {
+      KGLINK_LOG(kWarn, "bench.metrics_export_failed")
+          .With("path", MetricsPath())
+          .With("status", s.ToString());
+    }
+  }
+}
 
 double ReadScale() {
   const char* s = std::getenv("KGLINK_BENCH_SCALE");
@@ -46,7 +80,23 @@ BenchEnv BuildEnv() {
 
 }  // namespace
 
+void InitObservabilityFromEnv() {
+  static bool initialized = [] {
+    const char* trace = std::getenv("KGLINK_TRACE");
+    const char* metrics = std::getenv("KGLINK_METRICS");
+    if (trace != nullptr && trace[0] != '\0') TracePath() = trace;
+    if (metrics != nullptr && metrics[0] != '\0') MetricsPath() = metrics;
+    if (!TracePath().empty()) obs::TraceRecorder::Global().Start();
+    if (!TracePath().empty() || !MetricsPath().empty()) {
+      std::atexit(ExportObservabilityAtExit);
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
 BenchEnv& GetEnv() {
+  InitObservabilityFromEnv();
   static BenchEnv& env = *new BenchEnv(BuildEnv());
   return env;
 }
@@ -106,10 +156,12 @@ RunResult RunSystem(eval::ColumnAnnotator& annotator,
                                                      &result.gold,
                                                      &result.pred);
   result.eval_seconds = eval_watch.ElapsedSeconds();
-  std::fprintf(stderr, "  [%s] acc=%.2f wF1=%.2f (fit %.1fs, eval %.1fs)\n",
-               result.model.c_str(), 100 * result.metrics.accuracy,
-               100 * result.metrics.weighted_f1, result.fit_seconds,
-               result.eval_seconds);
+  KGLINK_LOG(kInfo, "bench.system_done")
+      .With("model", result.model)
+      .With("acc", 100 * result.metrics.accuracy, 2)
+      .With("wf1", 100 * result.metrics.weighted_f1, 2)
+      .With("fit_s", result.fit_seconds, 1)
+      .With("eval_s", result.eval_seconds, 1);
   return result;
 }
 

@@ -42,8 +42,15 @@ struct BenchEnv {
 };
 
 // Builds (once) and returns the shared environment. Reads
-// KGLINK_BENCH_SCALE from the environment.
+// KGLINK_BENCH_SCALE from the environment. Also arms observability from
+// KGLINK_TRACE / KGLINK_METRICS (see InitObservabilityFromEnv).
 BenchEnv& GetEnv();
+
+// If KGLINK_TRACE=<file> is set, starts the global trace recorder and
+// registers an exit hook that writes the Chrome trace JSON there; if
+// KGLINK_METRICS=<file> is set, registers an exit hook that writes the
+// metrics snapshot. Idempotent; called by GetEnv().
+void InitObservabilityFromEnv();
 
 // Standard model configurations used across all benches (one per dataset
 // flavour, mirroring the paper's per-dataset dropout/epochs).

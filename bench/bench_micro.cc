@@ -4,6 +4,7 @@
 // paper's Section III-C (KGLink is linear in data size).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/annotator.h"
 #include "core/serializer.h"
 #include "data/corpus_gen.h"
@@ -39,6 +40,9 @@ struct MicroEnv {
 };
 
 MicroEnv& Env() {
+  // Arm KGLINK_TRACE / KGLINK_METRICS export; bench_micro builds its own
+  // corpus instead of going through bench::GetEnv().
+  bench::InitObservabilityFromEnv();
   static MicroEnv& env = *new MicroEnv();
   return env;
 }

@@ -21,6 +21,9 @@
 #include "data/corpus_gen.h"
 #include "data/world.h"
 #include "eval/metrics.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/search_engine.h"
 #include "table/corpus_io.h"
 #include "util/csv.h"
@@ -35,6 +38,8 @@ struct Args {
   std::string model_prefix;
   std::string csv_path;
   std::string style = "semtab";
+  std::string trace_path;    // --trace=FILE: Chrome trace-event JSON
+  std::string metrics_path;  // --metrics=FILE: metrics snapshot JSON
   int tables = 160;
   int epochs = 8;
   uint64_t seed = 42;
@@ -48,7 +53,13 @@ int Usage() {
       "[--seed S]\n"
       "  kglink_cli train    <dir> --model <prefix> [--epochs N]\n"
       "  kglink_cli eval     <dir> --model <prefix>\n"
-      "  kglink_cli annotate <dir> --model <prefix> <file.csv>\n");
+      "  kglink_cli annotate <dir> --model <prefix> <file.csv>\n"
+      "\n"
+      "observability (any command):\n"
+      "  --trace=FILE    write a Chrome trace-event JSON (load in\n"
+      "                  chrome://tracing or https://ui.perfetto.dev)\n"
+      "  --metrics=FILE  write a metrics snapshot (counters, gauges,\n"
+      "                  latency histograms) as JSON\n");
   return 2;
 }
 
@@ -81,6 +92,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->model_prefix = v;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      args->trace_path = a.substr(std::strlen("--trace="));
+      if (args->trace_path.empty()) return false;
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_path = v;
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      args->metrics_path = a.substr(std::strlen("--metrics="));
+      if (args->metrics_path.empty()) return false;
+    } else if (a == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      args->metrics_path = v;
     } else if (a.rfind("--", 0) != 0) {
       args->csv_path = a;
     } else {
@@ -225,11 +250,31 @@ int Annotate(const Args& args) {
   return 0;
 }
 
-}  // namespace
+// Writes the trace / metrics files requested on the command line. Called
+// after the command body so the files capture the whole run.
+int ExportObservability(const Args& args, int command_rc) {
+  if (!args.trace_path.empty()) {
+    obs::TraceRecorder::Global().Stop();
+    Status s =
+        obs::TraceRecorder::Global().WriteChromeJson(args.trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n", s.ToString().c_str());
+      if (command_rc == 0) command_rc = 1;
+    }
+  }
+  if (!args.metrics_path.empty()) {
+    Status s =
+        obs::MetricsRegistry::Global().WriteSnapshot(args.metrics_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write metrics: %s\n",
+                   s.ToString().c_str());
+      if (command_rc == 0) command_rc = 1;
+    }
+  }
+  return command_rc;
+}
 
-int main(int argc, char** argv) {
-  Args args;
-  if (!ParseArgs(argc, argv, &args)) return Usage();
+int RunCommand(const Args& args) {
   if (args.command == "gen-data") return GenData(args);
   if ((args.command == "train" || args.command == "eval" ||
        args.command == "annotate") &&
@@ -242,4 +287,13 @@ int main(int argc, char** argv) {
     return Annotate(args);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (!args.trace_path.empty()) obs::TraceRecorder::Global().Start();
+  return ExportObservability(args, RunCommand(args));
 }

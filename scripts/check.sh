@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml — the tier-1 verification:
+# configure, build everything, run the full test suite. Any argument is
+# forwarded to cmake configure (e.g. scripts/check.sh -DKGLINK_ENABLE_TRACING=OFF).
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake -B build -S . "$@"
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j

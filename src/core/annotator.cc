@@ -1,13 +1,44 @@
 #include "core/annotator.h"
 
 #include <algorithm>
-#include <cstdio>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace kglink::core {
+
+namespace {
+
+struct TrainMetrics {
+  obs::Counter& epochs;
+  obs::Counter& grad_clips;
+  obs::Counter& early_stops;
+  obs::Gauge& epoch_loss;
+  obs::Gauge& valid_accuracy;
+  obs::Gauge& grad_norm;
+  obs::Gauge& log_var0;
+  obs::Gauge& log_var1;
+
+  static TrainMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static TrainMetrics& m = *new TrainMetrics{
+        reg.GetCounter("train.epoch.count"),
+        reg.GetCounter("train.grad.clips"),
+        reg.GetCounter("train.early_stops"),
+        reg.GetGauge("train.epoch.loss"),
+        reg.GetGauge("train.valid.accuracy"),
+        reg.GetGauge("train.grad.norm"),
+        reg.GetGauge("train.sigma.log_var0"),
+        reg.GetGauge("train.sigma.log_var1")};
+    return m;
+  }
+};
+
+}  // namespace
 
 // Part-1 output plus the supervision needed for Part 2.
 struct KgLinkAnnotator::PreparedTable {
@@ -177,11 +208,13 @@ double KgLinkAnnotator::EvaluatePrepared(
 
 void KgLinkAnnotator::Fit(const table::Corpus& train,
                           const table::Corpus& valid) {
+  KGLINK_TRACE_SPAN("train.fit");
   Stopwatch watch;
   label_names_ = train.label_names;
   rng_ = std::make_unique<Rng>(options_.seed);
 
   auto prepare = [&](const table::Corpus& corpus) {
+    KGLINK_TRACE_SPAN("train.prepare");
     std::vector<PreparedTable> out;
     out.reserve(corpus.tables.size());
     for (const auto& lt : corpus.tables) {
@@ -252,9 +285,18 @@ void KgLinkAnnotator::Fit(const table::Corpus& train,
   };
 
   epoch_stats_.clear();
+  TrainMetrics& metrics = TrainMetrics::Get();
   int64_t step = 0;
   float loss_scale = 1.0f / static_cast<float>(options_.batch_size);
+  auto clip_and_step = [&] {
+    float norm = optimizer.ClipGradNorm(options_.clip_norm);
+    metrics.grad_norm.Set(norm);
+    if (norm > options_.clip_norm) metrics.grad_clips.Add();
+    optimizer.Step(schedule.LrAt(step++));
+    optimizer.ZeroGrad();
+  };
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    KGLINK_TRACE_SPAN("train.epoch");
     rng_->Shuffle(order);
     double epoch_loss = 0.0;
     int in_batch = 0;
@@ -263,17 +305,11 @@ void KgLinkAnnotator::Fit(const table::Corpus& train,
       epoch_loss += ForwardTable(train_prepared[idx], /*training=*/true,
                                  loss_scale, nullptr);
       if (++in_batch == options_.batch_size) {
-        optimizer.ClipGradNorm(options_.clip_norm);
-        optimizer.Step(schedule.LrAt(step++));
-        optimizer.ZeroGrad();
+        clip_and_step();
         in_batch = 0;
       }
     }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(options_.clip_norm);
-      optimizer.Step(schedule.LrAt(step++));
-      optimizer.ZeroGrad();
-    }
+    if (in_batch > 0) clip_and_step();
 
     EpochStats stats;
     stats.epoch = epoch;
@@ -281,16 +317,28 @@ void KgLinkAnnotator::Fit(const table::Corpus& train,
                            ? 0.0
                            : epoch_loss / static_cast<double>(
                                               train_prepared.size());
-    stats.valid_accuracy = EvaluatePrepared(
-        valid_prepared.empty() ? train_prepared : valid_prepared);
+    {
+      KGLINK_TRACE_SPAN("train.validate");
+      stats.valid_accuracy = EvaluatePrepared(
+          valid_prepared.empty() ? train_prepared : valid_prepared);
+    }
     stats.log_var0 = model_->uncertainty_loss().log_var0();
     stats.log_var1 = model_->uncertainty_loss().log_var1();
     epoch_stats_.push_back(stats);
+
+    metrics.epochs.Add();
+    metrics.epoch_loss.Set(stats.train_loss);
+    metrics.valid_accuracy.Set(stats.valid_accuracy);
+    metrics.log_var0.Set(stats.log_var0);
+    metrics.log_var1.Set(stats.log_var1);
     if (options_.verbose) {
-      std::fprintf(stderr,
-                   "[%s] epoch %d loss=%.4f valid_acc=%.4f s0=%.3f s1=%.3f\n",
-                   name().c_str(), epoch, stats.train_loss,
-                   stats.valid_accuracy, stats.log_var0, stats.log_var1);
+      KGLINK_LOG(kInfo, "train.epoch")
+          .With("model", name())
+          .With("epoch", epoch)
+          .With("loss", stats.train_loss, 4)
+          .With("valid_acc", stats.valid_accuracy, 4)
+          .With("log_var0", static_cast<double>(stats.log_var0), 3)
+          .With("log_var1", static_cast<double>(stats.log_var1), 3);
     }
 
     if (stats.valid_accuracy > best_valid) {
@@ -298,6 +346,13 @@ void KgLinkAnnotator::Fit(const table::Corpus& train,
       bad_epochs = 0;
       snapshot();
     } else if (++bad_epochs > options_.early_stopping_patience) {
+      metrics.early_stops.Add();
+      if (options_.verbose) {
+        KGLINK_LOG(kInfo, "train.early_stop")
+            .With("model", name())
+            .With("epoch", epoch)
+            .With("best_valid_acc", best_valid, 4);
+      }
       break;
     }
   }

@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace kglink::core {
+
+namespace {
+
+struct SerializerMetrics {
+  obs::Counter& tokens_emitted;
+  obs::Counter& chunks;
+  obs::Counter& truncations;  // columns whose cell tokens hit the budget
+
+  static SerializerMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static SerializerMetrics& m = *new SerializerMetrics{
+        reg.GetCounter("serializer.tokens.emitted"),
+        reg.GetCounter("serializer.chunks"),
+        reg.GetCounter("serializer.truncations")};
+    return m;
+  }
+};
+
+}  // namespace
 
 TableSerializer::TableSerializer(const nn::Vocabulary* vocab,
                                  SerializerConfig config)
@@ -89,8 +110,12 @@ std::vector<SerializedTable> TableSerializer::Serialize(
       }
 
       // ----- cell tokens, top-down, within budget -----
+      bool truncated = false;
       for (int r = 0; r < t.num_rows(); ++r) {
-        if (static_cast<int>(col_tokens.size()) >= budget) break;
+        if (static_cast<int>(col_tokens.size()) >= budget) {
+          truncated = true;
+          break;
+        }
         int remaining = budget - static_cast<int>(col_tokens.size());
         for (int id : vocab_->EncodeText(
                  t.at(r, col).text,
@@ -100,7 +125,9 @@ std::vector<SerializedTable> TableSerializer::Serialize(
       }
       if (static_cast<int>(col_tokens.size()) > budget) {
         col_tokens.resize(static_cast<size_t>(budget));
+        truncated = true;
       }
+      if (truncated) SerializerMetrics::Get().truncations.Add();
 
       // Splice into the chunk sequence, offsetting recorded positions.
       int base = static_cast<int>(chunk.tokens.size());
@@ -115,6 +142,9 @@ std::vector<SerializedTable> TableSerializer::Serialize(
     chunk.segments.push_back(0);
     KGLINK_CHECK_LE(static_cast<int>(chunk.tokens.size()),
                     config_.max_seq_len);
+    SerializerMetrics& metrics = SerializerMetrics::Get();
+    metrics.chunks.Add();
+    metrics.tokens_emitted.Add(static_cast<int64_t>(chunk.tokens.size()));
     chunks.push_back(std::move(chunk));
   }
   return chunks;

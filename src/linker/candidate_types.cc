@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace kglink::linker {
 
 std::vector<CandidateType> GenerateCandidateTypes(
@@ -42,6 +44,16 @@ std::vector<CandidateType> GenerateCandidateTypes(
   });
   if (static_cast<int>(out.size()) > config.max_candidate_types) {
     out.resize(static_cast<size_t>(config.max_candidate_types));
+  }
+
+  static obs::Counter& generated =
+      obs::MetricsRegistry::Global().GetCounter("linker.ctypes.generated");
+  static obs::Counter& empty =
+      obs::MetricsRegistry::Global().GetCounter("linker.ctypes.empty_columns");
+  if (out.empty()) {
+    empty.Add();
+  } else {
+    generated.Add(static_cast<int64_t>(out.size()));
   }
   return out;
 }

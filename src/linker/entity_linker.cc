@@ -4,7 +4,30 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace kglink::linker {
+
+namespace {
+
+struct LinkerMetrics {
+  obs::Counter& cells_linked;    // string cells sent to BM25
+  obs::Counter& cells_skipped;   // numeric/date cells (linking score 0)
+  obs::Counter& cands_retrieved; // raw BM25 candidates
+  obs::Counter& cands_kept;      // candidates surviving Eq. 3 pruning
+
+  static LinkerMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static LinkerMetrics& m = *new LinkerMetrics{
+        reg.GetCounter("linker.cells.linked"),
+        reg.GetCounter("linker.cells.skipped"),
+        reg.GetCounter("linker.candidates.retrieved"),
+        reg.GetCounter("linker.candidates.kept")};
+    return m;
+  }
+};
+
+}  // namespace
 
 EntityLinker::EntityLinker(const kg::KnowledgeGraph* kg,
                            const search::SearchEngine* engine,
@@ -16,15 +39,21 @@ EntityLinker::EntityLinker(const kg::KnowledgeGraph* kg,
 }
 
 CellLinks EntityLinker::LinkCell(const table::Cell& cell) const {
+  LinkerMetrics& metrics = LinkerMetrics::Get();
   CellLinks links;
   // Numbers and dates are unsuitable for KG linking: linking score 0
   // (paper Section III-A step 1 / Section IV preamble).
-  if (cell.kind != table::CellKind::kString) return links;
+  if (cell.kind != table::CellKind::kString) {
+    metrics.cells_skipped.Add();
+    return links;
+  }
+  metrics.cells_linked.Add();
   links.linkable = true;
   for (const auto& hit :
        engine_->TopK(cell.text, config_.max_entities_per_cell)) {
     links.retrieved.push_back({hit.doc_id, hit.score, 0.0});
   }
+  metrics.cands_retrieved.Add(static_cast<int64_t>(links.retrieved.size()));
   return links;
 }
 
@@ -51,6 +80,7 @@ RowLinks EntityLinker::LinkRow(const table::Table& table, int row) const {
   // Eq. 3 pruning + Eq. 6 overlap scores: keep a candidate when it appears
   // in at least one other column's neighbour set; its overlap score counts
   // the supporting candidate entities across all other columns.
+  int64_t kept = 0;
   for (int c1 = 0; c1 < cols; ++c1) {
     CellLinks& cell = out.cells[static_cast<size_t>(c1)];
     for (const EntityCandidate& cand : cell.retrieved) {
@@ -72,8 +102,10 @@ RowLinks EntityLinker::LinkRow(const table::Table& table, int row) const {
     for (const EntityCandidate& cand : cell.pruned) {
       cell.score = std::max(cell.score, cand.linking_score);
     }
+    kept += static_cast<int64_t>(cell.pruned.size());
     out.row_score += cell.score;  // Eq. 5
   }
+  LinkerMetrics::Get().cands_kept.Add(kept);
   return out;
 }
 

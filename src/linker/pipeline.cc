@@ -3,6 +3,8 @@
 #include "linker/candidate_types.h"
 #include "linker/feature_sequence.h"
 #include "linker/row_filter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kglink::linker {
 
@@ -12,6 +14,10 @@ KgPipeline::KgPipeline(const kg::KnowledgeGraph* kg,
     : kg_(kg), linker_(kg, engine, config) {}
 
 ProcessedTable KgPipeline::Process(const table::Table& table) const {
+  KGLINK_TRACE_SPAN("part1.process");
+  static obs::Counter& tables_processed =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.tables.processed");
+  tables_processed.Add();
   const LinkerConfig& config = linker_.config();
 
   // Steps 1-2: link & prune every row; collect row scores.
@@ -19,21 +25,28 @@ ProcessedTable KgPipeline::Process(const table::Table& table) const {
   all_rows.reserve(static_cast<size_t>(table.num_rows()));
   std::vector<double> row_scores;
   row_scores.reserve(static_cast<size_t>(table.num_rows()));
-  for (int r = 0; r < table.num_rows(); ++r) {
-    all_rows.push_back(linker_.LinkRow(table, r));
-    row_scores.push_back(all_rows.back().row_score);
+  {
+    KGLINK_TRACE_SPAN("part1.link_rows");
+    for (int r = 0; r < table.num_rows(); ++r) {
+      all_rows.push_back(linker_.LinkRow(table, r));
+      row_scores.push_back(all_rows.back().row_score);
+    }
   }
 
   // Row filter (Eq. 5 ordering or original order).
   ProcessedTable out;
-  out.kept_rows = FilterRows(row_scores, config);
-  out.filtered = table.SelectRows(out.kept_rows);
-  out.row_links.reserve(out.kept_rows.size());
-  for (int r : out.kept_rows) {
-    out.row_links.push_back(all_rows[static_cast<size_t>(r)]);
+  {
+    KGLINK_TRACE_SPAN("part1.row_filter");
+    out.kept_rows = FilterRows(row_scores, config);
+    out.filtered = table.SelectRows(out.kept_rows);
+    out.row_links.reserve(out.kept_rows.size());
+    for (int r : out.kept_rows) {
+      out.row_links.push_back(all_rows[static_cast<size_t>(r)]);
+    }
   }
 
   // Step 3 per column: candidate types, feature sequence, numeric stats.
+  KGLINK_TRACE_SPAN("part1.column_features");
   out.columns.resize(static_cast<size_t>(table.num_cols()));
   for (int c = 0; c < table.num_cols(); ++c) {
     ColumnKgInfo& info = out.columns[static_cast<size_t>(c)];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace kglink::linker {
 
 std::vector<int> FilterRows(const std::vector<double>& row_scores,
@@ -22,6 +24,13 @@ std::vector<int> FilterRows(const std::vector<double>& row_scores,
     });
   }
   order.resize(static_cast<size_t>(k));
+
+  static obs::Counter& rows_kept =
+      obs::MetricsRegistry::Global().GetCounter("linker.rows.kept");
+  static obs::Counter& rows_dropped =
+      obs::MetricsRegistry::Global().GetCounter("linker.rows.dropped");
+  rows_kept.Add(k);
+  rows_dropped.Add(n - k);
   return order;
 }
 

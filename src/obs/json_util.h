@@ -1,0 +1,27 @@
+// Tiny JSON helpers shared by the metrics/trace exporters and their tests:
+// string escaping, deterministic number formatting, and a strict validity
+// parser (no DOM — used by tests to assert exported documents parse).
+#ifndef KGLINK_OBS_JSON_UTIL_H_
+#define KGLINK_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace kglink::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (without the
+// surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+// Formats a double as a JSON number. Integral values print without a
+// fractional part; non-finite values (which JSON cannot represent) print
+// as null.
+std::string JsonNumber(double v);
+
+// Returns true iff `text` is one syntactically valid JSON document
+// (RFC 8259 grammar; no trailing garbage).
+bool IsValidJson(std::string_view text);
+
+}  // namespace kglink::obs
+
+#endif  // KGLINK_OBS_JSON_UTIL_H_

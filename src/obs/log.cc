@@ -1,0 +1,105 @@
+#include "obs/log.h"
+
+#include <cstdio>
+
+namespace kglink::obs {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+LogSink& SinkSlot() {
+  static LogSink& sink = *new LogSink();
+  return sink;
+}
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarn: return 'W';
+    case LogLevel::kOff: break;
+  }
+  return '?';
+}
+
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) { SinkSlot() = std::move(sink); }
+
+LogEvent::LogEvent(LogLevel level, std::string_view event)
+    : enabled_(LogEnabled(level)), level_(level) {
+  if (!enabled_) return;
+  line_ = "[kglink] ";
+  line_ += LevelChar(level);
+  line_ += ' ';
+  line_ += event;
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  const LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level_, line_);
+  } else {
+    std::fprintf(stderr, "%s\n", line_.c_str());
+  }
+}
+
+LogEvent& LogEvent::With(std::string_view key, int64_t value) {
+  if (!enabled_) return *this;
+  line_ += ' ';
+  line_ += key;
+  line_ += '=';
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::With(std::string_view key, double value, int precision) {
+  if (!enabled_) return *this;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  line_ += ' ';
+  line_ += key;
+  line_ += '=';
+  line_ += buf;
+  return *this;
+}
+
+LogEvent& LogEvent::With(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  line_ += ' ';
+  line_ += key;
+  line_ += '=';
+  if (NeedsQuoting(value)) {
+    line_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') line_ += '\\';
+      line_ += c;
+    }
+    line_ += '"';
+  } else {
+    line_ += value;
+  }
+  return *this;
+}
+
+}  // namespace kglink::obs

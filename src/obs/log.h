@@ -1,0 +1,77 @@
+// Leveled structured logger: one event name plus key=value fields per
+// line, replacing the ad-hoc verbose printfs. Lines go to stderr by
+// default; tests can install a capturing sink.
+//
+//   KGLINK_LOG(kInfo, "train.epoch")
+//       .With("epoch", epoch)
+//       .With("loss", loss, 4);
+// emits:
+//   [kglink] I train.epoch epoch=3 loss=0.1234
+//
+// The default minimum level is kInfo, so kDebug events are free (one
+// integer compare) unless explicitly enabled.
+#ifndef KGLINK_OBS_LOG_H_
+#define KGLINK_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace kglink::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLogLevel());
+}
+
+// Redirects emitted lines (newline not included). An empty function
+// restores the default stderr sink. Not thread-safe with concurrent
+// logging — install sinks at test setup.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+// One log line under construction; emits on destruction. Field order is
+// call order, formatting is locale-independent, so a given call site
+// produces byte-identical output across runs.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event);
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& With(std::string_view key, int64_t value);
+  LogEvent& With(std::string_view key, int value) {
+    return With(key, static_cast<int64_t>(value));
+  }
+  LogEvent& With(std::string_view key, size_t value) {
+    return With(key, static_cast<int64_t>(value));
+  }
+  // Fixed-point with `precision` fractional digits (deterministic output).
+  LogEvent& With(std::string_view key, double value, int precision = 4);
+  // String values containing spaces, '=' or '"' are double-quoted.
+  LogEvent& With(std::string_view key, std::string_view value);
+  LogEvent& With(std::string_view key, const char* value) {
+    return With(key, std::string_view(value));
+  }
+  LogEvent& With(std::string_view key, bool value) {
+    return With(key, std::string_view(value ? "true" : "false"));
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::string line_;
+};
+
+#define KGLINK_LOG(level, event) \
+  ::kglink::obs::LogEvent(::kglink::obs::LogLevel::level, (event))
+
+}  // namespace kglink::obs
+
+#endif  // KGLINK_OBS_LOG_H_

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json_util.h"
+#include "util/csv.h"
+
+namespace kglink::obs {
+
+HistogramBuckets HistogramBuckets::Exponential(double start, double factor,
+                                               int count) {
+  KGLINK_CHECK_GT(start, 0.0);
+  KGLINK_CHECK_GT(factor, 1.0);
+  KGLINK_CHECK_GT(count, 0);
+  HistogramBuckets b;
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    b.upper_bounds.push_back(bound);
+    bound *= factor;
+  }
+  return b;
+}
+
+Histogram::Histogram(HistogramBuckets buckets)
+    : bounds_(std::move(buckets.upper_bounds)),
+      counts_(bounds_.size() + 1) {
+  KGLINK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must ascend";
+}
+
+void Histogram::Record(double value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int64_t Histogram::bucket_count(size_t i) const {
+  KGLINK_CHECK_LT(i, counts_.size());
+  return static_cast<int64_t>(counts_[i].load(std::memory_order_relaxed));
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramBuckets& buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(buckets))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + JsonNumber(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h->count()) + ", \"sum\": " + JsonNumber(h->sum()) +
+           ", \"buckets\": [";
+    const auto& bounds = h->upper_bounds();
+    for (size_t i = 0; i <= bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < bounds.size() ? JsonNumber(bounds[i]) : "\"+Inf\"";
+      out += ", \"count\": " +
+             std::to_string(h->bucket_count(i)) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  return WriteFile(path, SnapshotJson());
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace kglink::obs

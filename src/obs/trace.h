@@ -1,0 +1,134 @@
+// Scoped tracing with Chrome trace_event JSON export. A ScopedSpan records
+// a begin event at construction and an end event at destruction; nesting is
+// tracked per thread so tools (and tests) can reconstruct the span tree.
+// The exported file loads directly in chrome://tracing or Perfetto.
+//
+// Two gates keep the zero-overhead path zero:
+//   * runtime: events are recorded only while TraceRecorder::Global() is
+//     started (one relaxed atomic load otherwise);
+//   * compile time: building with KGLINK_ENABLE_TRACING=OFF (i.e. without
+//     the KGLINK_TRACE_ENABLED define) expands KGLINK_TRACE_SPAN,
+//     KGLINK_OBS_TIMER and KGLINK_OBS_HOT to nothing, so instrumented hot
+//     loops carry no clock reads — or even atomic increments — at all.
+//
+// KGLINK_OBS_HOT wraps metric updates on nanosecond-scale paths (e.g.
+// SearchEngine::TopK, ~400 ns/call, where even a relaxed fetch_add is a
+// measurable fraction). Cool-path metrics (per-table, per-epoch) call
+// Counter/Gauge directly and stay available in every build.
+#ifndef KGLINK_OBS_TRACE_H_
+#define KGLINK_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace kglink::obs {
+
+struct TraceEvent {
+  std::string name;
+  char phase;     // 'B' (begin) or 'E' (end)
+  int64_t ts_us;  // microseconds since TraceRecorder::Start()
+  int depth;      // span nesting depth at the event (0 = top level)
+};
+
+// Process-wide event buffer. Start() arms recording; Stop() disarms it;
+// ExportChromeJson() serializes whatever was captured.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  // Clears previously captured events and begins recording; timestamps are
+  // relative to this call.
+  void Start();
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(std::string_view name, char phase, int depth);
+
+  size_t event_count() const;
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace-event format: {"traceEvents": [...]}. Event args carry
+  // the nesting depth.
+  std::string ExportChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point origin_{};
+};
+
+// RAII span. Records nothing when the recorder is disarmed. Use via the
+// KGLINK_TRACE_SPAN macro so the span compiles out entirely in
+// tracing-disabled builds.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Nesting depth of this span (0 = outermost). Meaningful only when the
+  // span is active (recorder armed at construction).
+  int depth() const { return depth_; }
+
+  // Current thread's live span count.
+  static int CurrentDepth();
+
+ private:
+  std::string name_;
+  int depth_ = 0;
+  bool active_ = false;
+};
+
+// Records elapsed wall time (microseconds) into a latency histogram on
+// destruction. Use via KGLINK_OBS_TIMER so disabled builds skip the clock.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyTimer() {
+    histogram_.Record(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count());
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace kglink::obs
+
+#define KGLINK_OBS_CONCAT_IMPL_(a, b) a##b
+#define KGLINK_OBS_CONCAT_(a, b) KGLINK_OBS_CONCAT_IMPL_(a, b)
+
+#if defined(KGLINK_TRACE_ENABLED)
+#define KGLINK_TRACE_SPAN(name) \
+  ::kglink::obs::ScopedSpan KGLINK_OBS_CONCAT_(kglink_span_, __LINE__)(name)
+#define KGLINK_OBS_TIMER(histogram)                                     \
+  ::kglink::obs::ScopedLatencyTimer KGLINK_OBS_CONCAT_(kglink_timer_,   \
+                                                       __LINE__)(histogram)
+#define KGLINK_OBS_HOT(...) __VA_ARGS__
+#else
+#define KGLINK_TRACE_SPAN(name) ((void)0)
+#define KGLINK_OBS_TIMER(histogram) ((void)0)
+#define KGLINK_OBS_HOT(...) ((void)0)
+#endif
+
+#endif  // KGLINK_OBS_TRACE_H_

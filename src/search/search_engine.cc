@@ -3,9 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace kglink::search {
+
+namespace {
+
+#if defined(KGLINK_TRACE_ENABLED)
+// Resolved once; afterwards updates are relaxed atomics on the hot path.
+// TopK runs in ~hundreds of nanoseconds, so even these are gated behind
+// KGLINK_OBS_HOT and vanish in tracing-disabled builds.
+struct TopKMetrics {
+  obs::Counter& calls;
+  obs::Counter& docs_scanned;
+  obs::Counter& candidates;
+  obs::Histogram& latency_us;
+
+  static TopKMetrics& Get() {
+    static TopKMetrics& m = *new TopKMetrics{
+        obs::MetricsRegistry::Global().GetCounter("search.topk.calls"),
+        obs::MetricsRegistry::Global().GetCounter("search.topk.docs_scanned"),
+        obs::MetricsRegistry::Global().GetCounter("search.topk.candidates"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "search.topk.latency_us")};
+    return m;
+  }
+};
+#endif  // KGLINK_TRACE_ENABLED
+
+}  // namespace
 
 SearchEngine::SearchEngine(Bm25Params params) : params_(params) {}
 
@@ -55,6 +83,8 @@ double SearchEngine::Idf(std::string_view term) const {
 std::vector<SearchResult> SearchEngine::TopK(std::string_view query,
                                              int k) const {
   KGLINK_CHECK(finalized_) << "query before Finalize";
+  KGLINK_OBS_HOT(TopKMetrics::Get().calls.Add());
+  KGLINK_OBS_TIMER(TopKMetrics::Get().latency_us);
   if (k <= 0 || doc_len_.empty()) return {};
 
   std::unordered_map<int32_t, double> scores;
@@ -73,6 +103,9 @@ std::vector<SearchResult> SearchEngine::TopK(std::string_view query,
     }
   }
 
+  KGLINK_OBS_HOT(
+      TopKMetrics::Get().docs_scanned.Add(static_cast<int64_t>(scores.size())));
+
   std::vector<SearchResult> results;
   results.reserve(scores.size());
   for (const auto& [index, score] : scores) {
@@ -89,6 +122,8 @@ std::vector<SearchResult> SearchEngine::TopK(std::string_view query,
   } else {
     std::sort(results.begin(), results.end(), cmp);
   }
+  KGLINK_OBS_HOT(TopKMetrics::Get().candidates.Add(
+      static_cast<int64_t>(results.size())));
   return results;
 }
 

@@ -45,8 +45,9 @@ class SearchEngine {
   // BM25 score of one document for a query (0 if no term overlap).
   double Score(std::string_view query, int32_t doc_id) const;
 
-  // Eq. 2 IDF of a term (0 for unseen terms is NOT guaranteed; unseen terms
-  // get the max IDF ln(N+0.5)/0.5+1 shape with n(w)=0).
+  // Eq. 2 IDF of a term. Unseen terms do NOT get IDF 0: with n(w) = 0,
+  // Eq. 2 yields the maximum value ln((N + 0.5) / 0.5 + 1) — unseen terms
+  // are maximally discriminative, they just never match any document.
   double Idf(std::string_view term) const;
 
   int64_t num_documents() const { return static_cast<int64_t>(doc_len_.size()); }

@@ -1,0 +1,302 @@
+// Unit tests for the observability layer: histogram bucket boundaries,
+// counter overflow/reset semantics, nested-span parenting, Chrome trace
+// JSON structure (timestamps excluded from comparisons — they are the one
+// nondeterministic field), and the structured logger's line format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace kglink::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, OverflowWrapsInsteadOfUb) {
+  Counter c;
+  c.Add(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(c.value(), std::numeric_limits<int64_t>::max());
+  // One more wraps to the minimum (two's complement), not UB; a further
+  // increment keeps counting from there.
+  c.Add(1);
+  EXPECT_EQ(c.value(), std::numeric_limits<int64_t>::min());
+  c.Add(1);
+  EXPECT_EQ(c.value(), std::numeric_limits<int64_t>::min() + 1);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h(HistogramBuckets{{1.0, 10.0, 100.0}});
+  ASSERT_EQ(h.upper_bounds().size(), 3u);
+
+  h.Record(0.5);    // <= 1      -> bucket 0
+  h.Record(1.0);    // == bound  -> bucket 0 (le semantics)
+  h.Record(1.0001); //           -> bucket 1
+  h.Record(10.0);   // == bound  -> bucket 1
+  h.Record(99.9);   //           -> bucket 2
+  h.Record(100.0);  // == bound  -> bucket 2
+  h.Record(100.5);  // overflow  -> bucket 3
+  h.Record(1e9);    // overflow  -> bucket 3
+
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 2);
+  EXPECT_EQ(h.bucket_count(2), 2);
+  EXPECT_EQ(h.bucket_count(3), 2);
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 100.5 + 1e9,
+              1e-6);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.bucket_count(3), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, ExponentialBucketLayout) {
+  HistogramBuckets b = HistogramBuckets::Exponential(1.0, 4.0, 5);
+  EXPECT_EQ(b.upper_bounds, (std::vector<double>{1, 4, 16, 64, 256}));
+}
+
+TEST(MetricsRegistryTest, SameNameSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("x.calls");
+  Counter& b = reg.GetCounter("x.calls");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3);
+  // Distinct kinds may share a name without colliding.
+  Gauge& g = reg.GetGauge("x.calls");
+  g.Set(7.0);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonIsValidAndSorted) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.two").Add(2);
+  reg.GetCounter("a.one").Add(1);
+  reg.GetGauge("loss").Set(0.125);
+  reg.GetHistogram("lat", HistogramBuckets{{1.0, 2.0}}).Record(1.5);
+  std::string json = reg.SnapshotJson();
+
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // Keys serialize sorted -> deterministic snapshots.
+  EXPECT_LT(json.find("a.one"), json.find("b.two"));
+  EXPECT_NE(json.find("\"a.one\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"loss\": 0.125"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos) << json;
+
+  reg.ResetAll();
+  std::string after = reg.SnapshotJson();
+  EXPECT_NE(after.find("\"a.one\": 0"), std::string::npos) << after;
+}
+
+TEST(JsonUtilTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("[1, 2.5, -3e4, \"x\", true, false, null]"));
+  EXPECT_TRUE(IsValidJson("{\"a\": {\"b\": [\"\\u00e9\", \"\\n\"]}}"));
+  EXPECT_FALSE(IsValidJson(""));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{\"a\": 1,}"));
+  EXPECT_FALSE(IsValidJson("[1] trailing"));
+  EXPECT_FALSE(IsValidJson("{'a': 1}"));
+  EXPECT_FALSE(IsValidJson("01"));
+  EXPECT_FALSE(IsValidJson("{\"a\": nan}"));
+}
+
+TEST(JsonUtilTest, NumberFormatting) {
+  EXPECT_EQ(JsonNumber(3.0), "3");
+  EXPECT_EQ(JsonNumber(-42.0), "-42");
+  EXPECT_EQ(JsonNumber(0.125), "0.125");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_TRUE(IsValidJson(JsonNumber(1.0 / 3.0)));
+}
+
+#if defined(KGLINK_TRACE_ENABLED)
+
+// Validates balanced, properly nested B/E events with a stack; returns the
+// maximum nesting depth or -1 on imbalance. Timestamps are ignored.
+int CheckBalanced(const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> stack;
+  size_t max_depth = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase == 'B') {
+      if (static_cast<size_t>(e.depth) != stack.size()) return -1;
+      stack.push_back(&e);
+      max_depth = std::max(max_depth, stack.size());
+    } else if (e.phase == 'E') {
+      if (stack.empty() || stack.back()->name != e.name ||
+          stack.back()->depth != e.depth) {
+        return -1;
+      }
+      stack.pop_back();
+    } else {
+      return -1;
+    }
+  }
+  return stack.empty() ? static_cast<int>(max_depth) : -1;
+}
+
+TEST(TraceTest, NestedSpanParenting) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start();
+  {
+    ScopedSpan outer("outer");
+    EXPECT_EQ(outer.depth(), 0);
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(inner.depth(), 1);
+      ScopedSpan innermost("innermost");
+      EXPECT_EQ(innermost.depth(), 2);
+    }
+    ScopedSpan sibling("sibling");
+    EXPECT_EQ(sibling.depth(), 1);
+  }
+  rec.Stop();
+
+  std::vector<TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 8u);  // 4 spans x (B + E)
+  EXPECT_EQ(CheckBalanced(events), 3);
+  // Sequential order pins the parenting: outer B, inner B, innermost B/E,
+  // inner E, sibling B/E, outer E.
+  std::vector<std::string> names;
+  std::vector<char> phases;
+  for (const auto& e : events) {
+    names.push_back(e.name);
+    phases.push_back(e.phase);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"outer", "inner", "innermost",
+                                             "innermost", "inner", "sibling",
+                                             "sibling", "outer"}));
+  EXPECT_EQ(phases,
+            (std::vector<char>{'B', 'B', 'B', 'E', 'E', 'B', 'E', 'E'}));
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start();
+  rec.Stop();
+  {
+    ScopedSpan span("ignored");
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);  // inactive span: no depth
+  }
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+// Golden-structure test for the exporter: the JSON parses, contains one
+// object per event with the Chrome-required keys, and B/E balance. The
+// "ts" values are intentionally not compared — they are wall-clock.
+TEST(TraceTest, ChromeJsonExportGolden) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start();
+  {
+    ScopedSpan outer("stage \"one\"");  // quote needs escaping
+    ScopedSpan inner("stage.two");
+  }
+  rec.Stop();
+  std::string json = rec.ExportChromeJson();
+
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stage \\\"one\\\"\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"stage.two\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"kglink\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"depth\": 1}"), std::string::npos);
+  EXPECT_EQ(CheckBalanced(rec.Events()), 2);
+
+  // Restarting clears the buffer: export is a snapshot, not an append log.
+  rec.Start();
+  rec.Stop();
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(TraceTest, TimerRecordsIntoHistogram) {
+  Histogram h(HistogramBuckets::LatencyMicros());
+  {
+    KGLINK_OBS_TIMER(h);
+  }
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+#endif  // KGLINK_TRACE_ENABLED
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink([this](LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, StructuredLineFormatIsByteStable) {
+  KGLINK_LOG(kInfo, "train.epoch")
+      .With("epoch", 3)
+      .With("loss", 0.123456, 4)
+      .With("model", "KGLink")
+      .With("note", "two words")
+      .With("ok", true);
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0],
+            "[kglink] I train.epoch epoch=3 loss=0.1235 model=KGLink "
+            "note=\"two words\" ok=true");
+}
+
+TEST_F(LogTest, LevelsFilter) {
+  KGLINK_LOG(kDebug, "hidden").With("x", 1);
+  KGLINK_LOG(kWarn, "shown");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[kglink] W shown");
+  EXPECT_EQ(levels_[0], LogLevel::kWarn);
+
+  SetMinLogLevel(LogLevel::kDebug);
+  KGLINK_LOG(kDebug, "now.visible");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[1], "[kglink] D now.visible");
+
+  SetMinLogLevel(LogLevel::kOff);
+  KGLINK_LOG(kWarn, "suppressed");
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kglink::obs

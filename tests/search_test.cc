@@ -29,6 +29,24 @@ TEST(SearchTest, IdfMatchesEq2) {
   EXPECT_NEAR(e.Idf("zzz"), unseen, 1e-12);
 }
 
+// Pins the documented unseen-term contract: Idf() is NOT 0 for terms
+// absent from the index — with n(w)=0, Eq. 2 yields the maximum IDF
+// ln((N + 0.5)/0.5 + 1) — yet unseen-only queries still match nothing.
+TEST(SearchTest, UnseenTermIdfIsMaximalNotZero) {
+  SearchEngine e = ThreeDocs();  // N = 3
+  double max_idf = std::log((3 + 0.5) / 0.5 + 1.0);  // = ln(8)
+  EXPECT_NEAR(e.Idf("unseen_term"), max_idf, 1e-12);
+  EXPECT_NEAR(e.Idf("unseen_term"), std::log(8.0), 1e-12);
+  EXPECT_GT(e.Idf("unseen_term"), 0.0);
+  // Maximal: no indexed term can have a higher IDF.
+  for (const char* term : {"lebron", "james", "harden", "rust", "album"}) {
+    EXPECT_LT(e.Idf(term), max_idf);
+  }
+  // Unseen terms contribute nothing to retrieval or scoring.
+  EXPECT_TRUE(e.TopK("unseen_term", 3).empty());
+  EXPECT_EQ(e.Score("unseen_term", 0), 0.0);
+}
+
 TEST(SearchTest, ScoreMatchesHandComputedBm25) {
   Bm25Params params;  // k1=1.2, b=0.75
   SearchEngine e(params);
