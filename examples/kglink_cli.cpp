@@ -24,6 +24,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/fault_injector.h"
 #include "search/search_engine.h"
 #include "table/corpus_io.h"
 #include "util/csv.h"
@@ -40,6 +41,8 @@ struct Args {
   std::string style = "semtab";
   std::string trace_path;    // --trace=FILE: Chrome trace-event JSON
   std::string metrics_path;  // --metrics=FILE: metrics snapshot JSON
+  std::string faults;        // --faults=site:prob[:latency_us],...
+  uint64_t fault_seed = 42;  // --fault-seed=N
   int tables = 160;
   int epochs = 8;
   uint64_t seed = 42;
@@ -59,7 +62,15 @@ int Usage() {
       "  --trace=FILE    write a Chrome trace-event JSON (load in\n"
       "                  chrome://tracing or https://ui.perfetto.dev)\n"
       "  --metrics=FILE  write a metrics snapshot (counters, gauges,\n"
-      "                  latency histograms) as JSON\n");
+      "                  latency histograms) as JSON\n"
+      "\n"
+      "fault injection (any command; for chaos testing):\n"
+      "  --faults=SPEC   comma-separated site:prob[:latency_us] rules,\n"
+      "                  e.g. --faults=search.topk:0.1,io.read:0.05:250\n"
+      "                  sites: search.topk kg.neighbors io.read io.write\n"
+      "                  train.batch (also via env KGLINK_FAULTS)\n"
+      "  --fault-seed=N  seed for the deterministic fault streams\n"
+      "                  (default 42; env KGLINK_FAULT_SEED)\n");
   return 2;
 }
 
@@ -106,6 +117,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->metrics_path = v;
+    } else if (a.rfind("--faults=", 0) == 0) {
+      args->faults = a.substr(std::strlen("--faults="));
+      if (args->faults.empty()) return false;
+    } else if (a.rfind("--fault-seed=", 0) == 0) {
+      args->fault_seed = static_cast<uint64_t>(
+          std::atoll(a.c_str() + std::strlen("--fault-seed=")));
     } else if (a.rfind("--", 0) != 0) {
       args->csv_path = a;
     } else {
@@ -239,9 +256,13 @@ int Annotate(const Args& args) {
     std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
     return 1;
   }
-  table::Table t = table::Table::FromStrings(args.csv_path, *rows);
-  std::vector<int> pred = annotator.PredictTable(t);
-  for (int c = 0; c < t.num_cols(); ++c) {
+  auto t = table::Table::TryFromStrings(args.csv_path, *rows);
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<int> pred = annotator.PredictTable(*t);
+  for (int c = 0; c < t->num_cols(); ++c) {
     std::printf("column %d: %s\n", c,
                 annotator.label_names()[static_cast<size_t>(
                                             pred[static_cast<size_t>(c)])]
@@ -294,6 +315,14 @@ int RunCommand(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (!args.faults.empty()) {
+    Status s = robust::FaultInjector::Global().ConfigureFromSpec(
+        args.faults, args.fault_seed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return Usage();
+    }
+  }
   if (!args.trace_path.empty()) obs::TraceRecorder::Global().Start();
   return ExportObservability(args, RunCommand(args));
 }

@@ -1,10 +1,23 @@
 #!/usr/bin/env sh
 # Local mirror of .github/workflows/ci.yml — the tier-1 verification:
-# configure, build everything, run the full test suite. Any argument is
-# forwarded to cmake configure (e.g. scripts/check.sh -DKGLINK_ENABLE_TRACING=OFF).
+# configure, build everything, run the full test suite.
+#
+#   scripts/check.sh [--sanitize] [cmake-args...]
+#
+# --sanitize builds with ASan+UBSan (KGLINK_SANITIZE=ON) into a separate
+# build-asan/ tree. Any other argument is forwarded to cmake configure
+# (e.g. scripts/check.sh -DKGLINK_ENABLE_TRACING=OFF).
 set -eu
 
 cd "$(dirname "$0")/.."
-cmake -B build -S . "$@"
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+
+BUILD_DIR=build
+if [ "${1:-}" = "--sanitize" ]; then
+  shift
+  BUILD_DIR=build-asan
+  set -- -DKGLINK_SANITIZE=ON "$@"
+fi
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j

@@ -1,8 +1,11 @@
 #include "core/annotator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "obs/log.h"
+#include "robust/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/csv.h"
@@ -17,6 +20,8 @@ struct TrainMetrics {
   obs::Counter& epochs;
   obs::Counter& grad_clips;
   obs::Counter& early_stops;
+  obs::Counter& skipped_batches;
+  obs::Counter& divergence_rollbacks;
   obs::Gauge& epoch_loss;
   obs::Gauge& valid_accuracy;
   obs::Gauge& grad_norm;
@@ -29,6 +34,8 @@ struct TrainMetrics {
         reg.GetCounter("train.epoch.count"),
         reg.GetCounter("train.grad.clips"),
         reg.GetCounter("train.early_stops"),
+        reg.GetCounter("train.skipped_batches"),
+        reg.GetCounter("train.divergence_rollbacks"),
         reg.GetGauge("train.epoch.loss"),
         reg.GetGauge("train.valid.accuracy"),
         reg.GetGauge("train.grad.norm"),
@@ -287,23 +294,50 @@ void KgLinkAnnotator::Fit(const table::Corpus& train,
   epoch_stats_.clear();
   TrainMetrics& metrics = TrainMetrics::Get();
   int64_t step = 0;
+  int diverged_epochs = 0;
   float loss_scale = 1.0f / static_cast<float>(options_.batch_size);
+  double epoch_loss = 0.0;
+  double batch_loss = 0.0;
+  // Applies (or discards) one accumulated gradient batch. A poisoned batch
+  // — non-finite loss or gradient norm, whether from a genuine numeric
+  // blow-up or the "train.batch" fault site — is skipped: gradients are
+  // zeroed, no optimizer step, and its loss does not pollute epoch stats.
   auto clip_and_step = [&] {
     float norm = optimizer.ClipGradNorm(options_.clip_norm);
+    if (!std::isfinite(batch_loss) || !std::isfinite(norm)) {
+      metrics.skipped_batches.Add();
+      if (options_.verbose) {
+        KGLINK_LOG(kWarn, "train.batch_skipped")
+            .With("model", name())
+            .With("loss", batch_loss)
+            .With("grad_norm", static_cast<double>(norm));
+      }
+      optimizer.ZeroGrad();
+      batch_loss = 0.0;
+      return;
+    }
     metrics.grad_norm.Set(norm);
     if (norm > options_.clip_norm) metrics.grad_clips.Add();
     optimizer.Step(schedule.LrAt(step++));
     optimizer.ZeroGrad();
+    epoch_loss += batch_loss;
+    batch_loss = 0.0;
   };
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     KGLINK_TRACE_SPAN("train.epoch");
     rng_->Shuffle(order);
-    double epoch_loss = 0.0;
+    epoch_loss = 0.0;
+    batch_loss = 0.0;
     int in_batch = 0;
     optimizer.ZeroGrad();
     for (size_t idx : order) {
-      epoch_loss += ForwardTable(train_prepared[idx], /*training=*/true,
-                                 loss_scale, nullptr);
+      double table_loss = ForwardTable(train_prepared[idx], /*training=*/true,
+                                       loss_scale, nullptr);
+      if (robust::MaybeInject(robust::FaultSite::kTrainBatch)) {
+        // Injected poison: the batch behaves as if its loss diverged.
+        table_loss = std::numeric_limits<double>::quiet_NaN();
+      }
+      batch_loss += table_loss;
       if (++in_batch == options_.batch_size) {
         clip_and_step();
         in_batch = 0;
@@ -339,6 +373,27 @@ void KgLinkAnnotator::Fit(const table::Corpus& train,
           .With("valid_acc", stats.valid_accuracy, 4)
           .With("log_var0", static_cast<double>(stats.log_var0), 3)
           .With("log_var1", static_cast<double>(stats.log_var1), 3);
+    }
+
+    // Divergence guard: a non-finite epoch loss or a validation collapse
+    // rolls back to the best checkpoint (patience-bounded) instead of
+    // letting a poisoned run overwrite good parameters.
+    bool diverged =
+        !std::isfinite(stats.train_loss) ||
+        (best_valid >= 0.0 &&
+         stats.valid_accuracy + options_.divergence_threshold < best_valid);
+    if (diverged) {
+      metrics.divergence_rollbacks.Add();
+      restore();
+      if (options_.verbose) {
+        KGLINK_LOG(kWarn, "train.divergence_rollback")
+            .With("model", name())
+            .With("epoch", epoch)
+            .With("valid_acc", stats.valid_accuracy, 4)
+            .With("best_valid_acc", best_valid, 4);
+      }
+      if (++diverged_epochs > options_.divergence_patience) break;
+      continue;
     }
 
     if (stats.valid_accuracy > best_valid) {

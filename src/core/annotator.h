@@ -39,6 +39,15 @@ struct KgLinkOptions {
   int max_vocab = 6000;
   uint64_t seed = 1234;
 
+  // Robustness: a batch whose loss or gradient norm is non-finite is
+  // skipped (gradients zeroed, "train.skipped_batches" counter). An epoch
+  // whose validation accuracy collapses by more than divergence_threshold
+  // below the best seen (or whose loss is non-finite) rolls the parameters
+  // back to the best snapshot; more than divergence_patience rollbacks
+  // aborts training on that snapshot.
+  float divergence_threshold = 0.25f;
+  int divergence_patience = 2;
+
   // Ablation switches (Table II):
   bool use_mask_task = true;        // off = "KGLink w/o msk"
   bool use_candidate_types = true;  // off (with fv off) = "KGLink w/o ct"

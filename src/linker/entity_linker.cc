@@ -38,13 +38,21 @@ EntityLinker::EntityLinker(const kg::KnowledgeGraph* kg,
   KGLINK_CHECK(engine_->finalized());
 }
 
-CellLinks EntityLinker::LinkCell(const table::Cell& cell) const {
+CellLinks EntityLinker::LinkCell(const table::Cell& cell,
+                                 robust::TableOpContext* ctx) const {
   LinkerMetrics& metrics = LinkerMetrics::Get();
   CellLinks links;
   // Numbers and dates are unsuitable for KG linking: linking score 0
   // (paper Section III-A step 1 / Section IV preamble).
   if (cell.kind != table::CellKind::kString) {
     metrics.cells_skipped.Add();
+    return links;
+  }
+  // Retrieval can fail in a real deployment (the paper's Elasticsearch
+  // lookup). A hard failure after retries degrades to an unlinkable cell —
+  // the same state a cell with no KG match is already in.
+  if (ctx != nullptr &&
+      !ctx->Attempt(robust::FaultSite::kSearchTopK)) {
     return links;
   }
   metrics.cells_linked.Add();
@@ -57,20 +65,28 @@ CellLinks EntityLinker::LinkCell(const table::Cell& cell) const {
   return links;
 }
 
-RowLinks EntityLinker::LinkRow(const table::Table& table, int row) const {
+RowLinks EntityLinker::LinkRow(const table::Table& table, int row,
+                               robust::TableOpContext* ctx) const {
   RowLinks out;
   int cols = table.num_cols();
   out.cells.reserve(static_cast<size_t>(cols));
   for (int c = 0; c < cols; ++c) {
-    out.cells.push_back(LinkCell(table.at(row, c)));
+    out.cells.push_back(LinkCell(table.at(row, c), ctx));
+    if (ctx != nullptr && ctx->degraded()) return out;
   }
 
   // One-hop neighbour multiset of each cell's retrieved entities:
   // neighbour entity -> number of supporting candidates in that cell.
+  // "kg.neighbors" is a soft fault site: a trip drops one candidate's
+  // neighbour evidence (it just loses overlap support) without retries.
   std::vector<std::unordered_map<kg::EntityId, int>> neighbor_counts(
       static_cast<size_t>(cols));
   for (int c = 0; c < cols; ++c) {
     for (const EntityCandidate& cand : out.cells[static_cast<size_t>(c)].retrieved) {
+      if (ctx != nullptr &&
+          robust::MaybeInject(robust::FaultSite::kKgNeighbors)) {
+        continue;
+      }
       for (kg::EntityId nbr : kg_->NeighborSet(cand.entity)) {
         ++neighbor_counts[static_cast<size_t>(c)][nbr];
       }

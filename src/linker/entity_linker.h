@@ -8,6 +8,7 @@
 
 #include "kg/knowledge_graph.h"
 #include "linker/types.h"
+#include "robust/retry.h"
 #include "search/search_engine.h"
 #include "table/table.h"
 
@@ -20,13 +21,18 @@ class EntityLinker {
                const search::SearchEngine* engine, LinkerConfig config);
 
   // Step 1: retrieve E_m for one cell. NUMBER/DATE/empty cells come back
-  // non-linkable with score 0.
-  CellLinks LinkCell(const table::Cell& cell) const;
+  // non-linkable with score 0. With a context, the retrieval is gated by
+  // the "search.topk" fault site (retried per the context's policy); a
+  // hard failure yields an empty, non-linkable cell.
+  CellLinks LinkCell(const table::Cell& cell,
+                     robust::TableOpContext* ctx = nullptr) const;
 
   // Steps 1+2 for a whole row: link every cell, prune with the
   // inter-column overlap (Eq. 3), compute overlap scores (Eq. 6) and the
-  // cell/row linking scores (Eq. 4-5).
-  RowLinks LinkRow(const table::Table& table, int row) const;
+  // cell/row linking scores (Eq. 4-5). The "kg.neighbors" fault site is a
+  // soft site here: a trip drops that candidate's neighbour evidence.
+  RowLinks LinkRow(const table::Table& table, int row,
+                   robust::TableOpContext* ctx = nullptr) const;
 
   const LinkerConfig& config() const { return config_; }
 

@@ -1,24 +1,86 @@
 #include "linker/pipeline.h"
 
+#include <algorithm>
+
 #include "linker/candidate_types.h"
 #include "linker/feature_sequence.h"
 #include "linker/row_filter.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace kglink::linker {
+
+namespace {
+
+struct PipelineMetrics {
+  obs::Counter& tables_processed;
+  obs::Counter& degraded_tables;
+
+  static PipelineMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static PipelineMetrics& m = *new PipelineMetrics{
+        reg.GetCounter("pipeline.tables.processed"),
+        reg.GetCounter("robust.degraded_tables")};
+    return m;
+  }
+};
+
+}  // namespace
 
 KgPipeline::KgPipeline(const kg::KnowledgeGraph* kg,
                        const search::SearchEngine* engine,
                        LinkerConfig config)
     : kg_(kg), linker_(kg, engine, config) {}
 
+ProcessedTable KgPipeline::DegradedProcess(const table::Table& table,
+                                           const char* reason) const {
+  PipelineMetrics::Get().degraded_tables.Add();
+  KGLINK_LOG(kWarn, "pipeline.degraded")
+      .With("table", table.id())
+      .With("reason", reason);
+
+  const LinkerConfig& config = linker_.config();
+  ProcessedTable out;
+  out.degraded = true;
+
+  // No row scores without KG linking: keep the first k rows in original
+  // order (the RowFilterMode::kOriginalOrder baseline).
+  int k = config.top_k_rows > 0 ? config.top_k_rows : config.max_rows_cap;
+  k = std::min({k, table.num_rows(), config.max_rows_cap});
+  out.kept_rows.reserve(static_cast<size_t>(k));
+  for (int r = 0; r < k; ++r) out.kept_rows.push_back(r);
+  out.filtered = table.SelectRows(out.kept_rows);
+
+  // Empty (unlinkable) cell links keep the ProcessedTable invariants:
+  // row_links parallel to kept_rows, one CellLinks per column.
+  out.row_links.assign(
+      out.kept_rows.size(),
+      RowLinks{std::vector<CellLinks>(static_cast<size_t>(table.num_cols())),
+               0.0});
+
+  // Columns carry no KG evidence (the serializer's "w/o ct" / "w/o fv"
+  // path), but numeric statistics need no KG and are still computed.
+  out.columns.resize(static_cast<size_t>(table.num_cols()));
+  for (int c = 0; c < table.num_cols(); ++c) {
+    ColumnKgInfo& info = out.columns[static_cast<size_t>(c)];
+    info.is_numeric = table.IsNumericColumn(c);
+    if (info.is_numeric) info.stats = table.ColumnStats(c);
+  }
+  return out;
+}
+
 ProcessedTable KgPipeline::Process(const table::Table& table) const {
   KGLINK_TRACE_SPAN("part1.process");
-  static obs::Counter& tables_processed =
-      obs::MetricsRegistry::Global().GetCounter("pipeline.tables.processed");
-  tables_processed.Add();
+  PipelineMetrics::Get().tables_processed.Add();
   const LinkerConfig& config = linker_.config();
+
+  // Per-table failure budget. Jitter seed varies per table so retry
+  // backoffs do not synchronize, but stays deterministic per process run.
+  robust::TableOpContext ctx(
+      config.retry, config.fault_budget,
+      robust::FaultInjector::Global().seed() ^
+          ctx_counter_.fetch_add(1, std::memory_order_relaxed));
 
   // Steps 1-2: link & prune every row; collect row scores.
   std::vector<RowLinks> all_rows;
@@ -28,7 +90,10 @@ ProcessedTable KgPipeline::Process(const table::Table& table) const {
   {
     KGLINK_TRACE_SPAN("part1.link_rows");
     for (int r = 0; r < table.num_rows(); ++r) {
-      all_rows.push_back(linker_.LinkRow(table, r));
+      all_rows.push_back(linker_.LinkRow(table, r, &ctx));
+      if (ctx.degraded()) {
+        return DegradedProcess(table, ctx.degrade_reason());
+      }
       row_scores.push_back(all_rows.back().row_score);
     }
   }

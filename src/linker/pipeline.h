@@ -4,6 +4,8 @@
 #ifndef KGLINK_LINKER_PIPELINE_H_
 #define KGLINK_LINKER_PIPELINE_H_
 
+#include <atomic>
+
 #include "linker/entity_linker.h"
 #include "linker/types.h"
 #include "search/search_engine.h"
@@ -16,13 +18,23 @@ class KgPipeline {
   KgPipeline(const kg::KnowledgeGraph* kg,
              const search::SearchEngine* engine, LinkerConfig config);
 
+  // Runs Part 1. Under an exhausted per-table fault budget (see
+  // LinkerConfig::fault_budget) the result is a *degraded* ProcessedTable
+  // (degraded == true): first-k rows, no KG candidate types or feature
+  // sequences — the PLM-only fallback — instead of a crash or an error.
   ProcessedTable Process(const table::Table& table) const;
 
   const LinkerConfig& config() const { return linker_.config(); }
 
  private:
+  ProcessedTable DegradedProcess(const table::Table& table,
+                                 const char* reason) const;
+
   const kg::KnowledgeGraph* kg_;
   EntityLinker linker_;
+  // Per-table jitter-seed discriminator (Process is const and may be
+  // called concurrently in the future).
+  mutable std::atomic<uint64_t> ctx_counter_{0};
 };
 
 }  // namespace kglink::linker

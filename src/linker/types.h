@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "kg/knowledge_graph.h"
+#include "robust/retry.h"
 #include "table/table.h"
 
 namespace kglink::linker {
@@ -28,6 +29,13 @@ struct LinkerConfig {
   // Edge budget when serializing the feature sequence S(e) (Eq. 9).
   int max_feature_edges = 8;
   RowFilterMode row_filter_mode = RowFilterMode::kLinkingScore;
+
+  // Failure handling (active only when fault injection is enabled, or a
+  // deadline is set): retry policy for fallible per-cell operations and the
+  // per-table budget that decides when to fall back to a degraded,
+  // PLM-only ProcessedTable instead of failing the whole pipeline.
+  robust::RetryPolicy retry;
+  robust::TableBudget fault_budget;
 };
 
 // One retrieved KG entity for a cell mention.
@@ -76,6 +84,11 @@ struct ProcessedTable {
   std::vector<int> kept_rows;      // original row indices, filter order
   std::vector<RowLinks> row_links; // parallel to kept_rows
   std::vector<ColumnKgInfo> columns;
+  // True when the table's fault budget was exhausted and KG evidence was
+  // dropped: rows kept in original order, no candidate types, no feature
+  // sequences — the PLM-only fallback (numeric stats are still computed,
+  // they need no KG). The paper's unlinkable-cell fallback, table-wide.
+  bool degraded = false;
 };
 
 }  // namespace kglink::linker

@@ -5,58 +5,109 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "robust/retry.h"
+#include "util/crc32.h"
+#include "util/csv.h"
+
 namespace kglink::nn {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x4b474c4bu;  // "KGLK"
-constexpr uint32_t kVersion = 1;
+// v2: CRC32 footer over the whole payload; torn or bit-flipped files load
+// as kCorruption instead of a silently wrong model.
+constexpr uint32_t kVersion = 2;
+constexpr size_t kCrcBytes = sizeof(uint32_t);
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void AppendPod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
+// Bounds-checked sequential reader over the in-memory payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool ReadPod(T* v) {
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* dst, size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
 
 }  // namespace
 
 Status SaveTensors(const std::string& path,
                    const std::vector<NamedParam>& params) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  WritePod(out, kMagic);
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint32_t>(params.size()));
+  std::string payload;
+  AppendPod(payload, kMagic);
+  AppendPod(payload, kVersion);
+  AppendPod(payload, static_cast<uint32_t>(params.size()));
   for (const auto& p : params) {
-    WritePod(out, static_cast<uint32_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    AppendPod(payload, static_cast<uint32_t>(p.name.size()));
+    payload.append(p.name);
     const auto& shape = p.tensor.shape();
-    WritePod(out, static_cast<uint32_t>(shape.size()));
-    for (int d : shape) WritePod(out, static_cast<int32_t>(d));
+    AppendPod(payload, static_cast<uint32_t>(shape.size()));
+    for (int d : shape) AppendPod(payload, static_cast<int32_t>(d));
     const auto& data = p.tensor.data();
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size() * sizeof(float)));
+    payload.append(reinterpret_cast<const char*>(data.data()),
+                   data.size() * sizeof(float));
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  AppendPod(payload, Crc32(payload));
+
+  // "io.write" fault: simulate a torn write — a truncated temp file is
+  // left behind and the previous checkpoint at `path` stays untouched.
+  if (robust::MaybeInject(robust::FaultSite::kIoWrite)) {
+    std::ofstream torn(path + ".tmp", std::ios::binary | std::ios::trunc);
+    torn.write(payload.data(),
+               static_cast<std::streamsize>(payload.size() / 2));
+    return Status::IoError("injected torn write: " + path);
+  }
+  // WriteFile is atomic (temp + rename): a crash mid-save never replaces a
+  // good checkpoint with a partial one.
+  return WriteFile(path, payload);
 }
 
 Status LoadTensors(const std::string& path, std::vector<NamedParam>* params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  KGLINK_ASSIGN_OR_RETURN(
+      std::string blob,
+      robust::WithRetry(robust::FaultSite::kIoRead, robust::RetryPolicy{},
+                        [&] { return ReadFile(path); }));
+  if (blob.size() < 3 * sizeof(uint32_t) + kCrcBytes) {
+    return Status::Corruption("checkpoint too small: " + path);
+  }
+  std::string_view payload(blob.data(), blob.size() - kCrcBytes);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + payload.size(), kCrcBytes);
+  if (Crc32(payload) != stored_crc) {
+    return Status::Corruption("checkpoint CRC mismatch: " + path);
+  }
+
+  ByteReader in(payload);
   uint32_t magic = 0, version = 0, count = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) {
+  if (!in.ReadPod(&magic) || magic != kMagic) {
     return Status::Corruption("bad checkpoint magic: " + path);
   }
-  if (!ReadPod(in, &version) || version != kVersion) {
+  if (!in.ReadPod(&version) || version != kVersion) {
     return Status::Corruption("unsupported checkpoint version");
   }
-  if (!ReadPod(in, &count)) return Status::Corruption("truncated checkpoint");
+  if (!in.ReadPod(&count)) return Status::Corruption("truncated checkpoint");
 
   std::unordered_map<std::string, NamedParam*> by_name;
   for (auto& p : *params) by_name[p.name] = &p;
@@ -64,29 +115,36 @@ Status LoadTensors(const std::string& path, std::vector<NamedParam>* params) {
 
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
+    if (!in.ReadPod(&name_len) || name_len > 4096) {
       return Status::Corruption("bad tensor name length");
     }
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
+    if (!in.ReadBytes(name.data(), name_len)) {
+      return Status::Corruption("truncated tensor name");
+    }
     uint32_t ndims = 0;
-    if (!ReadPod(in, &ndims) || ndims > 8) {
+    if (!in.ReadPod(&ndims) || ndims > 8) {
       return Status::Corruption("bad tensor rank");
     }
     std::vector<int> shape(ndims);
-    int64_t numel = 1;
+    uint64_t numel = 1;
     for (auto& d : shape) {
       int32_t v = 0;
-      if (!ReadPod(in, &v) || v <= 0) {
+      if (!in.ReadPod(&v) || v <= 0) {
         return Status::Corruption("bad tensor dim");
       }
       d = v;
-      numel *= v;
+      numel *= static_cast<uint64_t>(v);
+    }
+    // An impossible element count means a corrupt header; check against
+    // the remaining bytes before allocating.
+    if (numel * sizeof(float) > in.remaining()) {
+      return Status::Corruption("tensor data exceeds file size");
     }
     std::vector<float> data(static_cast<size_t>(numel));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) return Status::Corruption("truncated tensor data");
+    if (!in.ReadBytes(data.data(), data.size() * sizeof(float))) {
+      return Status::Corruption("truncated tensor data");
+    }
 
     auto it = by_name.find(name);
     if (it == by_name.end()) {

@@ -1,4 +1,10 @@
 // Binary save/load of named parameter sets (model checkpoints).
+//
+// Durability: saves are atomic (write-temp-then-rename) and carry a CRC32
+// footer over the whole payload, so a torn write never replaces a good
+// checkpoint and any bit flip loads as kCorruption instead of a silently
+// wrong model. Reads and writes pass through the "io.read" / "io.write"
+// fault-injection sites (src/robust/).
 #ifndef KGLINK_NN_CHECKPOINT_H_
 #define KGLINK_NN_CHECKPOINT_H_
 

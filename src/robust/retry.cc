@@ -1,0 +1,95 @@
+#include "robust/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace kglink::robust {
+
+namespace {
+
+struct RobustMetrics {
+  obs::Counter& retries;
+  obs::Counter& failed_ops;
+
+  static RobustMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static RobustMetrics& m = *new RobustMetrics{
+        reg.GetCounter("robust.retries"),
+        reg.GetCounter("robust.failed_ops")};
+    return m;
+  }
+};
+
+}  // namespace
+
+int64_t RetryPolicy::BackoffMicros(int attempt, double jitter01) const {
+  double backoff = static_cast<double>(base_backoff_us) *
+                   std::pow(backoff_multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(max_backoff_us));
+  // Full jitter over the upper half: uniform in [backoff/2, backoff).
+  return static_cast<int64_t>(backoff * (0.5 + 0.5 * jitter01));
+}
+
+namespace internal {
+
+void SleepBackoff(const RetryPolicy& policy, int attempt) {
+  RobustMetrics::Get().retries.Add();
+  double jitter = FaultInjector::Enabled()
+                      ? FaultInjector::Global().JitterUniform()
+                      : 0.5;
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      policy.BackoffMicros(attempt, jitter)));
+}
+
+}  // namespace internal
+
+TableOpContext::TableOpContext(const RetryPolicy& policy,
+                               const TableBudget& budget,
+                               uint64_t jitter_seed)
+    : policy_(policy), budget_(budget), jitter_rng_(jitter_seed) {}
+
+void TableOpContext::Degrade(const char* reason) {
+  degraded_ = true;
+  degrade_reason_ = reason;
+}
+
+bool TableOpContext::DeadlineExpired() {
+  if (budget_.deadline_us <= 0) return false;
+  return watch_.ElapsedSeconds() * 1e6 >
+         static_cast<double>(budget_.deadline_us);
+}
+
+bool TableOpContext::Attempt(FaultSite site) {
+  if (!FaultInjector::Enabled()) return true;
+  if (degraded_) return false;
+  if (DeadlineExpired()) {
+    Degrade("deadline");
+    return false;
+  }
+  for (int attempt = 0;; ++attempt) {
+    if (!FaultInjector::Global().ShouldFail(site)) return true;
+    if (attempt + 1 >= policy_.max_attempts) break;  // retries exhausted
+    if (++retries_used_ > budget_.max_retries) {
+      Degrade("retry budget exhausted");
+      return false;
+    }
+    RobustMetrics::Get().retries.Add();
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        policy_.BackoffMicros(attempt + 1, jitter_rng_.UniformDouble())));
+    if (DeadlineExpired()) {
+      Degrade("deadline");
+      return false;
+    }
+  }
+  RobustMetrics::Get().failed_ops.Add();
+  if (++failed_ops_ > budget_.max_failed_ops) {
+    Degrade("fault budget exhausted");
+  }
+  return false;
+}
+
+}  // namespace kglink::robust

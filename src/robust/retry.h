@@ -1,0 +1,120 @@
+// Retry and degradation policy around fault points.
+//
+// RetryPolicy: bounded attempts with exponential backoff and deterministic
+// (seeded) full jitter.
+//
+// TableOpContext: the per-table failure budget used by linker::KgPipeline.
+// Each fallible operation while processing one table calls Attempt(site);
+// transient faults are retried under the policy, and the context flips to
+// `degraded` when (a) an operation still fails after its retries, (b) the
+// table's total retry budget is exhausted, or (c) the table's deadline
+// passes. A degraded context makes the pipeline emit a PLM-only
+// ProcessedTable instead of crashing — the paper's unlinkable-cell fallback
+// applied to a whole table.
+//
+// WithRetry: wraps a real fallible call (Status / StatusOr returning) in
+// the same injection + retry loop, for I/O paths.
+#ifndef KGLINK_ROBUST_RETRY_H_
+#define KGLINK_ROBUST_RETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "robust/fault_injector.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace kglink::robust {
+
+struct RetryPolicy {
+  int max_attempts = 3;           // total tries per operation (>= 1)
+  int64_t base_backoff_us = 100;  // backoff before the 2nd attempt
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 5000;
+
+  // Backoff before attempt `attempt` (1-based retry index) with full
+  // jitter: uniform in [backoff/2, backoff), `jitter01` in [0, 1).
+  int64_t BackoffMicros(int attempt, double jitter01) const;
+};
+
+// Failure budget for processing one table.
+struct TableBudget {
+  int max_failed_ops = 0;   // post-retry hard failures tolerated
+  int max_retries = 64;     // total backoff retries across the table
+  int64_t deadline_us = 0;  // wall-clock budget; 0 disables the deadline
+};
+
+class TableOpContext {
+ public:
+  TableOpContext(const RetryPolicy& policy, const TableBudget& budget,
+                 uint64_t jitter_seed);
+
+  // Gate for one fallible operation at `site`. Returns true when the
+  // operation may proceed (possibly after retries); false when it failed
+  // hard or the context is already degraded. Cheap no-op branch when fault
+  // injection is disabled.
+  bool Attempt(FaultSite site);
+
+  bool degraded() const { return degraded_; }
+  const char* degrade_reason() const { return degrade_reason_; }
+  int failed_ops() const { return failed_ops_; }
+  int retries_used() const { return retries_used_; }
+
+ private:
+  void Degrade(const char* reason);
+  bool DeadlineExpired();
+
+  RetryPolicy policy_;
+  TableBudget budget_;
+  Rng jitter_rng_;
+  Stopwatch watch_;
+  int failed_ops_ = 0;
+  int retries_used_ = 0;
+  bool degraded_ = false;
+  const char* degrade_reason_ = "";
+};
+
+namespace internal {
+inline bool IsRetryable(const Status& s) {
+  return s.code() == StatusCode::kIoError;
+}
+template <typename T>
+bool IsRetryable(const StatusOr<T>& s) {
+  return !s.ok() && s.status().code() == StatusCode::kIoError;
+}
+inline bool CallOk(const Status& s) { return s.ok(); }
+template <typename T>
+bool CallOk(const StatusOr<T>& s) {
+  return s.ok();
+}
+// Sleeps the policy backoff before retry `attempt` (deterministic jitter
+// from the injector's seeded stream).
+void SleepBackoff(const RetryPolicy& policy, int attempt);
+}  // namespace internal
+
+// Runs `fn` (returning Status or StatusOr<T>) under fault injection at
+// `site` with bounded retries: an injected trip counts as a failed attempt
+// without invoking `fn`; a real kIoError result is retried too. Returns the
+// last result, or an injected kIoError if every attempt was suppressed.
+template <typename Fn>
+auto WithRetry(FaultSite site, const RetryPolicy& policy, Fn&& fn)
+    -> decltype(fn()) {
+  using Result = decltype(fn());
+  for (int attempt = 0;; ++attempt) {
+    if (!MaybeInject(site)) {
+      Result r = fn();
+      if (internal::CallOk(r) || !internal::IsRetryable(r) ||
+          attempt + 1 >= policy.max_attempts) {
+        return r;
+      }
+    } else if (attempt + 1 >= policy.max_attempts) {
+      return Result(Status::IoError(std::string("injected fault at ") +
+                                    FaultSiteName(site)));
+    }
+    internal::SleepBackoff(policy, attempt + 1);
+  }
+}
+
+}  // namespace kglink::robust
+
+#endif  // KGLINK_ROBUST_RETRY_H_

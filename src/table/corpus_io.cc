@@ -2,12 +2,25 @@
 
 #include <filesystem>
 
+#include "robust/retry.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
 namespace kglink::table {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// All corpus reads go through the "io.read" fault site with bounded
+// retries, so transient storage failures are retried and injected ones are
+// exercised in tests.
+StatusOr<std::string> ReadCorpusFile(const std::string& path) {
+  return robust::WithRetry(robust::FaultSite::kIoRead, robust::RetryPolicy{},
+                           [&] { return ReadFile(path); });
+}
+
+}  // namespace
 
 Status SaveCorpus(const Corpus& corpus, const std::string& dir) {
   std::error_code ec;
@@ -43,7 +56,8 @@ Status SaveCorpus(const Corpus& corpus, const std::string& dir) {
 }
 
 StatusOr<Corpus> LoadCorpus(const std::string& dir) {
-  KGLINK_ASSIGN_OR_RETURN(std::string meta, ReadFile(dir + "/corpus.meta"));
+  KGLINK_ASSIGN_OR_RETURN(std::string meta,
+                          ReadCorpusFile(dir + "/corpus.meta"));
   Corpus corpus;
   bool first = true;
   for (auto& line : Split(meta, '\n')) {
@@ -57,14 +71,20 @@ StatusOr<Corpus> LoadCorpus(const std::string& dir) {
   if (first) return Status::Corruption("empty corpus.meta");
 
   KGLINK_ASSIGN_OR_RETURN(std::string manifest,
-                          ReadFile(dir + "/tables.tsv"));
+                          ReadCorpusFile(dir + "/tables.tsv"));
   for (const auto& line : Split(manifest, '\n')) {
     if (line.empty()) continue;
     auto fields = Split(line, '\t');
     if (fields.size() != 2) return Status::Corruption("bad manifest line");
-    KGLINK_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(dir + "/" + fields[0]));
+    KGLINK_ASSIGN_OR_RETURN(std::string csv_text,
+                            ReadCorpusFile(dir + "/" + fields[0]));
+    KGLINK_ASSIGN_OR_RETURN(auto rows, ParseCsv(csv_text));
+    if (rows.empty()) {
+      return Status::Corruption("empty table file: " + fields[0]);
+    }
     LabeledTable lt;
-    lt.table = Table::FromStrings(fields[0], rows);
+    KGLINK_ASSIGN_OR_RETURN(lt.table,
+                            Table::TryFromStrings(fields[0], rows));
     if (!fields[1].empty()) {
       for (const auto& label_str : Split(fields[1], ',')) {
         double v = 0;

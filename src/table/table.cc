@@ -41,6 +41,20 @@ Table Table::FromStrings(std::string id,
   return t;
 }
 
+StatusOr<Table> Table::TryFromStrings(
+    std::string id, const std::vector<std::vector<std::string>>& rows) {
+  size_t cols = rows.empty() ? 0 : rows[0].size();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols) {
+      return Status::InvalidArgument(
+          "ragged table \"" + id + "\": row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " fields, expected " +
+          std::to_string(cols));
+    }
+  }
+  return FromStrings(std::move(id), rows);
+}
+
 Cell& Table::at(int row, int col) {
   KGLINK_CHECK(row >= 0 && row < num_rows_ && col >= 0 && col < num_cols_)
       << "cell (" << row << "," << col << ") out of range";

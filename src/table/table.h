@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace kglink::table {
 
@@ -40,9 +41,16 @@ class Table {
   Table() = default;
   Table(std::string id, int num_rows, int num_cols);
 
-  // Builds a table from raw strings, running cell-kind detection.
+  // Builds a table from raw strings, running cell-kind detection. Ragged
+  // input is a checked programming error; use TryFromStrings for
+  // user-supplied data.
   static Table FromStrings(std::string id,
                            const std::vector<std::vector<std::string>>& rows);
+
+  // Validating variant for untrusted input (parsed CSV files): ragged rows
+  // return kInvalidArgument instead of aborting.
+  static StatusOr<Table> TryFromStrings(
+      std::string id, const std::vector<std::vector<std::string>>& rows);
 
   const std::string& id() const { return id_; }
   int num_rows() const { return num_rows_; }

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for integrity
+// footers on persisted binary artifacts. Table-driven, no dependencies.
+#ifndef KGLINK_UTIL_CRC32_H_
+#define KGLINK_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kglink {
+
+// CRC of `data`. Pass a previous CRC as `seed` to checksum incrementally:
+// Crc32(b, Crc32(a)) == Crc32(a + b).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace kglink
+
+#endif  // KGLINK_UTIL_CRC32_H_

@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -26,6 +27,12 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
 
   for (size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
+    if (c == '\0') {
+      // NUL bytes mean a binary or torn file, not CSV; reject instead of
+      // silently producing truncated-looking fields downstream.
+      return Status::Corruption("CSV contains NUL byte at offset " +
+                                std::to_string(i));
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -97,10 +104,24 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) return Status::IoError("write failed: " + path);
+  // Write-temp-then-rename: a crash or failure mid-write never leaves a
+  // torn file at `path` — readers see either the old content or the new.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
   return Status::Ok();
 }
 

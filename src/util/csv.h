@@ -12,7 +12,8 @@
 
 namespace kglink {
 
-// Parses a whole CSV document into rows of fields.
+// Parses a whole CSV document into rows of fields. Malformed input
+// (unterminated quote, embedded NUL) returns kCorruption, never aborts.
 StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view text);
 
@@ -26,7 +27,8 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
 // Reads a whole file into a string.
 StatusOr<std::string> ReadFile(const std::string& path);
 
-// Writes a string to a file (truncating).
+// Writes a string to a file atomically (write <path>.tmp, then rename):
+// a failed or interrupted write never replaces or tears existing content.
 Status WriteFile(const std::string& path, std::string_view content);
 
 }  // namespace kglink

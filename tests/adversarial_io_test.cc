@@ -1,0 +1,258 @@
+// Adversarial-input hardening tests: malformed CSV, hostile corpus
+// directories, corrupted/torn checkpoints. Every case must come back as a
+// non-OK Status — never an abort, never silently wrong data.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "nn/checkpoint.h"
+#include "nn/tensor.h"
+#include "robust/fault_injector.h"
+#include "table/corpus_io.h"
+#include "table/table.h"
+#include "util/csv.h"
+
+namespace kglink {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* name) {
+  std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// CSV parsing
+
+TEST(AdversarialCsvTest, UnterminatedQuoteIsCorruption) {
+  auto r = ParseCsv("a,\"unterminated\nb,c\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(AdversarialCsvTest, EmbeddedNulIsCorruption) {
+  std::string text = "a,b\nc,";
+  text.push_back('\0');
+  text += "d\n";
+  auto r = ParseCsv(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(AdversarialCsvTest, EmptyDocumentParsesToNoRows) {
+  auto r = ParseCsv("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(AdversarialCsvTest, QuoteTornAtEndOfInput) {
+  auto r = ParseCsv("a,b\n\"");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(AdversarialTableTest, RaggedRowsRejectedNotAborted) {
+  auto t = table::Table::TryFromStrings("rag", {{"a", "b"}, {"c"}});
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  // Well-formed input still goes through the validating entry point.
+  auto ok = table::Table::TryFromStrings("fine", {{"a", "b"}, {"c", "d"}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_rows(), 2);
+  EXPECT_EQ(ok->num_cols(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus directories
+
+TEST(AdversarialCorpusTest, RaggedTableFileIsRejected) {
+  std::string dir = TempDir("kglink_adv_ragged");
+  ASSERT_TRUE(WriteFile(dir + "/corpus.meta", "c\nlabel0\n").ok());
+  ASSERT_TRUE(WriteFile(dir + "/t0.csv", "a,b\nc\n").ok());
+  ASSERT_TRUE(WriteFile(dir + "/tables.tsv", "t0.csv\t0\n").ok());
+  auto r = table::LoadCorpus(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(AdversarialCorpusTest, EmptyTableFileIsCorruption) {
+  std::string dir = TempDir("kglink_adv_empty");
+  ASSERT_TRUE(WriteFile(dir + "/corpus.meta", "c\nlabel0\n").ok());
+  ASSERT_TRUE(WriteFile(dir + "/t0.csv", "").ok());
+  ASSERT_TRUE(WriteFile(dir + "/tables.tsv", "t0.csv\t0\n").ok());
+  auto r = table::LoadCorpus(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  fs::remove_all(dir);
+}
+
+TEST(AdversarialCorpusTest, NulByteInTableFileIsCorruption) {
+  std::string dir = TempDir("kglink_adv_nul");
+  ASSERT_TRUE(WriteFile(dir + "/corpus.meta", "c\nlabel0\n").ok());
+  std::string cells = "a,b\nc,";
+  cells.push_back('\0');
+  cells += "\n";
+  ASSERT_TRUE(WriteFile(dir + "/t0.csv", cells).ok());
+  ASSERT_TRUE(WriteFile(dir + "/tables.tsv", "t0.csv\t0\n").ok());
+  auto r = table::LoadCorpus(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  fs::remove_all(dir);
+}
+
+TEST(AdversarialCorpusTest, TruncatedQuoteInTableFileIsCorruption) {
+  std::string dir = TempDir("kglink_adv_quote");
+  ASSERT_TRUE(WriteFile(dir + "/corpus.meta", "c\nlabel0\n").ok());
+  ASSERT_TRUE(WriteFile(dir + "/t0.csv", "a,\"torn\n").ok());
+  ASSERT_TRUE(WriteFile(dir + "/tables.tsv", "t0.csv\t0\n").ok());
+  auto r = table::LoadCorpus(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint durability
+
+std::vector<nn::NamedParam> MakeParams() {
+  std::vector<nn::NamedParam> params;
+  params.push_back(
+      {"w", nn::Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6})});
+  params.push_back({"b", nn::Tensor::FromData({3}, {0.5f, -0.5f, 7.0f})});
+  return params;
+}
+
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir("kglink_adv_ckpt");
+    path_ = dir_ + "/model.ckpt";
+  }
+  void TearDown() override {
+    robust::FaultInjector::Global().Disable();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(CheckpointCorruptionTest, SaveLoadRoundTrip) {
+  ASSERT_TRUE(nn::SaveTensors(path_, MakeParams()).ok());
+  auto params = MakeParams();
+  for (auto& p : params) {
+    std::fill(p.tensor.data().begin(), p.tensor.data().end(), 0.0f);
+  }
+  ASSERT_TRUE(nn::LoadTensors(path_, &params).ok());
+  auto expected = MakeParams();
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i].tensor.data(), expected[i].tensor.data());
+  }
+  // No stray temp file survives a successful save.
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(CheckpointCorruptionTest, AnySingleByteFlipIsCorruption) {
+  ASSERT_TRUE(nn::SaveTensors(path_, MakeParams()).ok());
+  auto blob = ReadFile(path_);
+  ASSERT_TRUE(blob.ok());
+  // Flip one byte at a spread of offsets: header, tensor name, float data,
+  // and the CRC footer itself must all be caught.
+  std::vector<size_t> offsets = {0, blob->size() / 4, blob->size() / 2,
+                                 blob->size() - 5, blob->size() - 1};
+  for (size_t off : offsets) {
+    std::string bad = *blob;
+    bad[off] = static_cast<char>(bad[off] ^ 0x40);
+    ASSERT_TRUE(WriteFile(path_, bad).ok());
+    auto params = MakeParams();
+    Status s = nn::LoadTensors(path_, &params);
+    ASSERT_FALSE(s.ok()) << "byte flip at offset " << off << " loaded OK";
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << "offset " << off << ": " << s.ToString();
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, TruncationIsCorruption) {
+  ASSERT_TRUE(nn::SaveTensors(path_, MakeParams()).ok());
+  auto blob = ReadFile(path_);
+  ASSERT_TRUE(blob.ok());
+  for (size_t keep : {size_t{0}, size_t{3}, blob->size() / 2,
+                      blob->size() - 1}) {
+    ASSERT_TRUE(WriteFile(path_, blob->substr(0, keep)).ok());
+    auto params = MakeParams();
+    Status s = nn::LoadTensors(path_, &params);
+    ASSERT_FALSE(s.ok()) << "truncated to " << keep << " bytes loaded OK";
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, TornWriteNeverReplacesGoodCheckpoint) {
+  // A good checkpoint exists...
+  ASSERT_TRUE(nn::SaveTensors(path_, MakeParams()).ok());
+  auto good = ReadFile(path_);
+  ASSERT_TRUE(good.ok());
+
+  // ...then an io.write fault tears the next save mid-payload.
+  robust::FaultInjector::Global().Configure(
+      {{robust::FaultSite::kIoWrite, {1.0, 0}}}, 13);
+  auto params = MakeParams();
+  std::fill(params[0].tensor.data().begin(), params[0].tensor.data().end(),
+            9.0f);
+  Status s = nn::SaveTensors(path_, params);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  robust::FaultInjector::Global().Disable();
+
+  // The original file is byte-identical and still loads.
+  auto after = ReadFile(path_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *good);
+  auto reload = MakeParams();
+  EXPECT_TRUE(nn::LoadTensors(path_, &reload).ok());
+
+  // The torn temp file (if left behind) must never load as a checkpoint.
+  if (fs::exists(path_ + ".tmp")) {
+    auto torn = MakeParams();
+    EXPECT_FALSE(nn::LoadTensors(path_ + ".tmp", &torn).ok());
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, ShapeMismatchRejected) {
+  ASSERT_TRUE(nn::SaveTensors(path_, MakeParams()).ok());
+  std::vector<nn::NamedParam> wrong;
+  wrong.push_back({"w", nn::Tensor::Zeros({3, 3})});
+  wrong.push_back({"b", nn::Tensor::Zeros({3})});
+  EXPECT_FALSE(nn::LoadTensors(path_, &wrong).ok());
+}
+
+TEST_F(CheckpointCorruptionTest, MissingFileIsNotOk) {
+  auto params = MakeParams();
+  EXPECT_FALSE(nn::LoadTensors(dir_ + "/nope.ckpt", &params).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Atomic WriteFile
+
+TEST(AtomicWriteFileTest, OverwriteIsAllOrNothing) {
+  std::string dir = TempDir("kglink_adv_atomic");
+  std::string path = dir + "/file.txt";
+  ASSERT_TRUE(WriteFile(path, "original").ok());
+  ASSERT_TRUE(WriteFile(path, "replacement").ok());
+  auto r = ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "replacement");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // Writing into a nonexistent directory fails without creating the target.
+  EXPECT_FALSE(WriteFile(dir + "/no/such/dir/f", "x").ok());
+  EXPECT_FALSE(fs::exists(dir + "/no/such/dir/f"));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace kglink

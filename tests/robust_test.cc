@@ -1,0 +1,334 @@
+// Fault-injection framework tests: deterministic seeded trip streams,
+// spec parsing, retry/backoff policy, per-table budgets, and the linker
+// pipeline's degraded (PLM-only) fallback.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "linker/pipeline.h"
+#include "obs/metrics.h"
+#include "robust/fault_injector.h"
+#include "robust/retry.h"
+#include "search/search_engine.h"
+
+namespace kglink::robust {
+namespace {
+
+// Every test leaves the global injector disabled.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disable(); }
+};
+
+TEST_F(FaultInjectorTest, SiteNamesRoundTrip) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    FaultSite site = static_cast<FaultSite>(i);
+    auto parsed = FaultSiteFromName(FaultSiteName(site));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(FaultSiteFromName("no.such.site").has_value());
+}
+
+TEST_F(FaultInjectorTest, DisabledByDefaultAndAfterDisable) {
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_FALSE(MaybeInject(FaultSite::kSearchTopK));
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0", 1)
+                  .ok());
+  EXPECT_TRUE(FaultInjector::Enabled());
+  FaultInjector::Global().Disable();
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_FALSE(MaybeInject(FaultSite::kSearchTopK));
+}
+
+TEST_F(FaultInjectorTest, ZeroProbabilityRulesStayDisabled) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:0.0,io.read:0", 1)
+                  .ok());
+  EXPECT_FALSE(FaultInjector::Enabled());
+}
+
+TEST_F(FaultInjectorTest, TripStreamIsDeterministicPerSeed) {
+  auto roll = [](uint64_t seed) {
+    FaultInjector::Global().Configure(
+        {{FaultSite::kSearchTopK, {0.5, 0}}}, seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(FaultInjector::Global().ShouldFail(
+          FaultSite::kSearchTopK));
+    }
+    return out;
+  };
+  std::vector<bool> a = roll(7);
+  std::vector<bool> b = roll(7);
+  std::vector<bool> c = roll(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Roughly half the rolls trip at p=0.5 (loose deterministic bound).
+  int trips = 0;
+  for (bool t : a) trips += t ? 1 : 0;
+  EXPECT_GT(trips, 50);
+  EXPECT_LT(trips, 150);
+}
+
+TEST_F(FaultInjectorTest, SitesHaveIndependentStreams) {
+  FaultInjector::Global().Configure(
+      {{FaultSite::kSearchTopK, {0.5, 0}}, {FaultSite::kIoRead, {0.5, 0}}},
+      7);
+  std::vector<bool> topk_interleaved, topk_alone;
+  for (int i = 0; i < 100; ++i) {
+    topk_interleaved.push_back(
+        FaultInjector::Global().ShouldFail(FaultSite::kSearchTopK));
+    FaultInjector::Global().ShouldFail(FaultSite::kIoRead);
+  }
+  FaultInjector::Global().Configure(
+      {{FaultSite::kSearchTopK, {0.5, 0}}, {FaultSite::kIoRead, {0.5, 0}}},
+      7);
+  for (int i = 0; i < 100; ++i) {
+    topk_alone.push_back(
+        FaultInjector::Global().ShouldFail(FaultSite::kSearchTopK));
+  }
+  // Interleaving other sites' rolls does not perturb a site's stream.
+  EXPECT_EQ(topk_interleaved, topk_alone);
+}
+
+TEST_F(FaultInjectorTest, SpecParsing) {
+  auto& inj = FaultInjector::Global();
+  EXPECT_TRUE(inj.ConfigureFromSpec("", 1).ok());  // empty clears
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_TRUE(
+      inj.ConfigureFromSpec("search.topk:0.1,io.read:0.5:250", 1).ok());
+  EXPECT_TRUE(FaultInjector::Enabled());
+  EXPECT_FALSE(inj.ConfigureFromSpec("bogus.site:0.5", 1).ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("search.topk:1.5", 1).ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("search.topk:-0.1", 1).ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("search.topk:0.5:-3", 1).ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("search.topk", 1).ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("search.topk:0.5:1:2", 1).ok());
+}
+
+TEST_F(FaultInjectorTest, LatencyRuleSleepsButSucceeds) {
+  FaultInjector::Global().Configure(
+      {{FaultSite::kIoRead, {1.0, 100}}}, 3);
+  // probability 1 + latency: every call trips, none fails.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(MaybeInject(FaultSite::kIoRead));
+  }
+  EXPECT_EQ(FaultInjector::Global().trip_count(FaultSite::kIoRead), 5);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsAndIsCappedWithJitterBounds) {
+  RetryPolicy policy;  // base 100us, x2, cap 5000us
+  for (double jitter : {0.0, 0.5, 0.999}) {
+    int64_t prev = 0;
+    for (int attempt = 1; attempt <= 10; ++attempt) {
+      int64_t b = policy.BackoffMicros(attempt, jitter);
+      EXPECT_GE(b, prev);  // non-decreasing
+      EXPECT_LE(b, policy.max_backoff_us);
+      prev = b;
+    }
+    // First retry: within [base/2, base).
+    EXPECT_GE(policy.BackoffMicros(1, jitter), policy.base_backoff_us / 2);
+    EXPECT_LT(policy.BackoffMicros(1, jitter), policy.base_backoff_us);
+  }
+}
+
+TEST_F(FaultInjectorTest, TableOpContextPassesThroughWhenDisabled) {
+  TableOpContext ctx(RetryPolicy{}, TableBudget{}, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ctx.Attempt(FaultSite::kSearchTopK));
+  }
+  EXPECT_FALSE(ctx.degraded());
+  EXPECT_EQ(ctx.retries_used(), 0);
+}
+
+TEST_F(FaultInjectorTest, TableOpContextRetriesTransientFaults) {
+  // p=0.5 with 4 attempts: most ops succeed after a few retries.
+  FaultInjector::Global().Configure(
+      {{FaultSite::kSearchTopK, {0.5, 0}}}, 11);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_us = 1;  // keep the test fast
+  policy.max_backoff_us = 2;
+  TableBudget budget;
+  budget.max_retries = 1000000;
+  budget.max_failed_ops = 1000000;
+  TableOpContext ctx(policy, budget, 2);
+  int ok = 0;
+  for (int i = 0; i < 100; ++i) {
+    ok += ctx.Attempt(FaultSite::kSearchTopK) ? 1 : 0;
+  }
+  EXPECT_GT(ok, 80);          // 1 - 0.5^4 ~ 94% per op
+  EXPECT_GT(ctx.retries_used(), 0);
+  EXPECT_FALSE(ctx.degraded());
+}
+
+TEST_F(FaultInjectorTest, TableOpContextDegradesOnHardFailure) {
+  FaultInjector::Global().Configure(
+      {{FaultSite::kSearchTopK, {1.0, 0}}}, 5);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 2;
+  TableOpContext ctx(policy, TableBudget{}, 3);  // 0 hard failures allowed
+  EXPECT_FALSE(ctx.Attempt(FaultSite::kSearchTopK));
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_STREQ(ctx.degrade_reason(), "fault budget exhausted");
+  // Degraded contexts short-circuit.
+  EXPECT_FALSE(ctx.Attempt(FaultSite::kSearchTopK));
+}
+
+TEST_F(FaultInjectorTest, TableOpContextDegradesWhenRetryBudgetExhausted) {
+  FaultInjector::Global().Configure(
+      {{FaultSite::kSearchTopK, {1.0, 0}}}, 5);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 2;
+  TableBudget budget;
+  budget.max_retries = 3;
+  TableOpContext ctx(policy, budget, 3);
+  EXPECT_FALSE(ctx.Attempt(FaultSite::kSearchTopK));
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_STREQ(ctx.degrade_reason(), "retry budget exhausted");
+}
+
+TEST_F(FaultInjectorTest, WithRetrySurvivesTransientInjection) {
+  FaultInjector::Global().Configure({{FaultSite::kIoRead, {0.5, 0}}}, 9);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 2;
+  int calls = 0;
+  int successes = 0;
+  for (int i = 0; i < 50; ++i) {
+    Status s = WithRetry(FaultSite::kIoRead, policy, [&] {
+      ++calls;
+      return Status::Ok();
+    });
+    successes += s.ok() ? 1 : 0;
+  }
+  // p_hard = 0.5^8 per op; deterministic for this seed (one hard failure).
+  EXPECT_GE(successes, 48);
+  EXPECT_GT(calls, 0);
+}
+
+TEST_F(FaultInjectorTest, WithRetryReturnsInjectedErrorOnHardFailure) {
+  FaultInjector::Global().Configure({{FaultSite::kIoRead, {1.0, 0}}}, 9);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 2;
+  bool called = false;
+  Status s = WithRetry(FaultSite::kIoRead, policy, [&] {
+    called = true;
+    return Status::Ok();
+  });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded pipeline behaviour on a hand-built KG (mirrors linker_test's
+// fixture world).
+
+class DegradedPipelineTest : public FaultInjectorTest {
+ protected:
+  void SetUp() override {
+    human_ = kg_.AddEntity({"T1", "human", {}, "", true, false, false});
+    album_type_ = kg_.AddEntity({"T3", "album", {}, "", true, false, false});
+    peter_ = kg_.AddEntity(
+        {"Q1", "Peter Steele", {}, "", false, true, false});
+    rust_ = kg_.AddEntity({"Q2", "Rust", {}, "", false, false, false});
+    mia_ = kg_.AddEntity({"Q4", "Mia Torv", {}, "", false, true, false});
+    echo_ = kg_.AddEntity({"Q5", "Echo", {}, "", false, false, false});
+    kg::PredicateId performer = kg_.AddPredicate("performer");
+    kg_.AddTriple(peter_, kg::KnowledgeGraph::kInstanceOf, human_);
+    kg_.AddTriple(mia_, kg::KnowledgeGraph::kInstanceOf, human_);
+    kg_.AddTriple(rust_, kg::KnowledgeGraph::kInstanceOf, album_type_);
+    kg_.AddTriple(echo_, kg::KnowledgeGraph::kInstanceOf, album_type_);
+    kg_.AddTriple(rust_, performer, peter_);
+    kg_.AddTriple(echo_, performer, mia_);
+    engine_ = std::make_unique<search::SearchEngine>(
+        search::IndexKnowledgeGraph(kg_));
+    tbl_ = table::Table::FromStrings(
+        "mixed", {{"Rust", "Peter Steele", "10"},
+                  {"Echo", "Mia Torv", "30"}});
+  }
+
+  kg::KnowledgeGraph kg_;
+  kg::EntityId human_, album_type_, peter_, rust_, mia_, echo_;
+  std::unique_ptr<search::SearchEngine> engine_;
+  table::Table tbl_;
+};
+
+TEST_F(DegradedPipelineTest, AllFaultsYieldDegradedPlmOnlyTable) {
+  obs::MetricsRegistry::Global().GetCounter("robust.degraded_tables")
+      .Reset();
+  FaultInjector::Global().Configure(
+      {{FaultSite::kSearchTopK, {1.0, 0}}}, 5);
+  linker::LinkerConfig config;
+  config.retry.max_attempts = 2;
+  config.retry.base_backoff_us = 1;
+  config.retry.max_backoff_us = 2;
+  linker::KgPipeline pipeline(&kg_, engine_.get(), config);
+  linker::ProcessedTable out = pipeline.Process(tbl_);
+
+  EXPECT_TRUE(out.degraded);
+  // Rows kept in original order, invariants intact.
+  EXPECT_EQ(out.kept_rows, (std::vector<int>{0, 1}));
+  EXPECT_EQ(out.filtered.num_rows(), 2);
+  ASSERT_EQ(out.row_links.size(), 2u);
+  ASSERT_EQ(out.row_links[0].cells.size(), 3u);
+  // No KG evidence anywhere...
+  ASSERT_EQ(out.columns.size(), 3u);
+  EXPECT_TRUE(out.columns[0].candidate_types.empty());
+  EXPECT_FALSE(out.columns[0].has_feature);
+  EXPECT_TRUE(out.columns[1].candidate_types.empty());
+  // ...but numeric stats survive (they need no KG).
+  EXPECT_TRUE(out.columns[2].is_numeric);
+  EXPECT_EQ(out.columns[2].stats.mean, 20.0);
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetCounter("robust.degraded_tables")
+                .value(),
+            1);
+}
+
+TEST_F(DegradedPipelineTest, NoFaultsMatchesBaselineOutput) {
+  linker::KgPipeline pipeline(&kg_, engine_.get(), {});
+  linker::ProcessedTable baseline = pipeline.Process(tbl_);
+  ASSERT_FALSE(baseline.degraded);
+  ASSERT_FALSE(baseline.columns.empty());
+
+  // Faults configured at probability 0 must not change anything.
+  FaultInjector::Global().Configure(
+      {{FaultSite::kSearchTopK, {0.0, 0}}}, 5);
+  linker::ProcessedTable again = pipeline.Process(tbl_);
+  EXPECT_FALSE(again.degraded);
+  ASSERT_EQ(again.columns.size(), baseline.columns.size());
+  for (size_t c = 0; c < baseline.columns.size(); ++c) {
+    EXPECT_EQ(again.columns[c].candidate_type_labels,
+              baseline.columns[c].candidate_type_labels);
+    EXPECT_EQ(again.columns[c].feature_sequence,
+              baseline.columns[c].feature_sequence);
+  }
+}
+
+TEST_F(DegradedPipelineTest, SoftKgNeighborFaultsDegradeEvidenceNotTables) {
+  // kg.neighbors is a soft site: with every neighbour lookup tripping, no
+  // candidate survives Eq. 3 pruning (no overlap evidence), but the table
+  // is still processed normally — not degraded.
+  FaultInjector::Global().Configure(
+      {{FaultSite::kKgNeighbors, {1.0, 0}}}, 5);
+  linker::KgPipeline pipeline(&kg_, engine_.get(), {});
+  linker::ProcessedTable out = pipeline.Process(tbl_);
+  EXPECT_FALSE(out.degraded);
+  for (const auto& col : out.columns) {
+    EXPECT_TRUE(col.candidate_types.empty());
+  }
+}
+
+}  // namespace
+}  // namespace kglink::robust
