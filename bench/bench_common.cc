@@ -3,11 +3,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "obs/json_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/csv.h"
 #include "util/stopwatch.h"
+
+#ifndef KGLINK_GIT_DESCRIBE
+#define KGLINK_GIT_DESCRIBE "unknown"
+#endif
 
 namespace kglink::bench {
 
@@ -48,6 +55,66 @@ double ReadScale() {
   if (s == nullptr) return 1.0;
   double v = std::atof(s);
   return v > 0 ? v : 1.0;
+}
+
+// ----- bench telemetry -----
+
+struct BenchMetric {
+  std::string name;
+  double value;
+  std::string unit;
+  int64_t repetitions;
+};
+
+std::string& BenchName() {
+  static std::string& name = *new std::string();
+  return name;
+}
+
+std::vector<BenchMetric>& BenchMetrics() {
+  static std::vector<BenchMetric>& metrics = *new std::vector<BenchMetric>();
+  return metrics;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void WriteBenchTelemetryAtExit() {
+  std::string json = "{\"bench\":\"" + obs::JsonEscape(BenchName()) + "\"";
+  json += ",\"git\":\"" + obs::JsonEscape(KGLINK_GIT_DESCRIBE) + "\"";
+  json += ",\"scale\":" + obs::JsonNumber(ReadScale());
+  json += ",\"metrics\":[";
+  const std::vector<BenchMetric>& metrics = BenchMetrics();
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) json += ',';
+    json += "{\"name\":\"" + obs::JsonEscape(metrics[i].name) + "\"";
+    json += ",\"value\":" + obs::JsonNumber(metrics[i].value);
+    json += ",\"unit\":\"" + obs::JsonEscape(metrics[i].unit) + "\"";
+    json += ",\"repetitions\":" + std::to_string(metrics[i].repetitions);
+    json += "}";
+  }
+  json += "]}";
+  const char* out_dir = std::getenv("KGLINK_BENCH_OUT");
+  std::string path = out_dir != nullptr && out_dir[0] != '\0'
+                         ? std::string(out_dir) + "/"
+                         : std::string();
+  path += "BENCH_" + BenchName() + ".json";
+  Status s = WriteFile(path, json);
+  if (!s.ok()) {
+    KGLINK_LOG(kWarn, "bench.telemetry_export_failed")
+        .With("path", path)
+        .With("status", s.ToString());
+  } else {
+    std::fprintf(stderr, "bench telemetry: %zu metrics -> %s\n",
+                 metrics.size(), path.c_str());
+  }
 }
 
 BenchEnv BuildEnv() {
@@ -93,6 +160,18 @@ void InitObservabilityFromEnv() {
     return true;
   }();
   (void)initialized;
+}
+
+void InitBenchTelemetry(const std::string& bench_name) {
+  if (!BenchName().empty()) return;
+  BenchName() = SanitizeMetricName(bench_name);
+  std::atexit(WriteBenchTelemetryAtExit);
+}
+
+void RecordBenchMetric(const std::string& name, double value,
+                       const std::string& unit, int64_t repetitions) {
+  BenchMetrics().push_back(
+      {SanitizeMetricName(name), value, unit, repetitions});
 }
 
 BenchEnv& GetEnv() {
@@ -145,7 +224,8 @@ std::vector<std::unique_ptr<eval::ColumnAnnotator>> AllSystems(
 }
 
 RunResult RunSystem(eval::ColumnAnnotator& annotator,
-                    const table::SplitCorpus& split) {
+                    const table::SplitCorpus& split,
+                    const std::string& corpus_tag) {
   RunResult result;
   result.model = annotator.name();
   Stopwatch fit_watch;
@@ -162,6 +242,15 @@ RunResult RunSystem(eval::ColumnAnnotator& annotator,
       .With("wf1", 100 * result.metrics.weighted_f1, 2)
       .With("fit_s", result.fit_seconds, 1)
       .With("eval_s", result.eval_seconds, 1);
+  std::string prefix = result.model + "." +
+                       (corpus_tag.empty() ? "run" : corpus_tag) + ".";
+  RecordBenchMetric(prefix + "accuracy", 100 * result.metrics.accuracy,
+                    "percent");
+  RecordBenchMetric(prefix + "weighted_f1",
+                    100 * result.metrics.weighted_f1, "percent");
+  RecordBenchMetric(prefix + "fit_seconds", result.fit_seconds, "seconds");
+  RecordBenchMetric(prefix + "eval_seconds", result.eval_seconds,
+                    "seconds");
   return result;
 }
 

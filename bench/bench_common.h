@@ -52,6 +52,21 @@ BenchEnv& GetEnv();
 // metrics snapshot. Idempotent; called by GetEnv().
 void InitObservabilityFromEnv();
 
+// Machine-readable bench telemetry: registers an exit hook that writes
+// every metric recorded during the run to BENCH_<bench_name>.json in
+// $KGLINK_BENCH_OUT (default: cwd), tagged with the build's git-describe
+// and the bench scale, so scripts/bench_compare.py can diff two runs.
+// Idempotent; the first name wins.
+void InitBenchTelemetry(const std::string& bench_name);
+
+// Appends one metric to the telemetry buffer. `unit` names what `value`
+// measures (e.g. "percent", "seconds", "ns", "items_per_second");
+// bench_compare.py uses it to pick the regression direction. Metric names
+// are sanitized to [A-Za-z0-9._-]. Safe to call before InitBenchTelemetry
+// (buffered) — but nothing is written unless some main initializes it.
+void RecordBenchMetric(const std::string& name, double value,
+                       const std::string& unit, int64_t repetitions = 1);
+
 // Standard model configurations used across all benches (one per dataset
 // flavour, mirroring the paper's per-dataset dropout/epochs).
 core::KgLinkOptions KgLinkDefaults(bool viznet);
@@ -70,8 +85,12 @@ struct RunResult {
   std::vector<int> gold;
   std::vector<int> pred;
 };
+// `corpus_tag` labels the run's telemetry metrics
+// (<model>.<corpus_tag>.accuracy etc.); pass something unique per
+// configuration when sweeping, or "" for the default "run" tag.
 RunResult RunSystem(eval::ColumnAnnotator& annotator,
-                    const table::SplitCorpus& split);
+                    const table::SplitCorpus& split,
+                    const std::string& corpus_tag = "");
 
 // Prints a titled block with an explanatory preamble.
 void PrintHeader(const std::string& title, const std::string& detail);

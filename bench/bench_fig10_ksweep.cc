@@ -9,6 +9,7 @@
 using namespace kglink;
 
 int main() {
+  bench::InitBenchTelemetry("fig10_ksweep");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Fig. 10 — weighted F1 and time cost of KGLink with varying k",
@@ -28,7 +29,8 @@ int main() {
                        ")";
       core::KgLinkAnnotator annotator(&env.world.kg, &env.engine, o);
       bench::RunResult r =
-          bench::RunSystem(annotator, viznet ? env.viznet : env.semtab);
+          bench::RunSystem(annotator, viznet ? env.viznet : env.semtab,
+                           viznet ? "viznet" : "semtab");
       f1[viznet] = r.metrics.weighted_f1;
       secs[viznet] = r.fit_seconds + r.eval_seconds;
     }

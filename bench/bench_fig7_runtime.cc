@@ -10,6 +10,7 @@
 using namespace kglink;
 
 int main() {
+  bench::InitBenchTelemetry("fig7_runtime");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Fig. 7 — runtime of KGLink and baselines on the VizNet-like dataset",
@@ -20,7 +21,7 @@ int main() {
   eval::TablePrinter table(
       {"Model", "Train (s)", "Inference (s)", "Total (s)", "Test Acc"});
   for (auto& sys : bench::AllSystems(env, /*viznet=*/true)) {
-    bench::RunResult r = bench::RunSystem(*sys, env.viznet);
+    bench::RunResult r = bench::RunSystem(*sys, env.viznet, "viznet");
     table.AddRow({r.model, eval::TablePrinter::Num(r.fit_seconds, 2),
                   eval::TablePrinter::Num(r.eval_seconds, 2),
                   eval::TablePrinter::Num(r.fit_seconds + r.eval_seconds, 2),

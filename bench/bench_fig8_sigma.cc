@@ -9,6 +9,7 @@
 using namespace kglink;
 
 int main() {
+  bench::InitBenchTelemetry("fig8_sigma");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Fig. 8 — analysis of sigma0 and sigma1 (adaptive loss weights)",
@@ -30,7 +31,10 @@ int main() {
       o.init_log_var1 = which == 0 ? 1.0f : v;
       o.display_name = "KGLink(frozen)";
       core::KgLinkAnnotator annotator(&env.world.kg, &env.engine, o);
-      bench::RunResult r = bench::RunSystem(annotator, env.semtab);
+      bench::RunResult r = bench::RunSystem(
+          annotator, env.semtab,
+          "semtab.s" + std::to_string(which) + "_" +
+              eval::TablePrinter::Num(v, 1));
       acc[which] = r.metrics.accuracy;
     }
     grid.AddRow({eval::TablePrinter::Num(v, 1),

@@ -10,6 +10,7 @@
 using namespace kglink;
 
 int main() {
+  bench::InitBenchTelemetry("fig9_dataeff");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Fig. 9 — KGLink vs KGLink w/o msk with varying training fraction p",
@@ -36,7 +37,8 @@ int main() {
       split.train = train;
       split.valid = env.semtab.valid;
       split.test = env.semtab.test;
-      bench::RunResult r = bench::RunSystem(annotator, split);
+      bench::RunResult r = bench::RunSystem(
+          annotator, split, "semtab.p" + eval::TablePrinter::Num(p, 1));
       acc[variant] = r.metrics.accuracy;
       f1[variant] = r.metrics.weighted_f1;
     }

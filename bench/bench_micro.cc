@@ -134,7 +134,31 @@ void BM_CorpusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusGeneration);
 
+// Console reporter that additionally records every run into the bench
+// telemetry buffer, so bench_micro drops a BENCH_micro.json like the
+// table/figure benches.
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      bench::RecordBenchMetric(run.benchmark_name(),
+                               run.GetAdjustedRealTime(),
+                               benchmark::GetTimeUnitString(run.time_unit),
+                               run.iterations);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 }  // namespace kglink
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  kglink::bench::InitBenchTelemetry("micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  kglink::TelemetryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

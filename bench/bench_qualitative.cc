@@ -9,6 +9,7 @@
 using namespace kglink;
 
 int main() {
+  bench::InitBenchTelemetry("qualitative");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Section V-D — classes improved by the representation-generation "
@@ -48,8 +49,10 @@ int main() {
     eval::TablePrinter table(
         {"class", "support", "acc w/o msk", "acc KGLink", "delta"});
     int shown = 0;
+    double top_delta_sum = 0;
     for (const auto& d : deltas) {
       if (shown++ >= 3) break;
+      top_delta_sum += d.delta;
       table.AddRow({split.test.label_names[static_cast<size_t>(d.label)],
                     std::to_string(d.support),
                     eval::TablePrinter::Pct(d.accuracy_before),
@@ -57,6 +60,11 @@ int main() {
                     eval::TablePrinter::Pct(d.delta)});
     }
     table.Print();
+    if (shown > 0) {
+      bench::RecordBenchMetric(
+          std::string(viznet ? "viznet" : "semtab") + ".msk_top3_avg_delta",
+          100.0 * top_delta_sum / shown, "percent");
+    }
   }
 
   std::printf(

@@ -7,6 +7,7 @@
 using namespace kglink;
 
 int main() {
+  bench::InitBenchTelemetry("table1_main");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Table I — KGLink performance on the SemTab-like and VizNet-like "
@@ -26,7 +27,8 @@ int main() {
     auto systems = bench::AllSystems(env, viznet);
     for (auto& sys : systems) {
       bench::RunResult r =
-          bench::RunSystem(*sys, viznet ? env.viznet : env.semtab);
+          bench::RunSystem(*sys, viznet ? env.viznet : env.semtab,
+                           viznet ? "viznet" : "semtab");
       Row* row = nullptr;
       for (auto& existing : rows) {
         if (existing.model == r.model) row = &existing;

@@ -37,6 +37,7 @@ core::KgLinkOptions Variant(bool viznet, const std::string& name) {
 }  // namespace
 
 int main() {
+  bench::InitBenchTelemetry("table2_ablation");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Table II — ablation study of KGLink",
@@ -55,7 +56,8 @@ int main() {
       core::KgLinkAnnotator annotator(&env.world.kg, &env.engine,
                                       Variant(viznet, name));
       bench::RunResult r =
-          bench::RunSystem(annotator, viznet ? env.viznet : env.semtab);
+          bench::RunSystem(annotator, viznet ? env.viznet : env.semtab,
+                           viznet ? "viznet" : "semtab");
       if (viznet) {
         vz_acc = r.metrics.accuracy;
         vz_f1 = r.metrics.weighted_f1;

@@ -53,6 +53,7 @@ std::string Cell(int64_t n, int64_t total) {
 }  // namespace
 
 int main() {
+  bench::InitBenchTelemetry("table3_linkstats");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Table III — link statistics between the datasets and the KG",
@@ -63,6 +64,20 @@ int main() {
 
   LinkStats semtab = Collect(env, env.semtab);
   LinkStats viznet = Collect(env, env.viznet);
+
+  for (const auto& [tag, stats] :
+       {std::pair<const char*, const LinkStats&>{"semtab", semtab},
+        {"viznet", viznet}}) {
+    std::string prefix = std::string("linkstats.") + tag + ".";
+    bench::RecordBenchMetric(prefix + "numeric_columns",
+                             static_cast<double>(stats.numeric), "count");
+    bench::RecordBenchMetric(prefix + "no_fv_columns",
+                             static_cast<double>(stats.no_fv), "count");
+    bench::RecordBenchMetric(prefix + "no_ct_columns",
+                             static_cast<double>(stats.no_ct), "count");
+    bench::RecordBenchMetric(prefix + "total_columns",
+                             static_cast<double>(stats.total), "count");
+  }
 
   eval::TablePrinter table({"", "SemTab", "VizNet"});
   table.AddRow({"Numeric columns", Cell(semtab.numeric, semtab.total),

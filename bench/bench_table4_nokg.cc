@@ -27,6 +27,7 @@ bool TableHasNoLinkage(const bench::BenchEnv& env, const table::Table& t) {
 }  // namespace
 
 int main() {
+  bench::InitBenchTelemetry("table4_nokg");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Table IV — accuracy on the test subset with no extracted KG info",
@@ -90,6 +91,20 @@ int main() {
     };
     table.AddRow({sys->name(), pct(num_ok, num_total),
                   pct(non_ok, non_total)});
+    if (num_total > 0) {
+      bench::RecordBenchMetric(
+          sys->name() + ".nokg.numeric_accuracy",
+          100.0 * static_cast<double>(num_ok) /
+              static_cast<double>(num_total),
+          "percent");
+    }
+    if (non_total > 0) {
+      bench::RecordBenchMetric(
+          sys->name() + ".nokg.non_numeric_accuracy",
+          100.0 * static_cast<double>(non_ok) /
+              static_cast<double>(non_total),
+          "percent");
+    }
   }
   table.Print();
 

@@ -9,6 +9,7 @@
 using namespace kglink;
 
 int main() {
+  bench::InitBenchTelemetry("table5_rowfilter");
   bench::BenchEnv& env = bench::GetEnv();
   bench::PrintHeader(
       "Table V — performance comparison of table filters",
@@ -30,7 +31,8 @@ int main() {
       o.display_name = name;
       core::KgLinkAnnotator annotator(&env.world.kg, &env.engine, o);
       bench::RunResult r =
-          bench::RunSystem(annotator, viznet ? env.viznet : env.semtab);
+          bench::RunSystem(annotator, viznet ? env.viznet : env.semtab,
+                           viznet ? "viznet" : "semtab");
       vals[viznet ? 2 : 0] = r.metrics.accuracy;
       vals[viznet ? 3 : 1] = r.metrics.weighted_f1;
     }

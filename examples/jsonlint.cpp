@@ -1,0 +1,80 @@
+// jsonlint — validates the JSON artifacts the pipeline emits (metrics
+// snapshots, trace files, provenance JSONL, bench telemetry) so CI can
+// fail fast on malformed output:
+//
+//   jsonlint <file>...
+//
+// Files ending in .jsonl are validated line by line (blank lines are
+// allowed); everything else must be one well-formed JSON document.
+// Exits non-zero if any file fails, reporting the first bad line.
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "obs/json_util.h"
+#include "util/csv.h"
+
+using namespace kglink;
+
+namespace {
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  std::string_view sv = suffix;
+  return s.size() >= sv.size() &&
+         std::string_view(s).substr(s.size() - sv.size()) == sv;
+}
+
+// Returns 0-based index of the first invalid line, or -1 if all valid.
+long CheckJsonl(std::string_view text) {
+  long line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos,
+        eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (!line.empty() && !obs::IsValidJson(line)) return line_no;
+    ++line_no;
+  }
+  return -1;
+}
+
+bool CheckFile(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 text.status().ToString().c_str());
+    return false;
+  }
+  if (HasSuffix(path, ".jsonl")) {
+    long bad = CheckJsonl(*text);
+    if (bad >= 0) {
+      std::fprintf(stderr, "%s:%ld: invalid JSON line\n", path.c_str(),
+                   bad + 1);
+      return false;
+    }
+    std::printf("%s: ok (jsonl)\n", path.c_str());
+    return true;
+  }
+  if (!obs::IsValidJson(*text)) {
+    std::fprintf(stderr, "%s: invalid JSON\n", path.c_str());
+    return false;
+  }
+  std::printf("%s: ok\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: jsonlint <file>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!CheckFile(argv[i])) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

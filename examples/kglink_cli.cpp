@@ -15,14 +15,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "core/annotator.h"
 #include "data/corpus_gen.h"
 #include "data/world.h"
+#include "eval/explain_report.h"
 #include "eval/metrics.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
@@ -41,6 +44,7 @@ struct Args {
   std::string style = "semtab";
   std::string trace_path;    // --trace=FILE: Chrome trace-event JSON
   std::string metrics_path;  // --metrics=FILE: metrics snapshot JSON
+  std::string explain_dir;   // --explain=DIR: provenance JSONL + report
   std::string faults;        // --faults=site:prob[:latency_us],...
   uint64_t fault_seed = 42;  // --fault-seed=N
   int tables = 160;
@@ -57,12 +61,18 @@ int Usage() {
       "  kglink_cli train    <dir> --model <prefix> [--epochs N]\n"
       "  kglink_cli eval     <dir> --model <prefix>\n"
       "  kglink_cli annotate <dir> --model <prefix> <file.csv>\n"
+      "  kglink_cli report   <explain-dir | provenance.jsonl>\n"
       "\n"
       "observability (any command):\n"
       "  --trace=FILE    write a Chrome trace-event JSON (load in\n"
       "                  chrome://tracing or https://ui.perfetto.dev)\n"
       "  --metrics=FILE  write a metrics snapshot (counters, gauges,\n"
       "                  latency histograms) as JSON\n"
+      "  --explain=DIR   record per-column decision provenance (BM25 hits,\n"
+      "                  filter decisions, candidate types, final logits)\n"
+      "                  to DIR/provenance.jsonl; eval/annotate runs also\n"
+      "                  write DIR/report.{txt,json} — the accuracy split\n"
+      "                  by linked/unlinked/degraded columns\n"
       "\n"
       "fault injection (any command; for chaos testing):\n"
       "  --faults=SPEC   comma-separated site:prob[:latency_us] rules,\n"
@@ -110,6 +120,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->trace_path = v;
+    } else if (a.rfind("--explain=", 0) == 0) {
+      args->explain_dir = a.substr(std::strlen("--explain="));
+      if (args->explain_dir.empty()) return false;
+    } else if (a == "--explain") {
+      const char* v = next();
+      if (!v) return false;
+      args->explain_dir = v;
     } else if (a.rfind("--metrics=", 0) == 0) {
       args->metrics_path = a.substr(std::strlen("--metrics="));
       if (args->metrics_path.empty()) return false;
@@ -271,6 +288,50 @@ int Annotate(const Args& args) {
   return 0;
 }
 
+// Aggregates an existing provenance JSONL (or an --explain output dir)
+// into the linked/unlinked/degraded error-analysis report.
+int Report(const Args& args) {
+  std::string path = args.dir;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    path += "/provenance.jsonl";
+  }
+  auto report = eval::LoadExplainReport(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(eval::FormatExplainReport(*report).c_str(), stdout);
+  return 0;
+}
+
+// Writes the provenance JSONL plus the aggregated report.{txt,json} into
+// the --explain directory.
+int ExportProvenance(const std::string& dir, int command_rc) {
+  obs::ProvenanceRecorder& recorder = obs::ProvenanceRecorder::Global();
+  recorder.Stop();
+  std::string jsonl = recorder.Jsonl();
+  eval::ExplainReport report = eval::BuildExplainReport(jsonl);
+  const std::pair<const char*, std::string> outputs[] = {
+      {"/provenance.jsonl", std::move(jsonl)},
+      {"/report.txt", eval::FormatExplainReport(report)},
+      {"/report.json", eval::ExplainReportJson(report)},
+  };
+  for (const auto& [name, text] : outputs) {
+    Status s = WriteFile(dir + name, text);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write explain output: %s\n",
+                   s.ToString().c_str());
+      if (command_rc == 0) command_rc = 1;
+      return command_rc;
+    }
+  }
+  std::printf("explain: %lld records (%lld columns) -> %s\n",
+              static_cast<long long>(recorder.record_count()),
+              static_cast<long long>(report.columns), dir.c_str());
+  return command_rc;
+}
+
 // Writes the trace / metrics files requested on the command line. Called
 // after the command body so the files capture the whole run.
 int ExportObservability(const Args& args, int command_rc) {
@@ -292,11 +353,15 @@ int ExportObservability(const Args& args, int command_rc) {
       if (command_rc == 0) command_rc = 1;
     }
   }
+  if (!args.explain_dir.empty()) {
+    command_rc = ExportProvenance(args.explain_dir, command_rc);
+  }
   return command_rc;
 }
 
 int RunCommand(const Args& args) {
   if (args.command == "gen-data") return GenData(args);
+  if (args.command == "report") return Report(args);
   if ((args.command == "train" || args.command == "eval" ||
        args.command == "annotate") &&
       args.model_prefix.empty()) {
@@ -324,5 +389,20 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.trace_path.empty()) obs::TraceRecorder::Global().Start();
+  if (!args.explain_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.explain_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n",
+                   args.explain_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    obs::ProvenanceRecorder::Global().Start();
+    if (!obs::ProvenanceRecorder::Global().enabled()) {
+      std::fprintf(stderr,
+                   "warning: built with KGLINK_ENABLE_PROVENANCE=OFF; "
+                   "--explain will record nothing\n");
+    }
+  }
   return ExportObservability(args, RunCommand(args));
 }

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compares two sets of BENCH_*.json telemetry files and flags regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold PCT]
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Every bench binary writes a BENCH_<name>.json on exit (see
+bench/bench_common.cc) with metrics of the form
+{"name": ..., "value": ..., "unit": ..., "repetitions": ...}. This script
+matches metrics by (bench, name) and reports relative changes; changes in
+the "worse" direction beyond --threshold (default 5%) fail the run with
+exit code 1.
+
+The unit decides which direction is worse:
+  - time units (ns/us/ms/s/seconds): higher is worse
+  - quality/throughput units (percent, ratio, items_per_second): lower is
+    worse
+  - anything else (e.g. "count"): informational only, never flagged
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+LOWER_IS_BETTER = {"ns", "us", "ms", "s", "seconds"}
+HIGHER_IS_BETTER = {"percent", "ratio", "items_per_second"}
+
+
+def load_benches(path):
+    """Returns {bench_name: {metric_name: (value, unit)}}."""
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(path, f)
+            for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+    else:
+        files = [path]
+    if not files:
+        sys.exit(f"error: no BENCH_*.json files under {path}")
+    benches = {}
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        metrics = benches.setdefault(doc.get("bench", os.path.basename(f)), {})
+        for m in doc.get("metrics", []):
+            metrics[m["name"]] = (float(m["value"]), m.get("unit", ""))
+    return benches
+
+
+def compare(baseline, candidate, threshold):
+    regressions = []
+    improvements = []
+    infos = []
+    missing = []
+    for bench, base_metrics in sorted(baseline.items()):
+        cand_metrics = candidate.get(bench)
+        if cand_metrics is None:
+            missing.append(f"{bench}: bench absent from candidate")
+            continue
+        for name, (base_value, unit) in sorted(base_metrics.items()):
+            if name not in cand_metrics:
+                missing.append(f"{bench}/{name}: metric absent from candidate")
+                continue
+            cand_value, _ = cand_metrics[name]
+            if base_value == 0:
+                delta_pct = 0.0 if cand_value == 0 else float("inf")
+            else:
+                delta_pct = 100.0 * (cand_value - base_value) / abs(base_value)
+            line = (
+                f"{bench}/{name}: {base_value:g} -> {cand_value:g} {unit} "
+                f"({delta_pct:+.1f}%)"
+            )
+            if unit in LOWER_IS_BETTER:
+                worse = delta_pct > threshold
+                better = delta_pct < -threshold
+            elif unit in HIGHER_IS_BETTER:
+                worse = delta_pct < -threshold
+                better = delta_pct > threshold
+            else:
+                infos.append(line)
+                continue
+            if worse:
+                regressions.append(line)
+            elif better:
+                improvements.append(line)
+            else:
+                infos.append(line)
+    return regressions, improvements, infos, missing
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench telemetry runs."
+    )
+    parser.add_argument("baseline", help="dir of BENCH_*.json or one file")
+    parser.add_argument("candidate", help="dir of BENCH_*.json or one file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="relative change (%%) beyond which a metric is flagged "
+        "(default: 5)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benches(args.baseline)
+    candidate = load_benches(args.candidate)
+    regressions, improvements, infos, missing = compare(
+        baseline, candidate, args.threshold
+    )
+
+    for title, lines in (
+        ("regressions", regressions),
+        ("improvements", improvements),
+        ("within threshold / informational", infos),
+        ("missing", missing),
+    ):
+        if lines:
+            print(f"== {title} ({len(lines)}) ==")
+            for line in lines:
+                print(f"  {line}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:g}%"
+        )
+        return 1
+    print(f"\nOK: no regressions beyond {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/json_util.h"
 #include "obs/log.h"
-#include "robust/fault_injector.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
+#include "robust/fault_injector.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -90,12 +92,16 @@ void KgLinkAnnotator::BuildVocabulary(
   vocab_ = nn::Vocabulary::Build(corpus_texts, options_.max_vocab);
 }
 
-double KgLinkAnnotator::ForwardTable(const PreparedTable& prepared,
-                                     bool training, float loss_scale,
-                                     std::vector<int>* predictions) {
+double KgLinkAnnotator::ForwardTable(
+    const PreparedTable& prepared, bool training, float loss_scale,
+    std::vector<int>* predictions,
+    std::vector<std::vector<float>>* logits_out) {
   const bool mask_task = training && options_.use_mask_task;
   if (predictions != nullptr) {
     predictions->assign(prepared.processed.columns.size(), 0);
+  }
+  if (logits_out != nullptr) {
+    logits_out->assign(prepared.processed.columns.size(), {});
   }
 
   std::vector<SerializedTable> msk_chunks = serializer_->Serialize(
@@ -142,8 +148,11 @@ double KgLinkAnnotator::ForwardTable(const PreparedTable& prepared,
         for (int l = 1; l < num_labels; ++l) {
           if (row[l] > row[best]) best = l;
         }
-        (*predictions)[static_cast<size_t>(chunk.columns[j].source_col)] =
-            best;
+        size_t source_col = static_cast<size_t>(chunk.columns[j].source_col);
+        (*predictions)[source_col] = best;
+        if (logits_out != nullptr) {
+          (*logits_out)[source_col].assign(row, row + num_labels);
+        }
       }
     }
 
@@ -428,8 +437,214 @@ std::vector<int> KgLinkAnnotator::PredictProcessed(
   prepared.labels.assign(pt.columns.size(), table::kUnlabeled);
   prepared.label_texts.assign(pt.columns.size(), "");
   std::vector<int> predictions;
-  ForwardTable(prepared, /*training=*/false, 0.0f, &predictions);
+  obs::ProvenanceRecorder& recorder = obs::ProvenanceRecorder::Global();
+  if (recorder.enabled()) {
+    std::vector<std::vector<float>> logits;
+    ForwardTable(prepared, /*training=*/false, 0.0f, &predictions, &logits);
+    EmitProvenance(pt, logits, predictions);
+  } else {
+    ForwardTable(prepared, /*training=*/false, 0.0f, &predictions);
+  }
   return predictions;
+}
+
+namespace {
+
+// Record-size bounds: full per-cell evidence for the first few kept rows
+// is plenty to explain a column without ballooning the JSONL.
+constexpr size_t kProvenanceMaxCells = 8;
+constexpr size_t kProvenanceMaxTerms = 6;
+constexpr size_t kProvenanceMaxFeatureChars = 200;
+
+}  // namespace
+
+void KgLinkAnnotator::EmitProvenance(
+    const linker::ProcessedTable& pt,
+    const std::vector<std::vector<float>>& logits,
+    const std::vector<int>& predictions) const {
+  obs::ProvenanceRecorder& recorder = obs::ProvenanceRecorder::Global();
+  const std::string table_id = obs::JsonEscape(pt.filtered.id());
+  auto num = [](double v) { return obs::JsonNumber(v); };
+  auto str = [](std::string_view s) {
+    return "\"" + obs::JsonEscape(s) + "\"";
+  };
+
+  // Table-level record: the row filter's outcome (Eq. 5 ordering) and the
+  // degraded marker.
+  {
+    std::string rec = "{\"kind\":\"table\",\"table\":\"" + table_id + "\"";
+    rec += ",\"model\":" + str(options_.display_name);
+    rec += ",\"cols\":" + std::to_string(pt.columns.size());
+    rec += ",\"degraded\":";
+    rec += pt.degraded ? "true" : "false";
+    rec += ",\"degrade_reason\":" + str(pt.degrade_reason);
+    rec += ",\"kept_rows\":[";
+    for (size_t i = 0; i < pt.kept_rows.size(); ++i) {
+      if (i > 0) rec += ',';
+      rec += std::to_string(pt.kept_rows[i]);
+    }
+    rec += "],\"row_scores\":[";
+    for (size_t i = 0; i < pt.row_links.size(); ++i) {
+      if (i > 0) rec += ',';
+      rec += num(pt.row_links[i].row_score);
+    }
+    rec += "]}";
+    recorder.Emit(std::move(rec));
+  }
+
+  const std::vector<std::string>& col_names = pt.filtered.column_names();
+  for (size_t c = 0; c < pt.columns.size(); ++c) {
+    const linker::ColumnKgInfo& info = pt.columns[c];
+
+    // KG-evidence condition driving the error-analysis split (the paper's
+    // Table IV no-KG ablation, per column from one run).
+    bool has_kg = !info.candidate_types.empty();
+    for (const linker::RowLinks& row : pt.row_links) {
+      if (has_kg) break;
+      if (c < row.cells.size() && !row.cells[c].pruned.empty()) has_kg = true;
+    }
+    const char* evidence =
+        pt.degraded ? "degraded" : (has_kg ? "linked" : "unlinked");
+
+    std::string rec = "{\"kind\":\"column\",\"table\":\"" + table_id + "\"";
+    rec += ",\"col\":" + std::to_string(c);
+    rec += ",\"name\":" +
+           str(c < col_names.size() ? col_names[c] : std::string());
+    rec += ",\"kg_evidence\":\"";
+    rec += evidence;
+    rec += "\",\"numeric\":";
+    rec += info.is_numeric ? "true" : "false";
+    rec += ",\"degraded\":";
+    rec += pt.degraded ? "true" : "false";
+
+    // Per-cell evidence over the first kept rows: raw BM25 retrieval (E_m,
+    // Eq. 1), the overlapping-score filter's keep/drop verdicts (Eq. 3/6),
+    // the cell linking score (Eq. 4), and the per-term BM25 breakdown of
+    // the top hit (Eq. 1-2).
+    rec += ",\"cells\":[";
+    size_t cells_emitted = 0;
+    for (size_t i = 0;
+         i < pt.row_links.size() && cells_emitted < kProvenanceMaxCells;
+         ++i) {
+      if (c >= pt.row_links[i].cells.size()) break;
+      const linker::CellLinks& cell = pt.row_links[i].cells[c];
+      if (cells_emitted > 0) rec += ',';
+      ++cells_emitted;
+      const std::string& text =
+          pt.filtered.at(static_cast<int>(i), static_cast<int>(c)).text;
+      rec += "{\"row\":" + std::to_string(pt.kept_rows[i]);
+      rec += ",\"text\":" + str(text);
+      rec += ",\"linkable\":";
+      rec += cell.linkable ? "true" : "false";
+      rec += ",\"score\":" + num(cell.score);
+      rec += ",\"retrieved\":[";
+      for (size_t e = 0; e < cell.retrieved.size(); ++e) {
+        const linker::EntityCandidate& cand = cell.retrieved[e];
+        if (e > 0) rec += ',';
+        rec += "{\"entity\":" + std::to_string(cand.entity);
+        rec += ",\"label\":" + str(kg_->entity(cand.entity).label);
+        rec += ",\"bm25\":" + num(cand.linking_score) + "}";
+      }
+      rec += "],\"kept\":[";
+      for (size_t e = 0; e < cell.pruned.size(); ++e) {
+        const linker::EntityCandidate& cand = cell.pruned[e];
+        if (e > 0) rec += ',';
+        rec += "{\"entity\":" + std::to_string(cand.entity);
+        rec += ",\"bm25\":" + num(cand.linking_score);
+        rec += ",\"overlap\":" + num(cand.overlap_score) + "}";
+      }
+      rec += "],\"dropped\":[";
+      bool first_drop = true;
+      for (const linker::EntityCandidate& cand : cell.retrieved) {
+        bool kept = false;
+        for (const linker::EntityCandidate& k : cell.pruned) {
+          if (k.entity == cand.entity) { kept = true; break; }
+        }
+        if (kept) continue;
+        if (!first_drop) rec += ',';
+        first_drop = false;
+        rec += "{\"entity\":" + std::to_string(cand.entity);
+        rec += ",\"bm25\":" + num(cand.linking_score) + "}";
+      }
+      rec += "]";
+      if (!cell.retrieved.empty()) {
+        rec += ",\"top_hit_terms\":[";
+        std::vector<search::TermScore> terms =
+            engine_->ExplainScore(text, cell.retrieved[0].entity);
+        for (size_t t = 0; t < terms.size() && t < kProvenanceMaxTerms; ++t) {
+          if (t > 0) rec += ',';
+          rec += "{\"term\":" + str(terms[t].term);
+          rec += ",\"idf\":" + num(terms[t].idf);
+          rec += ",\"tf\":" + std::to_string(terms[t].term_freq);
+          rec += ",\"bm25\":" + num(terms[t].contribution) + "}";
+        }
+        rec += "]";
+      }
+      rec += "}";
+    }
+    rec += "],\"cells_truncated\":" +
+           std::to_string(pt.row_links.size() > cells_emitted
+                              ? pt.row_links.size() - cells_emitted
+                              : 0);
+
+    // Candidate types (Eq. 8) and the feature sequence S(e) (Eq. 9).
+    rec += ",\"candidate_types\":[";
+    for (size_t t = 0; t < info.candidate_types.size(); ++t) {
+      const linker::CandidateType& ct = info.candidate_types[t];
+      if (t > 0) rec += ',';
+      rec += "{\"entity\":" + std::to_string(ct.entity);
+      rec += ",\"label\":" +
+             str(t < info.candidate_type_labels.size()
+                     ? info.candidate_type_labels[t]
+                     : std::string());
+      rec += ",\"score\":" + num(ct.score) + "}";
+    }
+    rec += "],\"has_feature\":";
+    rec += info.has_feature ? "true" : "false";
+    rec += ",\"feature_sequence\":" +
+           str(std::string_view(info.feature_sequence)
+                   .substr(0, kProvenanceMaxFeatureChars));
+
+    // Final decision: raw logits, the argmax, and softmax confidence.
+    static const std::vector<float>& kNoLogits = *new std::vector<float>();
+    const std::vector<float>& col_logits =
+        c < logits.size() ? logits[c] : kNoLogits;
+    rec += ",\"logits\":[";
+    for (size_t l = 0; l < col_logits.size(); ++l) {
+      if (l > 0) rec += ',';
+      rec += num(static_cast<double>(col_logits[l]));
+    }
+    rec += "]";
+    int pred = c < predictions.size() ? predictions[c] : 0;
+    rec += ",\"pred\":" + std::to_string(pred);
+    rec += ",\"pred_label\":" +
+           str(pred >= 0 && static_cast<size_t>(pred) < label_names_.size()
+                   ? label_names_[static_cast<size_t>(pred)]
+                   : std::string());
+    if (!col_logits.empty() &&
+        static_cast<size_t>(pred) < col_logits.size()) {
+      double max_logit = col_logits[static_cast<size_t>(pred)];
+      double denom = 0.0;
+      for (float l : col_logits) denom += std::exp(l - max_logit);
+      rec += ",\"confidence\":" + num(denom > 0.0 ? 1.0 / denom : 0.0);
+    }
+
+    // Gold label (when the eval loop published the table's ground truth).
+    int gold = recorder.GoldFor(pt.filtered.id(), c);
+    if (gold != obs::kProvenanceNoGold) {
+      std::string gold_name = recorder.GoldLabelName(gold);
+      if (gold_name.empty() &&
+          static_cast<size_t>(gold) < label_names_.size()) {
+        gold_name = label_names_[static_cast<size_t>(gold)];
+      }
+      rec += ",\"gold\":" + std::to_string(gold);
+      rec += ",\"gold_label\":" + str(gold_name);
+      rec += ",\"correct\":";
+      rec += pred == gold ? "true" : "false";
+    }
+    rec += "}";
+    recorder.Emit(std::move(rec));
+  }
 }
 
 Status KgLinkAnnotator::Save(const std::string& prefix) const {

@@ -108,9 +108,21 @@ class KgLinkAnnotator : public eval::ColumnAnnotator {
 
   // Forward pass over one prepared table. In training mode also emits the
   // combined loss; in eval mode fills `predictions` (per original column).
-  // Returns the scalar loss value (0 in eval mode).
+  // When `logits_out` is non-null it receives each original column's raw
+  // classifier logits (for the decision-provenance records). Returns the
+  // scalar loss value (0 in eval mode).
   double ForwardTable(const PreparedTable& prepared, bool training,
-                      float loss_scale, std::vector<int>* predictions);
+                      float loss_scale, std::vector<int>* predictions,
+                      std::vector<std::vector<float>>* logits_out = nullptr);
+
+  // Emits one table record plus one record per column into the global
+  // ProvenanceRecorder: BM25 hits with per-term score breakdowns, filter
+  // keep/drop decisions, candidate types, the degraded marker, final
+  // logits and (when the eval loop published them) gold labels. Called
+  // from the predict path only when the recorder is armed.
+  void EmitProvenance(const linker::ProcessedTable& pt,
+                      const std::vector<std::vector<float>>& logits,
+                      const std::vector<int>& predictions) const;
 
   double EvaluatePrepared(const std::vector<PreparedTable>& tables);
 

@@ -1,5 +1,7 @@
 #include "eval/annotator.h"
 
+#include "obs/provenance.h"
+
 namespace kglink::eval {
 
 Metrics ColumnAnnotator::Evaluate(const table::Corpus& test) {
@@ -9,10 +11,19 @@ Metrics ColumnAnnotator::Evaluate(const table::Corpus& test) {
 Metrics ColumnAnnotator::EvaluateWithPredictions(const table::Corpus& test,
                                                  std::vector<int>* gold_out,
                                                  std::vector<int>* pred_out) {
+  obs::ProvenanceRecorder& provenance = obs::ProvenanceRecorder::Global();
   std::vector<int> gold;
   std::vector<int> pred;
   for (const auto& lt : test.tables) {
+    // Publish the table's ground truth so an armed provenance recorder can
+    // join gold labels into the records the annotator emits while
+    // predicting (see obs/provenance.h).
+    if (provenance.enabled()) {
+      provenance.SetTableGold(lt.table.id(), lt.column_labels,
+                              test.label_names);
+    }
     std::vector<int> p = PredictTable(lt.table);
+    if (provenance.enabled()) provenance.ClearTableGold();
     KGLINK_CHECK_EQ(p.size(), lt.column_labels.size())
         << "annotator returned wrong column count";
     for (size_t c = 0; c < p.size(); ++c) {

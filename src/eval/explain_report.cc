@@ -1,0 +1,204 @@
+#include "eval/explain_report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "eval/table_printer.h"
+#include "obs/json_util.h"
+#include "util/csv.h"
+
+namespace kglink::eval {
+
+namespace {
+
+void Tally(ExplainSplit* split, bool correct) {
+  ++split->total;
+  if (correct) ++split->correct;
+}
+
+struct TypeAccumulator {
+  ExplainTypeRow row;
+  std::map<std::string, int64_t> confusions;  // wrong pred_label -> count
+};
+
+}  // namespace
+
+ExplainReport BuildExplainReport(std::string_view jsonl) {
+  ExplainReport report;
+  std::map<std::string, TypeAccumulator> types;
+
+  size_t pos = 0;
+  while (pos <= jsonl.size()) {
+    size_t eol = jsonl.find('\n', pos);
+    std::string_view line = jsonl.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? jsonl.size() + 1 : eol + 1;
+    if (line.empty()) continue;
+
+    std::optional<obs::JsonValue> value = obs::ParseJson(line);
+    if (!value.has_value()) {
+      ++report.skipped_lines;
+      continue;
+    }
+    std::string kind = value->StringOr("kind", "");
+    if (kind == "table") {
+      ++report.tables;
+      if (value->BoolOr("degraded", false)) ++report.degraded_tables;
+      continue;
+    }
+    if (kind != "column") {
+      ++report.skipped_lines;
+      continue;
+    }
+
+    ++report.columns;
+    const obs::JsonValue* gold = value->Find("gold");
+    if (gold == nullptr) {
+      ++report.unlabeled_columns;
+      continue;
+    }
+    bool correct = value->BoolOr("correct", false);
+    std::string evidence = value->StringOr("kg_evidence", "unlinked");
+    bool numeric = value->BoolOr("numeric", false);
+
+    Tally(&report.overall, correct);
+    Tally(numeric ? &report.numeric : &report.non_numeric, correct);
+    ExplainSplit* evidence_split =
+        evidence == "degraded"
+            ? &report.degraded
+            : (evidence == "linked" ? &report.linked : &report.unlinked);
+    Tally(evidence_split, correct);
+
+    std::string gold_label = value->StringOr("gold_label", "");
+    if (gold_label.empty()) {
+      // Fall back to the numeric id so the type still aggregates.
+      gold_label = "label#" + obs::JsonNumber(value->NumberOr("gold", -1));
+    }
+    TypeAccumulator& acc = types[gold_label];
+    acc.row.gold_label = gold_label;
+    Tally(&acc.row.overall, correct);
+    Tally(evidence == "degraded"
+              ? &acc.row.degraded
+              : (evidence == "linked" ? &acc.row.linked : &acc.row.unlinked),
+          correct);
+    if (!correct) {
+      std::string pred_label = value->StringOr("pred_label", "?");
+      ++acc.confusions[pred_label];
+    }
+  }
+
+  for (auto& [label, acc] : types) {
+    for (const auto& [pred, count] : acc.confusions) {
+      if (count > acc.row.top_confusion_count) {
+        acc.row.top_confusion = pred;
+        acc.row.top_confusion_count = count;
+      }
+    }
+    report.per_type.push_back(std::move(acc.row));
+  }
+  std::sort(report.per_type.begin(), report.per_type.end(),
+            [](const ExplainTypeRow& a, const ExplainTypeRow& b) {
+              if (a.overall.total != b.overall.total) {
+                return a.overall.total > b.overall.total;
+              }
+              return a.gold_label < b.gold_label;
+            });
+  return report;
+}
+
+StatusOr<ExplainReport> LoadExplainReport(const std::string& path) {
+  KGLINK_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return BuildExplainReport(text);
+}
+
+namespace {
+
+std::string SplitCell(const ExplainSplit& split) {
+  if (split.total == 0) return "n/a";
+  return TablePrinter::Pct(split.accuracy()) + " (" +
+         std::to_string(split.correct) + "/" + std::to_string(split.total) +
+         ")";
+}
+
+}  // namespace
+
+std::string FormatExplainReport(const ExplainReport& report) {
+  std::string out;
+  out += "Decision-provenance error analysis\n";
+  out += "  tables: " + std::to_string(report.tables) + " (" +
+         std::to_string(report.degraded_tables) + " degraded)\n";
+  out += "  columns: " + std::to_string(report.columns) + " (" +
+         std::to_string(report.unlabeled_columns) + " unlabeled, " +
+         std::to_string(report.skipped_lines) + " lines skipped)\n\n";
+
+  TablePrinter splits({"Condition", "Accuracy", "Columns"});
+  auto add_split = [&](const char* name, const ExplainSplit& s) {
+    splits.AddRow({name,
+                   s.total == 0 ? "n/a" : TablePrinter::Pct(s.accuracy()),
+                   std::to_string(s.total)});
+  };
+  add_split("overall", report.overall);
+  add_split("linked", report.linked);
+  add_split("unlinked", report.unlinked);
+  add_split("degraded", report.degraded);
+  add_split("numeric", report.numeric);
+  add_split("non-numeric", report.non_numeric);
+  out += splits.Render();
+
+  if (!report.per_type.empty()) {
+    out += "\nPer gold type (support desc):\n";
+    TablePrinter types({"Gold type", "Overall", "Linked", "Unlinked",
+                        "Degraded", "Top confusion"});
+    for (const ExplainTypeRow& row : report.per_type) {
+      std::string confusion =
+          row.top_confusion.empty()
+              ? ""
+              : row.top_confusion + " x" +
+                    std::to_string(row.top_confusion_count);
+      types.AddRow({row.gold_label, SplitCell(row.overall),
+                    SplitCell(row.linked), SplitCell(row.unlinked),
+                    SplitCell(row.degraded), confusion});
+    }
+    out += types.Render();
+  }
+  return out;
+}
+
+std::string ExplainReportJson(const ExplainReport& report) {
+  auto split_json = [](const ExplainSplit& s) {
+    return "{\"total\":" + std::to_string(s.total) +
+           ",\"correct\":" + std::to_string(s.correct) +
+           ",\"accuracy\":" + obs::JsonNumber(s.accuracy()) + "}";
+  };
+  std::string out = "{";
+  out += "\"tables\":" + std::to_string(report.tables);
+  out += ",\"degraded_tables\":" + std::to_string(report.degraded_tables);
+  out += ",\"columns\":" + std::to_string(report.columns);
+  out += ",\"unlabeled_columns\":" + std::to_string(report.unlabeled_columns);
+  out += ",\"skipped_lines\":" + std::to_string(report.skipped_lines);
+  out += ",\"overall\":" + split_json(report.overall);
+  out += ",\"linked\":" + split_json(report.linked);
+  out += ",\"unlinked\":" + split_json(report.unlinked);
+  out += ",\"degraded\":" + split_json(report.degraded);
+  out += ",\"numeric\":" + split_json(report.numeric);
+  out += ",\"non_numeric\":" + split_json(report.non_numeric);
+  out += ",\"per_type\":[";
+  for (size_t i = 0; i < report.per_type.size(); ++i) {
+    const ExplainTypeRow& row = report.per_type[i];
+    if (i > 0) out += ',';
+    out += "{\"gold_label\":\"" + obs::JsonEscape(row.gold_label) + "\"";
+    out += ",\"overall\":" + split_json(row.overall);
+    out += ",\"linked\":" + split_json(row.linked);
+    out += ",\"unlinked\":" + split_json(row.unlinked);
+    out += ",\"degraded\":" + split_json(row.degraded);
+    out += ",\"top_confusion\":\"" + obs::JsonEscape(row.top_confusion) +
+           "\"";
+    out += ",\"top_confusion_count\":" +
+           std::to_string(row.top_confusion_count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace kglink::eval

@@ -1,0 +1,78 @@
+// Error-analysis over decision-provenance JSONL: aggregates the per-column
+// records emitted by KgLinkAnnotator (see obs/provenance.h) into accuracy
+// splits by KG-evidence condition — linked (the column had overlapping-score
+// survivors / candidate types), unlinked (no KG evidence reached the PLM)
+// and degraded (the table fell back to the PLM-only path) — plus a
+// per-gold-type confusion breakdown. The linked-vs-unlinked split derives
+// the spirit of the paper's Table IV no-KG ablation from a single eval run.
+#ifndef KGLINK_EVAL_EXPLAIN_REPORT_H_
+#define KGLINK_EVAL_EXPLAIN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kglink::eval {
+
+struct ExplainSplit {
+  int64_t total = 0;
+  int64_t correct = 0;
+  double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+};
+
+// One gold type's row of the breakdown.
+struct ExplainTypeRow {
+  std::string gold_label;
+  ExplainSplit overall;
+  ExplainSplit linked;
+  ExplainSplit unlinked;
+  ExplainSplit degraded;
+  // Most frequent wrong prediction for this gold type ("" when none).
+  std::string top_confusion;
+  int64_t top_confusion_count = 0;
+};
+
+struct ExplainReport {
+  int64_t tables = 0;
+  int64_t degraded_tables = 0;
+  int64_t columns = 0;            // column records seen
+  int64_t unlabeled_columns = 0;  // column records without gold labels
+  int64_t skipped_lines = 0;      // unparsable / unrecognized lines
+
+  // Accuracy over labeled columns, split by KG-evidence condition.
+  ExplainSplit overall;
+  ExplainSplit linked;
+  ExplainSplit unlinked;
+  ExplainSplit degraded;
+  // Orthogonal split: numeric vs non-numeric columns (paper Table IV axes).
+  ExplainSplit numeric;
+  ExplainSplit non_numeric;
+
+  // Per gold type, sorted by support descending (ties by label).
+  std::vector<ExplainTypeRow> per_type;
+};
+
+// Aggregates provenance JSONL text (one JSON object per line; blank lines
+// ignored). Lines that fail to parse or carry no recognized "kind" are
+// counted in skipped_lines, never fatal.
+ExplainReport BuildExplainReport(std::string_view jsonl);
+
+// Reads `path` and aggregates it.
+StatusOr<ExplainReport> LoadExplainReport(const std::string& path);
+
+// Human-readable report (header stats + split table + per-type table).
+std::string FormatExplainReport(const ExplainReport& report);
+
+// Machine-readable summary of the same aggregation (one JSON object).
+std::string ExplainReportJson(const ExplainReport& report);
+
+}  // namespace kglink::eval
+
+#endif  // KGLINK_EVAL_EXPLAIN_REPORT_H_

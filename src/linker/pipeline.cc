@@ -43,6 +43,7 @@ ProcessedTable KgPipeline::DegradedProcess(const table::Table& table,
   const LinkerConfig& config = linker_.config();
   ProcessedTable out;
   out.degraded = true;
+  out.degrade_reason = reason;
 
   // No row scores without KG linking: keep the first k rows in original
   // order (the RowFilterMode::kOriginalOrder baseline).

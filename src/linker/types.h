@@ -88,7 +88,13 @@ struct ProcessedTable {
   // dropped: rows kept in original order, no candidate types, no feature
   // sequences — the PLM-only fallback (numeric stats are still computed,
   // they need no KG). The paper's unlinkable-cell fallback, table-wide.
+  // Downstream consumers (provenance records, the linked/unlinked/degraded
+  // eval split) read this marker instead of inferring degradation from
+  // empty KG evidence.
   bool degraded = false;
+  // Why the table degraded ("" when degraded == false), e.g.
+  // "failed op budget exhausted at search.topk".
+  std::string degrade_reason;
 };
 
 }  // namespace kglink::linker

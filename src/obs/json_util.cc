@@ -3,27 +3,105 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 namespace kglink::obs {
+
+namespace {
+
+// Length (1-4) of the well-formed UTF-8 sequence starting at s[i], or 0
+// when s[i] starts no valid sequence (RFC 3629 table: overlong encodings,
+// surrogate code points and > U+10FFFF are all invalid).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  auto byte = [&](size_t j) -> unsigned {
+    return j < s.size() ? static_cast<unsigned char>(s[j]) : 0x100u;
+  };
+  auto cont = [&](size_t j) { return (byte(j) & 0xC0u) == 0x80u; };
+  unsigned b0 = byte(i);
+  if (b0 < 0x80u) return 1;
+  if (b0 >= 0xC2u && b0 <= 0xDFu) return cont(i + 1) ? 2 : 0;
+  if (b0 == 0xE0u) {
+    return byte(i + 1) >= 0xA0u && byte(i + 1) <= 0xBFu && cont(i + 2) ? 3 : 0;
+  }
+  if (b0 >= 0xE1u && b0 <= 0xECu) return cont(i + 1) && cont(i + 2) ? 3 : 0;
+  if (b0 == 0xEDu) {  // excludes surrogates U+D800..U+DFFF
+    return byte(i + 1) >= 0x80u && byte(i + 1) <= 0x9Fu && cont(i + 2) ? 3 : 0;
+  }
+  if (b0 >= 0xEEu && b0 <= 0xEFu) return cont(i + 1) && cont(i + 2) ? 3 : 0;
+  if (b0 == 0xF0u) {
+    return byte(i + 1) >= 0x90u && byte(i + 1) <= 0xBFu && cont(i + 2) &&
+                   cont(i + 3)
+               ? 4
+               : 0;
+  }
+  if (b0 >= 0xF1u && b0 <= 0xF3u) {
+    return cont(i + 1) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+  }
+  if (b0 == 0xF4u) {  // excludes > U+10FFFF
+    return byte(i + 1) >= 0x80u && byte(i + 1) <= 0x8Fu && cont(i + 2) &&
+                   cont(i + 3)
+               ? 4
+               : 0;
+  }
+  return 0;
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80u) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800u) {
+    out->push_back(static_cast<char>(0xC0u | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+  } else if (cp < 0x10000u) {
+    out->push_back(static_cast<char>(0xE0u | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3Fu)));
+    out->push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+  } else {
+    out->push_back(static_cast<char>(0xF0u | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80u | ((cp >> 12) & 0x3Fu)));
+    out->push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3Fu)));
+    out->push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+  }
+}
+
+}  // namespace
 
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (u < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    // Multi-byte lead or stray continuation byte: copy only well-formed
+    // UTF-8; anything else becomes one escaped replacement character per
+    // bad byte, keeping the emitted document decodable everywhere.
+    size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += "\\ufffd";
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
     }
   }
   return out;
@@ -42,14 +120,15 @@ std::string JsonNumber(double v) {
 
 namespace {
 
-// Recursive-descent validator over the RFC 8259 grammar.
-class JsonValidator {
+// Recursive-descent parser over the RFC 8259 grammar. With a null `out` it
+// only validates (no allocations beyond string scanning).
+class JsonParser {
  public:
-  explicit JsonValidator(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text) : text_(text) {}
 
-  bool Validate() {
+  bool Parse(JsonValue* out) {
     SkipWs();
-    if (!Value(/*depth=*/0)) return false;
+    if (!Value(/*depth=*/0, out)) return false;
     SkipWs();
     return pos_ == text_.size();
   }
@@ -57,32 +136,54 @@ class JsonValidator {
  private:
   static constexpr int kMaxDepth = 256;
 
-  bool Value(int depth) {
+  bool Value(int depth, JsonValue* out) {
     if (depth > kMaxDepth) return false;
     if (pos_ >= text_.size()) return false;
     switch (text_[pos_]) {
-      case '{': return Object(depth);
-      case '[': return Array(depth);
-      case '"': return String();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return Number();
+      case '{': return Object(depth, out);
+      case '[': return Array(depth, out);
+      case '"': {
+        if (out != nullptr) out->kind = JsonValue::Kind::kString;
+        return String(out != nullptr ? &out->string_value : nullptr);
+      }
+      case 't':
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = true;
+        }
+        return Literal("true");
+      case 'f':
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = false;
+        }
+        return Literal("false");
+      case 'n':
+        if (out != nullptr) out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default: return Number(out);
     }
   }
 
-  bool Object(int depth) {
+  bool Object(int depth, JsonValue* out) {
+    if (out != nullptr) out->kind = JsonValue::Kind::kObject;
     ++pos_;  // '{'
     SkipWs();
     if (Peek() == '}') { ++pos_; return true; }
     while (true) {
       SkipWs();
-      if (!String()) return false;
+      std::string key;
+      if (!String(&key)) return false;
       SkipWs();
       if (Peek() != ':') return false;
       ++pos_;
       SkipWs();
-      if (!Value(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->object.emplace_back(std::move(key), JsonValue{});
+        slot = &out->object.back().second;
+      }
+      if (!Value(depth + 1, slot)) return false;
       SkipWs();
       char c = Peek();
       if (c == ',') { ++pos_; continue; }
@@ -91,13 +192,19 @@ class JsonValidator {
     }
   }
 
-  bool Array(int depth) {
+  bool Array(int depth, JsonValue* out) {
+    if (out != nullptr) out->kind = JsonValue::Kind::kArray;
     ++pos_;  // '['
     SkipWs();
     if (Peek() == ']') { ++pos_; return true; }
     while (true) {
       SkipWs();
-      if (!Value(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->array.emplace_back();
+        slot = &out->array.back();
+      }
+      if (!Value(depth + 1, slot)) return false;
       SkipWs();
       char c = Peek();
       if (c == ',') { ++pos_; continue; }
@@ -106,7 +213,9 @@ class JsonValidator {
     }
   }
 
-  bool String() {
+  // Parses a string literal; when `decoded` is non-null, appends the
+  // decoded (escape-resolved) content.
+  bool String(std::string* decoded) {
     if (Peek() != '"') return false;
     ++pos_;
     while (pos_ < text_.size()) {
@@ -117,22 +226,74 @@ class JsonValidator {
         ++pos_;
         if (pos_ >= text_.size()) return false;
         char e = text_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= text_.size() || !IsHex(text_[pos_])) return false;
+        ++pos_;
+        switch (e) {
+          case '"': Append(decoded, '"'); continue;
+          case '\\': Append(decoded, '\\'); continue;
+          case '/': Append(decoded, '/'); continue;
+          case 'b': Append(decoded, '\b'); continue;
+          case 'f': Append(decoded, '\f'); continue;
+          case 'n': Append(decoded, '\n'); continue;
+          case 'r': Append(decoded, '\r'); continue;
+          case 't': Append(decoded, '\t'); continue;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!Hex4(&cp)) return false;
+            // Surrogate pair handling: a high surrogate followed by an
+            // escaped low surrogate combines; anything unpaired decodes
+            // as U+FFFD.
+            if (cp >= 0xD800u && cp <= 0xDBFFu && pos_ + 1 < text_.size() &&
+                text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              size_t save = pos_;
+              pos_ += 2;
+              uint32_t low = 0;
+              if (!Hex4(&low)) return false;
+              if (low >= 0xDC00u && low <= 0xDFFFu) {
+                cp = 0x10000u + ((cp - 0xD800u) << 10) + (low - 0xDC00u);
+              } else {
+                pos_ = save;  // not a low surrogate: leave it for the loop
+                cp = 0xFFFDu;
+              }
+            } else if (cp >= 0xD800u && cp <= 0xDFFFu) {
+              cp = 0xFFFDu;
+            }
+            if (decoded != nullptr) AppendUtf8(cp, decoded);
+            continue;
           }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
-          return false;
+          default: return false;
         }
       }
+      Append(decoded, c);
       ++pos_;
     }
     return false;
   }
 
-  bool Number() {
+  bool Hex4(uint32_t* out) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return false;
+      char c = text_[pos_++];
+      v <<= 4;
+      if (IsDigit(c)) {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  static void Append(std::string* decoded, char c) {
+    if (decoded != nullptr) decoded->push_back(c);
+  }
+
+  bool Number(JsonValue* out) {
     size_t start = pos_;
     if (Peek() == '-') ++pos_;
     if (!IsDigit(Peek())) return false;
@@ -152,7 +313,14 @@ class JsonValidator {
       if (!IsDigit(Peek())) return false;
       while (IsDigit(Peek())) ++pos_;
     }
-    return pos_ > start;
+    if (pos_ <= start) return false;
+    if (out != nullptr) {
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = std::strtod(std::string(text_.substr(start, pos_ - start))
+                                    .c_str(),
+                                nullptr);
+    }
+    return true;
   }
 
   bool Literal(std::string_view word) {
@@ -162,9 +330,6 @@ class JsonValidator {
   }
 
   static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
-  static bool IsHex(char c) {
-    return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
-  }
 
   char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
   void SkipWs() {
@@ -182,7 +347,38 @@ class JsonValidator {
 }  // namespace
 
 bool IsValidJson(std::string_view text) {
-  return JsonValidator(text).Validate();
+  return JsonParser(text).Parse(nullptr);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+bool JsonValue::BoolOr(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kBool ? v->bool_value : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->string_value
+                                                  : std::move(fallback);
+}
+
+std::optional<JsonValue> ParseJson(std::string_view text) {
+  JsonValue value;
+  if (!JsonParser(text).Parse(&value)) return std::nullopt;
+  return value;
 }
 
 }  // namespace kglink::obs

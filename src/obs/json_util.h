@@ -1,16 +1,25 @@
-// Tiny JSON helpers shared by the metrics/trace exporters and their tests:
-// string escaping, deterministic number formatting, and a strict validity
-// parser (no DOM — used by tests to assert exported documents parse).
+// Tiny JSON helpers shared by the metrics/trace/provenance exporters and
+// their tests: string escaping, deterministic number formatting, a strict
+// validity parser, and a minimal DOM for re-reading our own documents
+// (provenance JSONL aggregation, tests).
 #ifndef KGLINK_OBS_JSON_UTIL_H_
 #define KGLINK_OBS_JSON_UTIL_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace kglink::obs {
 
 // Escapes `s` for inclusion inside a JSON string literal (without the
-// surrounding quotes).
+// surrounding quotes). The output is always valid UTF-8: well-formed
+// multi-byte sequences pass through, while bytes that are not part of a
+// valid UTF-8 sequence (stray continuation bytes, overlong encodings,
+// surrogate encodings, truncated sequences) are each replaced with the
+// escaped replacement character � — provenance records carry raw cell
+// text, so arbitrary byte garbage must still serialize to parseable JSON.
 std::string JsonEscape(std::string_view s);
 
 // Formats a double as a JSON number. Integral values print without a
@@ -21,6 +30,34 @@ std::string JsonNumber(double v);
 // Returns true iff `text` is one syntactically valid JSON document
 // (RFC 8259 grammar; no trailing garbage).
 bool IsValidJson(std::string_view text);
+
+// Minimal JSON DOM. Numbers are doubles, object keys keep document order
+// (duplicate keys are kept; Find returns the first). This is a reader for
+// documents we emitted ourselves, not a general-purpose parser — but it
+// accepts the full RFC 8259 grammar.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;  // decoded (escapes resolved)
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  // First member with the given key, or nullptr (also when not an object).
+  const JsonValue* Find(std::string_view key) const;
+  // Typed accessors with fallbacks for absent/mistyped members.
+  double NumberOr(std::string_view key, double fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+};
+
+// Parses one complete JSON document (no trailing garbage); nullopt on any
+// syntax error. \uXXXX escapes are decoded to UTF-8; lone surrogates
+// decode to U+FFFD.
+std::optional<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace kglink::obs
 

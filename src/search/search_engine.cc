@@ -151,6 +151,43 @@ double SearchEngine::Score(std::string_view query, int32_t doc_id) const {
   return score;
 }
 
+std::vector<TermScore> SearchEngine::ExplainScore(std::string_view query,
+                                                  int32_t doc_id) const {
+  KGLINK_CHECK(finalized_);
+  auto idx_it = id_to_index_.find(doc_id);
+  KGLINK_CHECK(idx_it != id_to_index_.end()) << "unknown doc id " << doc_id;
+  int32_t index = idx_it->second;
+  std::vector<TermScore> out;
+  for (const auto& term : SplitWords(query)) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& plist = it->second;
+    auto pit = std::lower_bound(
+        plist.begin(), plist.end(), index,
+        [](const Posting& p, int32_t v) { return p.doc_index < v; });
+    if (pit == plist.end() || pit->doc_index != index) continue;
+    double f = static_cast<double>(pit->term_freq);
+    double len = static_cast<double>(doc_len_[index]);
+    double tf = f * (params_.k1 + 1.0) /
+                (f + params_.k1 * (1.0 - params_.b +
+                                   params_.b * len / avg_doc_len_));
+    double contribution = Idf(term) * tf;
+    // Fold repeated query terms into one entry (Score sums per occurrence).
+    bool merged = false;
+    for (TermScore& ts : out) {
+      if (ts.term == term) {
+        ts.contribution += contribution;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      out.push_back({term, Idf(term), pit->term_freq, contribution});
+    }
+  }
+  return out;
+}
+
 SearchEngine IndexKnowledgeGraph(const kg::KnowledgeGraph& kg,
                                  Bm25Params params) {
   SearchEngine engine(params);

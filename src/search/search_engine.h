@@ -26,6 +26,16 @@ struct SearchResult {
   double score;
 };
 
+// Per-term breakdown of one document's BM25 score — the Eq. 1 summand for
+// a single query term. Used by the decision-provenance records to show
+// which tokens of a cell mention actually matched an entity.
+struct TermScore {
+  std::string term;
+  double idf = 0.0;        // Eq. 2
+  int32_t term_freq = 0;   // f(w, e): occurrences in the document
+  double contribution = 0.0;  // idf * saturated-tf (summed over the query)
+};
+
 class SearchEngine {
  public:
   explicit SearchEngine(Bm25Params params = {});
@@ -44,6 +54,13 @@ class SearchEngine {
 
   // BM25 score of one document for a query (0 if no term overlap).
   double Score(std::string_view query, int32_t doc_id) const;
+
+  // Per-term decomposition of Score(query, doc_id): one entry per distinct
+  // matching query term (query-side repeats fold into its contribution).
+  // The contributions sum to Score(query, doc_id). Non-matching terms are
+  // omitted.
+  std::vector<TermScore> ExplainScore(std::string_view query,
+                                      int32_t doc_id) const;
 
   // Eq. 2 IDF of a term. Unseen terms do NOT get IDF 0: with n(w) = 0,
   // Eq. 2 yields the maximum value ln((N + 0.5) / 0.5 + 1) — unseen terms

@@ -1,0 +1,117 @@
+// Unit tests for the error-analysis aggregation over provenance JSONL:
+// split accounting (linked/unlinked/degraded, numeric/non-numeric),
+// unlabeled columns, malformed-line tolerance, per-type confusion rows and
+// both report renderings.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "eval/explain_report.h"
+#include "obs/json_util.h"
+
+namespace kglink::eval {
+namespace {
+
+// A provenance stream with every condition represented: two tables (one
+// degraded), five labeled columns across the three evidence classes, one
+// numeric column, one unlabeled column, and two junk lines.
+constexpr char kJsonl[] = R"({"kind":"table","table":"a.csv","degraded":false}
+{"kind":"column","table":"a.csv","col":0,"kg_evidence":"linked","numeric":false,"gold":1,"gold_label":"city","pred":1,"pred_label":"city","correct":true}
+{"kind":"column","table":"a.csv","col":1,"kg_evidence":"linked","numeric":false,"gold":2,"gold_label":"film","pred":1,"pred_label":"city","correct":false}
+{"kind":"column","table":"a.csv","col":2,"kg_evidence":"unlinked","numeric":true,"gold":3,"gold_label":"year","pred":3,"pred_label":"year","correct":true}
+{"kind":"column","table":"a.csv","col":3,"kg_evidence":"unlinked","numeric":false}
+not json at all
+{"kind":"table","table":"b.csv","degraded":true,"degrade_reason":"search unavailable"}
+{"kind":"column","table":"b.csv","col":0,"kg_evidence":"degraded","numeric":false,"gold":2,"gold_label":"film","pred":2,"pred_label":"film","correct":true}
+{"kind":"column","table":"b.csv","col":1,"kg_evidence":"degraded","numeric":false,"gold":2,"gold_label":"film","pred":0,"pred_label":"person","correct":false}
+{"kind":"something_else"}
+)";
+
+TEST(ExplainReportTest, AggregatesSplitsAndSkipsJunk) {
+  ExplainReport r = BuildExplainReport(kJsonl);
+  EXPECT_EQ(r.tables, 2);
+  EXPECT_EQ(r.degraded_tables, 1);
+  EXPECT_EQ(r.columns, 6);
+  EXPECT_EQ(r.unlabeled_columns, 1);
+  EXPECT_EQ(r.skipped_lines, 2);
+
+  EXPECT_EQ(r.overall.total, 5);
+  EXPECT_EQ(r.overall.correct, 3);
+  EXPECT_EQ(r.linked.total, 2);
+  EXPECT_EQ(r.linked.correct, 1);
+  EXPECT_EQ(r.unlinked.total, 1);
+  EXPECT_EQ(r.unlinked.correct, 1);
+  EXPECT_EQ(r.degraded.total, 2);
+  EXPECT_EQ(r.degraded.correct, 1);
+  EXPECT_EQ(r.numeric.total, 1);
+  EXPECT_EQ(r.non_numeric.total, 4);
+  EXPECT_DOUBLE_EQ(r.overall.accuracy(), 0.6);
+}
+
+TEST(ExplainReportTest, PerTypeRowsSortedBySupportWithTopConfusion) {
+  ExplainReport r = BuildExplainReport(kJsonl);
+  ASSERT_EQ(r.per_type.size(), 3u);
+  // "film" has support 3 (one linked miss, two degraded), then city/year.
+  EXPECT_EQ(r.per_type[0].gold_label, "film");
+  EXPECT_EQ(r.per_type[0].overall.total, 3);
+  EXPECT_EQ(r.per_type[0].overall.correct, 1);
+  EXPECT_EQ(r.per_type[0].linked.total, 1);
+  EXPECT_EQ(r.per_type[0].degraded.total, 2);
+  // Its most frequent wrong prediction is one of the two single misses;
+  // ties resolve deterministically to the first seen count > 0.
+  EXPECT_EQ(r.per_type[0].top_confusion_count, 1);
+  EXPECT_FALSE(r.per_type[0].top_confusion.empty());
+  // Ties in support fall back to label order.
+  EXPECT_EQ(r.per_type[1].gold_label, "city");
+  EXPECT_EQ(r.per_type[2].gold_label, "year");
+  EXPECT_EQ(r.per_type[2].top_confusion, "");
+}
+
+TEST(ExplainReportTest, EmptyAndAllJunkInputs) {
+  ExplainReport empty = BuildExplainReport("");
+  EXPECT_EQ(empty.tables, 0);
+  EXPECT_EQ(empty.columns, 0);
+  EXPECT_EQ(empty.skipped_lines, 0);
+
+  ExplainReport junk = BuildExplainReport("{]\nnope\n");
+  EXPECT_EQ(junk.skipped_lines, 2);
+  EXPECT_EQ(junk.overall.total, 0);
+  EXPECT_DOUBLE_EQ(junk.overall.accuracy(), 0.0);
+}
+
+TEST(ExplainReportTest, GoldLabelFallsBackToNumericId) {
+  ExplainReport r = BuildExplainReport(
+      "{\"kind\":\"column\",\"kg_evidence\":\"linked\",\"gold\":7,"
+      "\"correct\":true}\n");
+  ASSERT_EQ(r.per_type.size(), 1u);
+  EXPECT_EQ(r.per_type[0].gold_label, "label#7");
+}
+
+TEST(ExplainReportTest, TextReportMentionsEveryCondition) {
+  std::string text = FormatExplainReport(BuildExplainReport(kJsonl));
+  EXPECT_NE(text.find("overall"), std::string::npos);
+  EXPECT_NE(text.find("linked"), std::string::npos);
+  EXPECT_NE(text.find("unlinked"), std::string::npos);
+  EXPECT_NE(text.find("degraded"), std::string::npos);
+  EXPECT_NE(text.find("film"), std::string::npos);
+  EXPECT_NE(text.find("2 lines skipped"), std::string::npos);
+}
+
+TEST(ExplainReportTest, JsonReportIsValidAndRoundTrips) {
+  std::string json = ExplainReportJson(BuildExplainReport(kJsonl));
+  ASSERT_TRUE(obs::IsValidJson(json)) << json;
+  std::optional<obs::JsonValue> v = obs::ParseJson(json);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->NumberOr("tables", 0), 2.0);
+  const obs::JsonValue* overall = v->Find("overall");
+  ASSERT_NE(overall, nullptr);
+  EXPECT_DOUBLE_EQ(overall->NumberOr("total", 0), 5.0);
+  EXPECT_DOUBLE_EQ(overall->NumberOr("accuracy", 0), 0.6);
+  const obs::JsonValue* per_type = v->Find("per_type");
+  ASSERT_NE(per_type, nullptr);
+  ASSERT_EQ(per_type->array.size(), 3u);
+  EXPECT_EQ(per_type->array[0].StringOr("gold_label", ""), "film");
+}
+
+}  // namespace
+}  // namespace kglink::eval

@@ -138,6 +138,96 @@ TEST(JsonUtilTest, NumberFormatting) {
   EXPECT_TRUE(IsValidJson(JsonNumber(1.0 / 3.0)));
 }
 
+TEST(JsonUtilTest, EscapeControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("line\nfeed\rreturn"), "line\\nfeed\\rreturn");
+  EXPECT_EQ(JsonEscape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(JsonEscape("\x01\x1f"), "\\u0001\\u001f");
+  // Every escaped string must embed into a valid JSON document.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string s(1, static_cast<char>(c));
+    EXPECT_TRUE(IsValidJson("\"" + JsonEscape(s) + "\"")) << c;
+  }
+}
+
+TEST(JsonUtilTest, EscapePassesValidUtf8Through) {
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");           // é
+  EXPECT_EQ(JsonEscape("\xe6\x97\xa5\xe6\x9c\xac"),              // 日本
+            "\xe6\x97\xa5\xe6\x9c\xac");
+  EXPECT_EQ(JsonEscape("\xf0\x9f\x8e\x89"), "\xf0\x9f\x8e\x89");  // 🎉
+}
+
+TEST(JsonUtilTest, EscapeReplacesInvalidUtf8) {
+  // Each invalid byte becomes U+FFFD so the output is always valid JSON.
+  EXPECT_EQ(JsonEscape("\xff"), "\\ufffd");
+  // Stray continuation byte.
+  EXPECT_EQ(JsonEscape("a\x80ز"), "a\\ufffd\xd8\xb2");
+  // Truncated two-byte sequence at end of input.
+  EXPECT_EQ(JsonEscape("x\xc3"), "x\\ufffd");
+  // Overlong encoding of '/' (0xC0 0xAF) is rejected byte by byte.
+  EXPECT_EQ(JsonEscape("\xc0\xaf"), "\\ufffd\\ufffd");
+  // CESU-8 style surrogate encoding (ED A0 80 = U+D800) is invalid UTF-8.
+  EXPECT_EQ(JsonEscape("\xed\xa0\x80"), "\\ufffd\\ufffd\\ufffd");
+  // Out-of-range 4-byte sequence (> U+10FFFF).
+  EXPECT_EQ(JsonEscape("\xf5\x80\x80\x80"),
+            "\\ufffd\\ufffd\\ufffd\\ufffd");
+  EXPECT_TRUE(
+      IsValidJson("\"" + JsonEscape("mixed \xfe garbage \xc3\x28") + "\""));
+}
+
+TEST(JsonParseTest, BuildsDomForScalarsArraysObjects) {
+  std::optional<JsonValue> v =
+      ParseJson("{\"n\": -2.5e1, \"b\": true, \"s\": \"hi\", "
+                "\"a\": [1, null], \"o\": {\"k\": false}}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->kind, JsonValue::Kind::kObject);
+  EXPECT_DOUBLE_EQ(v->NumberOr("n", 0), -25.0);
+  EXPECT_TRUE(v->BoolOr("b", false));
+  EXPECT_EQ(v->StringOr("s", ""), "hi");
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].kind, JsonValue::Kind::kNull);
+  const JsonValue* o = v->Find("o");
+  ASSERT_NE(o, nullptr);
+  EXPECT_FALSE(o->BoolOr("k", true));
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesEscapesAndSurrogatePairs) {
+  std::optional<JsonValue> v =
+      ParseJson("\"q\\\"b\\\\s\\/n\\nu\\u00e9p\\ud83c\\udf89\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_value,
+            "q\"b\\s/n\nu\xc3\xa9p\xf0\x9f\x8e\x89");
+  // A lone high surrogate decodes to U+FFFD instead of corrupt output.
+  std::optional<JsonValue> lone = ParseJson("\"\\ud800x\"");
+  ASSERT_TRUE(lone.has_value());
+  EXPECT_EQ(lone->string_value, "\xef\xbf\xbdx");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\":}").has_value());
+  EXPECT_FALSE(ParseJson("[1,]").has_value());
+  EXPECT_FALSE(ParseJson("\"unterminated").has_value());
+  EXPECT_FALSE(ParseJson("\"bad\\x\"").has_value());
+  EXPECT_FALSE(ParseJson("12 34").has_value());
+}
+
+TEST(JsonParseTest, RoundTripsEscapedStrings) {
+  std::string nasty = "quote\" back\\ ctrl\x01\ttab nul(";
+  nasty += '\0';
+  nasty += ") caf\xc3\xa9 \xf0\x9f\x8e\x89";
+  std::string doc = "{\"cell\": \"" + JsonEscape(nasty) + "\"}";
+  std::optional<JsonValue> v = ParseJson(doc);
+  ASSERT_TRUE(v.has_value()) << doc;
+  EXPECT_EQ(v->StringOr("cell", ""), nasty);
+}
+
 #if defined(KGLINK_TRACE_ENABLED)
 
 // Validates balanced, properly nested B/E events with a stack; returns the
