@@ -1,0 +1,105 @@
+// Serving-path bench: throughput and tail latency of the concurrent
+// AnnotationService at 1, 4 and 8 worker threads over the SemTab-like
+// request stream. Emits BENCH_serve.json (per-thread-count throughput and
+// p50/p99 latency) so scripts/bench_compare.py can track regressions in
+// the serving harness — queueing, admission and the per-request
+// deadline/breaker checks — separately from model quality.
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/annotation_service.h"
+#include "util/stopwatch.h"
+
+using namespace kglink;
+
+namespace {
+
+double PercentileUs(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  bench::InitBenchTelemetry("serve");
+  bench::BenchEnv& env = bench::GetEnv();
+  bench::PrintHeader(
+      "Serving throughput and latency (AnnotationService)",
+      "Concurrent annotation over the SemTab-like test tables. Expected "
+      "shape: throughput scales with worker threads (the eval-mode "
+      "forward pass and BM25 reads are shared-nothing) while p99 latency "
+      "stays in the same decade — queueing, not contention, dominates.");
+
+  // A deliberately small model: the bench measures the serving harness
+  // (queueing, deadline checks, breaker gates), not model quality.
+  core::KgLinkOptions o;
+  o.epochs = 2;
+  o.encoder.dim = 24;
+  o.encoder.num_heads = 2;
+  o.encoder.num_layers = 1;
+  o.encoder.ffn_dim = 32;
+  o.serializer.max_seq_len = 96;
+  o.linker.top_k_rows = 8;
+  o.seed = 99;
+  core::KgLinkAnnotator annotator(&env.world.kg, &env.engine, o);
+  annotator.Fit(env.semtab.train, env.semtab.valid);
+
+  // Repeat the test tables into a fixed-size request stream so every
+  // thread count serves identical work.
+  std::vector<const table::Table*> requests;
+  while (requests.size() < 64) {
+    for (const auto& lt : env.semtab.test.tables) {
+      requests.push_back(&lt.table);
+      if (requests.size() >= 64) break;
+    }
+  }
+
+  eval::TablePrinter table({"Threads", "Requests", "Throughput (tab/s)",
+                            "p50 (ms)", "p99 (ms)"});
+  for (int threads : {1, 4, 8}) {
+    serve::ServiceOptions so;
+    so.num_threads = threads;
+    so.max_queue = static_cast<int>(requests.size()) + 1;
+    serve::AnnotationService service(&annotator, so);
+
+    Stopwatch wall;
+    std::vector<std::future<serve::AnnotationResult>> futures;
+    futures.reserve(requests.size());
+    for (const auto* t : requests) futures.push_back(service.Submit(*t));
+    std::vector<double> latency_us;
+    latency_us.reserve(futures.size());
+    for (auto& f : futures) {
+      serve::AnnotationResult r = f.get();
+      latency_us.push_back(static_cast<double>(r.queue_us + r.work_us));
+    }
+    double seconds = wall.ElapsedSeconds();
+    service.Shutdown();
+
+    double throughput = static_cast<double>(requests.size()) / seconds;
+    double p50 = PercentileUs(latency_us, 0.5);
+    double p99 = PercentileUs(latency_us, 0.99);
+    table.AddRow({std::to_string(threads), std::to_string(requests.size()),
+                  eval::TablePrinter::Num(throughput, 1),
+                  eval::TablePrinter::Num(p50 / 1000.0, 2),
+                  eval::TablePrinter::Num(p99 / 1000.0, 2)});
+    std::string prefix = "serve.threads" + std::to_string(threads);
+    bench::RecordBenchMetric(prefix + ".throughput", throughput,
+                             "items_per_second");
+    bench::RecordBenchMetric(prefix + ".p50_latency", p50 / 1e6, "seconds");
+    bench::RecordBenchMetric(prefix + ".p99_latency", p99 / 1e6, "seconds");
+  }
+  table.Print();
+
+  std::printf(
+      "\nNo paper counterpart: KGLink reports offline accuracy only. This "
+      "bench tracks the serving harness added on top (bounded queue, "
+      "deadlines, circuit breakers) across builds.\n");
+  return 0;
+}

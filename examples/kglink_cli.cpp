@@ -29,8 +29,10 @@
 #include "obs/trace.h"
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
+#include "serve/annotation_service.h"
 #include "table/corpus_io.h"
 #include "util/csv.h"
+#include "util/deadline.h"
 
 using namespace kglink;
 
@@ -50,6 +52,12 @@ struct Args {
   int tables = 160;
   int epochs = 8;
   uint64_t seed = 42;
+  // Serving knobs (eval / annotate): 1 thread and no deadline = the
+  // sequential in-process path; anything else routes through the
+  // AnnotationService.
+  int threads = 1;        // --threads N: service worker threads
+  int64_t deadline_ms = 0;  // --deadline-ms N: per-request deadline
+  int max_queue = 64;     // --max-queue N: admission-control bound
 };
 
 int Usage() {
@@ -62,6 +70,14 @@ int Usage() {
       "  kglink_cli eval     <dir> --model <prefix>\n"
       "  kglink_cli annotate <dir> --model <prefix> <file.csv>\n"
       "  kglink_cli report   <explain-dir | provenance.jsonl>\n"
+      "\n"
+      "serving (eval / annotate):\n"
+      "  --threads N      annotate test tables concurrently on an N-worker\n"
+      "                   AnnotationService (default 1 = sequential)\n"
+      "  --deadline-ms N  per-request deadline; an expired request degrades\n"
+      "                   to the PLM-only path instead of blocking\n"
+      "  --max-queue N    admission-control queue bound (default 64);\n"
+      "                   overflow requests are shed to the degraded path\n"
       "\n"
       "observability (any command):\n"
       "  --trace=FILE    write a Chrome trace-event JSON (load in\n"
@@ -78,7 +94,7 @@ int Usage() {
       "  --faults=SPEC   comma-separated site:prob[:latency_us] rules,\n"
       "                  e.g. --faults=search.topk:0.1,io.read:0.05:250\n"
       "                  sites: search.topk kg.neighbors io.read io.write\n"
-      "                  train.batch (also via env KGLINK_FAULTS)\n"
+      "                  train.batch predict (also via env KGLINK_FAULTS)\n"
       "  --fault-seed=N  seed for the deterministic fault streams\n"
       "                  (default 42; env KGLINK_FAULT_SEED)\n");
   return 2;
@@ -113,6 +129,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->model_prefix = v;
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args->threads = std::atoi(v);
+      if (args->threads < 1) return false;
+    } else if (a == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->deadline_ms = std::atoll(v);
+      if (args->deadline_ms < 0) return false;
+    } else if (a == "--max-queue") {
+      const char* v = next();
+      if (!v) return false;
+      args->max_queue = std::atoi(v);
+      if (args->max_queue < 1) return false;
     } else if (a.rfind("--trace=", 0) == 0) {
       args->trace_path = a.substr(std::strlen("--trace="));
       if (args->trace_path.empty()) return false;
@@ -230,6 +261,59 @@ int Train(const Args& args) {
   return 0;
 }
 
+// Evaluates the test split through an AnnotationService: tables are
+// submitted as concurrent requests with the CLI's deadline, and columns
+// from degraded/shed responses still count toward accuracy (they carry the
+// PLM-only predictions). Prints the per-status breakdown next to accuracy.
+int ServedEval(const Args& args, core::KgLinkAnnotator& annotator,
+               const table::Corpus& test) {
+  serve::ServiceOptions sopts;
+  sopts.num_threads = args.threads;
+  sopts.max_queue = args.max_queue;
+  sopts.default_deadline_us = args.deadline_ms * 1000;
+  serve::AnnotationService service(&annotator, sopts);
+
+  std::vector<std::future<serve::AnnotationResult>> futures;
+  futures.reserve(test.tables.size());
+  for (const auto& lt : test.tables) {
+    futures.push_back(service.Submit(lt.table));
+  }
+
+  int64_t correct = 0;
+  int64_t total = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::AnnotationResult result = futures[i].get();
+    const auto& labels = test.tables[i].column_labels;
+    if (result.predictions.empty()) continue;  // overloaded / failed
+    for (size_t c = 0; c < labels.size(); ++c) {
+      if (labels[c] == table::kUnlabeled) continue;
+      ++total;
+      if (c < result.predictions.size() &&
+          result.predictions[c] == labels[c]) {
+        ++correct;
+      }
+    }
+  }
+  service.Shutdown();
+
+  double accuracy =
+      total == 0 ? 0.0
+                 : static_cast<double>(correct) / static_cast<double>(total);
+  std::printf("test accuracy=%.2f%% over %lld columns "
+              "(threads=%d deadline_ms=%lld max_queue=%d)\n",
+              100 * accuracy, static_cast<long long>(total), args.threads,
+              static_cast<long long>(args.deadline_ms), args.max_queue);
+  for (int s = 0; s < serve::kNumRequestStatuses; ++s) {
+    auto status = static_cast<serve::RequestStatus>(s);
+    int64_t n = service.completed(status);
+    if (n > 0) {
+      std::printf("  %-10s %lld\n", serve::RequestStatusName(status),
+                  static_cast<long long>(n));
+    }
+  }
+  return 0;
+}
+
 int Eval(const Args& args) {
   auto world = LoadWorld(args.dir);
   if (!world.ok()) {
@@ -247,6 +331,9 @@ int Eval(const Args& args) {
   if (!s.ok()) {
     std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (args.threads > 1 || args.deadline_ms > 0) {
+    return ServedEval(args, annotator, *test);
   }
   eval::Metrics m = annotator.Evaluate(*test);
   std::printf("test accuracy=%.2f%% weighted F1=%.2f%% over %lld columns\n",
@@ -278,11 +365,25 @@ int Annotate(const Args& args) {
     std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
     return 1;
   }
-  std::vector<int> pred = annotator.PredictTable(*t);
+  RequestContext rc;
+  if (args.deadline_ms > 0) {
+    rc.deadline = Deadline::AfterMicros(args.deadline_ms * 1000);
+  }
+  core::AnnotateOutcome outcome = annotator.AnnotateTable(*t, &rc);
+  if (!outcome.status.ok()) {
+    std::fprintf(stderr, "annotate failed: %s\n",
+                 outcome.status.ToString().c_str());
+    return 1;
+  }
+  if (outcome.degraded) {
+    std::printf("(degraded: %s — PLM-only predictions)\n",
+                outcome.degrade_reason.c_str());
+  }
   for (int c = 0; c < t->num_cols(); ++c) {
     std::printf("column %d: %s\n", c,
-                annotator.label_names()[static_cast<size_t>(
-                                            pred[static_cast<size_t>(c)])]
+                annotator
+                    .label_names()[static_cast<size_t>(
+                        outcome.predictions[static_cast<size_t>(c)])]
                     .c_str());
   }
   return 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "obs/json_util.h"
@@ -69,6 +70,66 @@ KgLinkAnnotator::~KgLinkAnnotator() = default;
 linker::ProcessedTable KgLinkAnnotator::Preprocess(
     const table::Table& t) const {
   return pipeline_.Process(t);
+}
+
+linker::ProcessedTable KgLinkAnnotator::Preprocess(
+    const table::Table& t, const RequestContext* rc) const {
+  return pipeline_.Process(t, rc);
+}
+
+AnnotateOutcome KgLinkAnnotator::AnnotateTable(const table::Table& t,
+                                               const RequestContext* rc) {
+  AnnotateOutcome out;
+  if (model_ == nullptr) {
+    out.status = Status::FailedPrecondition("AnnotateTable before Fit/Load");
+    return out;
+  }
+  linker::ProcessedTable processed = pipeline_.Process(t, rc);
+
+  // Gate the PLM inference pass itself ("predict" fault site). A deadline
+  // or cancellation here swaps in the degraded table — the forward pass
+  // still runs (it is the cheap, bounded PLM-only fallback) so the caller
+  // always gets full-width predictions; only a hard post-retry failure of
+  // the pass is an error.
+  robust::TableOpContext ctx(
+      pipeline_.config().retry, pipeline_.config().fault_budget,
+      robust::FaultInjector::Global().seed() ^
+          (rc != nullptr ? rc->stream_key : 0),
+      rc);
+  if (!ctx.Attempt(robust::FaultSite::kPredict)) {
+    const char* reason = ctx.degrade_reason();
+    bool expiry = std::strcmp(reason, "deadline") == 0 ||
+                  std::strcmp(reason, "cancelled") == 0;
+    if (!expiry) {
+      out.status = Status::Unavailable(
+          std::string("predict failed at fault site ") +
+          robust::FaultSiteName(robust::FaultSite::kPredict));
+      return out;
+    }
+    if (!processed.degraded) {
+      processed = pipeline_.ProcessDegraded(t, reason);
+    }
+  }
+
+  out.predictions = PredictProcessed(processed);
+  out.degraded = processed.degraded;
+  out.degrade_reason = processed.degrade_reason;
+  return out;
+}
+
+AnnotateOutcome KgLinkAnnotator::AnnotateDegraded(const table::Table& t,
+                                                  const char* reason) {
+  AnnotateOutcome out;
+  if (model_ == nullptr) {
+    out.status =
+        Status::FailedPrecondition("AnnotateDegraded before Fit/Load");
+    return out;
+  }
+  linker::ProcessedTable processed = pipeline_.ProcessDegraded(t, reason);
+  out.predictions = PredictProcessed(processed);
+  out.degraded = true;
+  out.degrade_reason = processed.degrade_reason;
+  return out;
 }
 
 void KgLinkAnnotator::BuildVocabulary(

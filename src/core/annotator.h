@@ -17,6 +17,7 @@
 #include "nn/optim.h"
 #include "nn/vocab.h"
 #include "search/search_engine.h"
+#include "util/deadline.h"
 
 namespace kglink::core {
 
@@ -63,6 +64,16 @@ struct KgLinkOptions {
   bool verbose = false;
 };
 
+// Result of one deadline-aware AnnotateTable call. `predictions` is always
+// sized to the table's columns when status is OK — on the degraded path it
+// holds the PLM-only predictions, never a partial or empty vector.
+struct AnnotateOutcome {
+  std::vector<int> predictions;
+  bool degraded = false;
+  std::string degrade_reason;  // "deadline", "cancelled", budget reasons
+  Status status;  // non-OK only when the predict pass itself failed hard
+};
+
 // Per-epoch training telemetry (drives the Fig. 8(b) sigma curves).
 struct EpochStats {
   int epoch = 0;
@@ -87,9 +98,30 @@ class KgLinkAnnotator : public eval::ColumnAnnotator {
   // examples).
   linker::ProcessedTable Preprocess(const table::Table& t) const;
 
+  // Deadline-aware Preprocess: `rc` (borrowed, may be null) propagates to
+  // the pipeline, search and the KG lookups.
+  linker::ProcessedTable Preprocess(const table::Table& t,
+                                    const RequestContext* rc) const;
+
   // Predictions with access to an already-processed table (saves the
   // pipeline pass when the caller already ran Preprocess).
   std::vector<int> PredictProcessed(const linker::ProcessedTable& pt);
+
+  // The serving-path entry point: Part 1 + the PLM inference pass, both
+  // under `rc`'s deadline/cancellation and the fault sites ("search.topk",
+  // "kg.neighbors", "predict"). An expired request — before or during any
+  // stage — yields the degraded PLM-only predictions with degrade_reason
+  // "deadline"/"cancelled"; a hard predict failure yields a non-OK status.
+  //
+  // Thread safety: safe to call concurrently after Fit/Load completes (the
+  // eval-mode forward pass only reads model parameters).
+  AnnotateOutcome AnnotateTable(const table::Table& t,
+                                const RequestContext* rc = nullptr);
+
+  // The degraded PLM-only path directly, skipping Part 1 entirely — used
+  // by the service's load shedding, where the KG pipeline is exactly the
+  // work there is no budget for. Same thread-safety as AnnotateTable.
+  AnnotateOutcome AnnotateDegraded(const table::Table& t, const char* reason);
 
   const std::vector<EpochStats>& epoch_stats() const { return epoch_stats_; }
   double fit_seconds() const { return fit_seconds_; }

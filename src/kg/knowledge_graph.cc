@@ -14,6 +14,62 @@ KnowledgeGraph::KnowledgeGraph() {
   KGLINK_CHECK_EQ(sub, kSubclassOf);
 }
 
+void KnowledgeGraph::ResetNeighborCache() {
+  neighbor_cache_.assign(entities_.size(), {});
+  neighbor_cache_valid_.clear();
+  for (size_t i = 0; i < entities_.size(); ++i) {
+    neighbor_cache_valid_.emplace_back(false);
+  }
+}
+
+KnowledgeGraph::KnowledgeGraph(const KnowledgeGraph& other)
+    : entities_(other.entities_),
+      predicate_labels_(other.predicate_labels_),
+      edges_(other.edges_),
+      num_triples_(other.num_triples_),
+      by_qid_(other.by_qid_),
+      by_label_(other.by_label_) {
+  ResetNeighborCache();
+}
+
+KnowledgeGraph& KnowledgeGraph::operator=(const KnowledgeGraph& other) {
+  if (this == &other) return *this;
+  entities_ = other.entities_;
+  predicate_labels_ = other.predicate_labels_;
+  edges_ = other.edges_;
+  num_triples_ = other.num_triples_;
+  by_qid_ = other.by_qid_;
+  by_label_ = other.by_label_;
+  ResetNeighborCache();
+  return *this;
+}
+
+KnowledgeGraph::KnowledgeGraph(KnowledgeGraph&& other) noexcept
+    : entities_(std::move(other.entities_)),
+      predicate_labels_(std::move(other.predicate_labels_)),
+      edges_(std::move(other.edges_)),
+      num_triples_(other.num_triples_),
+      by_qid_(std::move(other.by_qid_)),
+      by_label_(std::move(other.by_label_)) {
+  other.num_triples_ = 0;
+  other.ResetNeighborCache();
+  ResetNeighborCache();
+}
+
+KnowledgeGraph& KnowledgeGraph::operator=(KnowledgeGraph&& other) noexcept {
+  if (this == &other) return *this;
+  entities_ = std::move(other.entities_);
+  predicate_labels_ = std::move(other.predicate_labels_);
+  edges_ = std::move(other.edges_);
+  num_triples_ = other.num_triples_;
+  by_qid_ = std::move(other.by_qid_);
+  by_label_ = std::move(other.by_label_);
+  other.num_triples_ = 0;
+  other.ResetNeighborCache();
+  ResetNeighborCache();
+  return *this;
+}
+
 EntityId KnowledgeGraph::AddEntity(Entity entity) {
   EntityId id = static_cast<EntityId>(entities_.size());
   if (!entity.qid.empty()) {
@@ -24,7 +80,7 @@ EntityId KnowledgeGraph::AddEntity(Entity entity) {
   entities_.push_back(std::move(entity));
   edges_.emplace_back();
   neighbor_cache_.emplace_back();
-  neighbor_cache_valid_.push_back(false);
+  neighbor_cache_valid_.emplace_back(false);
   return id;
 }
 
@@ -40,8 +96,10 @@ void KnowledgeGraph::AddTriple(EntityId subject, PredicateId predicate,
   KGLINK_CHECK(predicate >= 0 && predicate < num_predicates());
   edges_[subject].push_back({predicate, object, /*forward=*/true});
   edges_[object].push_back({predicate, subject, /*forward=*/false});
-  neighbor_cache_valid_[subject] = false;
-  neighbor_cache_valid_[object] = false;
+  // Mutation is construction-time-only with respect to concurrent readers
+  // (see NeighborSet), so relaxed invalidation is sufficient.
+  neighbor_cache_valid_[subject].store(false, std::memory_order_relaxed);
+  neighbor_cache_valid_[object].store(false, std::memory_order_relaxed);
   ++num_triples_;
 }
 
@@ -74,14 +132,20 @@ const std::vector<Edge>& KnowledgeGraph::Edges(EntityId id) const {
 const std::vector<EntityId>& KnowledgeGraph::NeighborSet(EntityId id) const {
   KGLINK_CHECK(id >= 0 && id < num_entities());
   size_t i = static_cast<size_t>(id);
-  if (!neighbor_cache_valid_[i]) {
+  // Fast path: the flag's release store in the fill below makes the cached
+  // vector visible to this acquire load.
+  if (neighbor_cache_valid_[i].load(std::memory_order_acquire)) {
+    return neighbor_cache_[i];
+  }
+  std::lock_guard<std::mutex> lock(neighbor_mu_);
+  if (!neighbor_cache_valid_[i].load(std::memory_order_relaxed)) {
     std::vector<EntityId> nbrs;
     nbrs.reserve(edges_[i].size());
     for (const Edge& e : edges_[i]) nbrs.push_back(e.target);
     std::sort(nbrs.begin(), nbrs.end());
     nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
     neighbor_cache_[i] = std::move(nbrs);
-    neighbor_cache_valid_[i] = true;
+    neighbor_cache_valid_[i].store(true, std::memory_order_release);
   }
   return neighbor_cache_[i];
 }

@@ -5,7 +5,10 @@
 #ifndef KGLINK_KG_KNOWLEDGE_GRAPH_H_
 #define KGLINK_KG_KNOWLEDGE_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +49,16 @@ class KnowledgeGraph {
 
   KnowledgeGraph();
 
+  // Copies and moves are supported (the graph is returned by value from
+  // LoadFromFile and embedded in data::World); the lazy neighbour cache
+  // and its synchronization state are reset rather than transferred, so
+  // they rebuild on first use. Not safe concurrently with readers of
+  // either side.
+  KnowledgeGraph(const KnowledgeGraph& other);
+  KnowledgeGraph& operator=(const KnowledgeGraph& other);
+  KnowledgeGraph(KnowledgeGraph&& other) noexcept;
+  KnowledgeGraph& operator=(KnowledgeGraph&& other) noexcept;
+
   // ----- construction -----
   EntityId AddEntity(Entity entity);
   PredicateId AddPredicate(const std::string& label);
@@ -68,6 +81,12 @@ class KnowledgeGraph {
   const std::vector<Edge>& Edges(EntityId id) const;
   // Deduplicated, sorted one-hop neighbour entity ids (both directions).
   // Built lazily and cached; invalidated by AddTriple.
+  //
+  // Thread-safety: safe to call concurrently with other const lookups once
+  // construction is over (the serving contract for the whole class —
+  // mutators must not run concurrently with readers). The lazy cache fill
+  // uses a per-entity published flag with double-checked locking, so the
+  // common already-cached read is one acquire load.
   const std::vector<EntityId>& NeighborSet(EntityId id) const;
   // True if `candidate` is a one-hop neighbour of `id`.
   bool IsNeighbor(EntityId id, EntityId candidate) const;
@@ -84,15 +103,24 @@ class KnowledgeGraph {
   static StatusOr<KnowledgeGraph> LoadFromFile(const std::string& path);
 
  private:
+  // Empties the cache and re-sizes the flag deque to the entity count.
+  void ResetNeighborCache();
+
   std::vector<Entity> entities_;
   std::vector<std::string> predicate_labels_;
   std::vector<std::vector<Edge>> edges_;  // per entity, both directions
   int64_t num_triples_ = 0;
   std::unordered_map<std::string, EntityId> by_qid_;
   std::unordered_map<std::string, std::vector<EntityId>> by_label_;
-  // Lazy neighbour-set cache (cleared on mutation).
+  // Lazy neighbour-set cache (cleared on mutation). The ready flags are
+  // per-entity atomics (a deque so growth never moves existing elements);
+  // a set flag published with release order guarantees the cached vector
+  // is visible to any reader that observed the flag with acquire order.
+  // vector<bool> is unusable here: neighbouring bits share a byte, so even
+  // distinct-entity writes would race.
   mutable std::vector<std::vector<EntityId>> neighbor_cache_;
-  mutable std::vector<bool> neighbor_cache_valid_;
+  mutable std::deque<std::atomic<bool>> neighbor_cache_valid_;
+  mutable std::mutex neighbor_mu_;  // serializes cache fills only
 };
 
 }  // namespace kglink::kg

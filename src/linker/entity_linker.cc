@@ -58,7 +58,8 @@ CellLinks EntityLinker::LinkCell(const table::Cell& cell,
   metrics.cells_linked.Add();
   links.linkable = true;
   for (const auto& hit :
-       engine_->TopK(cell.text, config_.max_entities_per_cell)) {
+       engine_->TopK(cell.text, config_.max_entities_per_cell,
+                     ctx != nullptr ? ctx->request() : nullptr)) {
     links.retrieved.push_back({hit.doc_id, hit.score, 0.0});
   }
   metrics.cands_retrieved.Add(static_cast<int64_t>(links.retrieved.size()));
@@ -84,7 +85,7 @@ RowLinks EntityLinker::LinkRow(const table::Table& table, int row,
   for (int c = 0; c < cols; ++c) {
     for (const EntityCandidate& cand : out.cells[static_cast<size_t>(c)].retrieved) {
       if (ctx != nullptr &&
-          robust::MaybeInject(robust::FaultSite::kKgNeighbors)) {
+          ctx->SoftFault(robust::FaultSite::kKgNeighbors)) {
         continue;
       }
       for (kg::EntityId nbr : kg_->NeighborSet(cand.entity)) {

@@ -33,7 +33,7 @@ KgPipeline::KgPipeline(const kg::KnowledgeGraph* kg,
                        LinkerConfig config)
     : kg_(kg), linker_(kg, engine, config) {}
 
-ProcessedTable KgPipeline::DegradedProcess(const table::Table& table,
+ProcessedTable KgPipeline::ProcessDegraded(const table::Table& table,
                                            const char* reason) const {
   PipelineMetrics::Get().degraded_tables.Add();
   KGLINK_LOG(kWarn, "pipeline.degraded")
@@ -72,16 +72,33 @@ ProcessedTable KgPipeline::DegradedProcess(const table::Table& table,
 }
 
 ProcessedTable KgPipeline::Process(const table::Table& table) const {
+  return Process(table, nullptr);
+}
+
+ProcessedTable KgPipeline::Process(const table::Table& table,
+                                   const RequestContext* rc) const {
   KGLINK_TRACE_SPAN("part1.process");
   PipelineMetrics::Get().tables_processed.Add();
   const LinkerConfig& config = linker_.config();
 
+  // A request that arrives already out of budget short-circuits straight
+  // to the PLM-only fallback without touching search or the KG.
+  if (rc != nullptr && rc->Expired()) {
+    return ProcessDegraded(table, rc->ExpiryReason());
+  }
+
   // Per-table failure budget. Jitter seed varies per table so retry
   // backoffs do not synchronize, but stays deterministic per process run.
+  // Serving-path requests key the jitter stream on their stable stream_key
+  // instead of the submission-order counter, for the same determinism the
+  // fault stream gets.
   robust::TableOpContext ctx(
       config.retry, config.fault_budget,
       robust::FaultInjector::Global().seed() ^
-          ctx_counter_.fetch_add(1, std::memory_order_relaxed));
+          (rc != nullptr
+               ? rc->stream_key
+               : ctx_counter_.fetch_add(1, std::memory_order_relaxed)),
+      rc);
 
   // Steps 1-2: link & prune every row; collect row scores.
   std::vector<RowLinks> all_rows;
@@ -93,7 +110,7 @@ ProcessedTable KgPipeline::Process(const table::Table& table) const {
     for (int r = 0; r < table.num_rows(); ++r) {
       all_rows.push_back(linker_.LinkRow(table, r, &ctx));
       if (ctx.degraded()) {
-        return DegradedProcess(table, ctx.degrade_reason());
+        return ProcessDegraded(table, ctx.degrade_reason());
       }
       row_scores.push_back(all_rows.back().row_score);
     }

@@ -9,6 +9,7 @@
 #include "linker/entity_linker.h"
 #include "linker/types.h"
 #include "search/search_engine.h"
+#include "util/deadline.h"
 
 namespace kglink::linker {
 
@@ -22,13 +23,29 @@ class KgPipeline {
   // LinkerConfig::fault_budget) the result is a *degraded* ProcessedTable
   // (degraded == true): first-k rows, no KG candidate types or feature
   // sequences — the PLM-only fallback — instead of a crash or an error.
+  //
+  // Thread safety: Process is const and safe to call concurrently (the
+  // pipeline reads a finalized SearchEngine and an immutable KG; each call
+  // owns its failure-budget context).
   ProcessedTable Process(const table::Table& table) const;
+
+  // Serving-path overload: `rc` (borrowed, may be null) carries the
+  // request's deadline/cancellation and its fault-stream key. A request
+  // that is already expired — or expires at any gated site — comes back as
+  // the degraded PLM-only table with degrade_reason "deadline" (or
+  // "cancelled"), never as a crash or a partial result.
+  ProcessedTable Process(const table::Table& table,
+                         const RequestContext* rc) const;
+
+  // The degraded PLM-only fallback, directly: first-k rows in original
+  // order, no KG evidence. The serving path uses this for shed requests
+  // whose remaining budget cannot fit a full Process.
+  ProcessedTable ProcessDegraded(const table::Table& table,
+                                 const char* reason) const;
 
   const LinkerConfig& config() const { return linker_.config(); }
 
  private:
-  ProcessedTable DegradedProcess(const table::Table& table,
-                                 const char* reason) const;
 
   const kg::KnowledgeGraph* kg_;
   EntityLinker linker_;

@@ -32,9 +32,12 @@ Histogram::Histogram(HistogramBuckets buckets)
 void Histogram::Record(double value) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  // Bucket and sum first, then publish the total with release: a reader
+  // that acquires count() sees at least that many bucket increments (see
+  // the contract in the header).
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 int64_t Histogram::bucket_count(size_t i) const {

@@ -39,11 +39,14 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-// Last-write-wins scalar (e.g. the most recent epoch loss).
+// Last-write-wins scalar (e.g. the most recent epoch loss). Release/acquire
+// ordering so a snapshot thread that reads the gauge also observes every
+// write the setter published before it (no torn or stale-vs-counter reads
+// in the JSON export).
 class Gauge {
  public:
-  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
-  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Set(double v) { value_.store(v, std::memory_order_release); }
+  double value() const { return value_.load(std::memory_order_acquire); }
   void Reset() { Set(0.0); }
 
  private:
@@ -63,6 +66,13 @@ struct HistogramBuckets {
 
 // Fixed-bucket histogram. Values land in the first bucket whose upper
 // bound is >= value; larger values land in the overflow bucket.
+//
+// Concurrency contract: Record publishes the bucket and sum updates before
+// the total count (release), and count() reads with acquire. A snapshot
+// that reads count() first therefore never observes a total larger than
+// the bucket contents it goes on to read — bucket sums are always >= the
+// reported count, never behind it (the classic torn-export anomaly where
+// count says 100 but the buckets only account for 99).
 class Histogram {
  public:
   explicit Histogram(HistogramBuckets buckets);
@@ -70,7 +80,7 @@ class Histogram {
   void Record(double value);
 
   int64_t count() const {
-    return static_cast<int64_t>(count_.load(std::memory_order_relaxed));
+    return static_cast<int64_t>(count_.load(std::memory_order_acquire));
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   // i in [0, upper_bounds().size()]; the last index is the overflow bucket.

@@ -1,0 +1,193 @@
+#include "robust/circuit_breaker.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace kglink::robust {
+
+namespace {
+
+// Registered once; indexed by site so state updates stay cheap.
+struct SiteBreakerMetrics {
+  obs::Gauge* state;
+  obs::Counter* trips;
+  obs::Counter* short_circuits;
+};
+
+SiteBreakerMetrics& MetricsFor(FaultSite site) {
+  static std::array<SiteBreakerMetrics, kNumFaultSites> metrics = [] {
+    std::array<SiteBreakerMetrics, kNumFaultSites> m{};
+    auto& reg = obs::MetricsRegistry::Global();
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      std::string prefix =
+          std::string("robust.breaker.") + kglink::robust::FaultSiteName(
+                                               static_cast<FaultSite>(i));
+      m[static_cast<size_t>(i)] = SiteBreakerMetrics{
+          &reg.GetGauge(prefix + ".state"),
+          &reg.GetCounter(prefix + ".trips"),
+          &reg.GetCounter(prefix + ".short_circuits"),
+      };
+    }
+    return m;
+  }();
+  return metrics[static_cast<size_t>(site)];
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+    case BreakerState::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(FaultSite site,
+                               const CircuitBreakerOptions& options)
+    : site_(site), options_(options) {
+  outcomes_.assign(static_cast<size_t>(options_.window), 0);
+  MetricsFor(site_).state->Set(0.0);
+}
+
+void CircuitBreaker::SetState(BreakerState next) {
+  state_.store(static_cast<int>(next), std::memory_order_release);
+  MetricsFor(site_).state->Set(static_cast<double>(next));
+}
+
+void CircuitBreaker::ClearWindow() {
+  outcomes_.assign(static_cast<size_t>(options_.window), 0);
+  head_ = 0;
+  filled_ = 0;
+  window_failures_ = 0;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+}
+
+void CircuitBreaker::PushOutcome(bool failed) {
+  if (filled_ == options_.window) {
+    window_failures_ -= outcomes_[static_cast<size_t>(head_)];
+  } else {
+    ++filled_;
+  }
+  outcomes_[static_cast<size_t>(head_)] = failed ? 1 : 0;
+  window_failures_ += failed ? 1 : 0;
+  head_ = (head_ + 1) % options_.window;
+}
+
+void CircuitBreaker::TripOpen() {
+  SetState(BreakerState::kOpen);
+  since_open_.Reset();
+  ClearWindow();
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  MetricsFor(site_).trips->Add();
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerState s = state();
+  if (s == BreakerState::kClosed) return true;
+  if (s == BreakerState::kOpen) {
+    if (since_open_.ElapsedSeconds() * 1e6 <
+        static_cast<double>(options_.open_cooldown_us)) {
+      MetricsFor(site_).short_circuits->Add();
+      return false;
+    }
+    // Cooled down: admit probes.
+    SetState(BreakerState::kHalfOpen);
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  }
+  if (probes_in_flight_ < options_.half_open_probes) {
+    ++probes_in_flight_;
+    return true;
+  }
+  MetricsFor(site_).short_circuits->Add();
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerState s = state();
+  if (s == BreakerState::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    if (++probe_successes_ >= options_.half_open_probes) {
+      SetState(BreakerState::kClosed);
+      ClearWindow();
+    }
+    return;
+  }
+  // An outcome that raced with a trip is stale — the window restarted.
+  if (s == BreakerState::kOpen) return;
+  PushOutcome(false);
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerState s = state();
+  if (s == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately; no ratio math.
+    TripOpen();
+    return;
+  }
+  if (s == BreakerState::kOpen) return;
+  PushOutcome(true);
+  if (filled_ >= options_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          options_.failure_ratio * static_cast<double>(filled_)) {
+    TripOpen();
+  }
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetState(BreakerState::kClosed);
+  ClearWindow();
+}
+
+void CircuitBreaker::Configure(const CircuitBreakerOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  SetState(BreakerState::kClosed);
+  ClearWindow();
+}
+
+std::atomic<bool> BreakerRegistry::enabled_{false};
+
+BreakerRegistry::BreakerRegistry() {
+  CircuitBreakerOptions defaults;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    breakers_[static_cast<size_t>(i)] = std::make_unique<CircuitBreaker>(
+        static_cast<FaultSite>(i), defaults);
+  }
+}
+
+BreakerRegistry& BreakerRegistry::Global() {
+  static BreakerRegistry* registry = new BreakerRegistry();
+  return *registry;
+}
+
+void BreakerRegistry::Enable(const CircuitBreakerOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : breakers_) b->Configure(options);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void BreakerRegistry::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  for (auto& b : breakers_) b->Reset();
+}
+
+CircuitBreaker& BreakerRegistry::ForSite(FaultSite site) {
+  // breakers_ is immutable after construction (objects reconfigured in
+  // place), so no lock is needed to hand out a reference.
+  return *breakers_[static_cast<size_t>(site)];
+}
+
+}  // namespace kglink::robust

@@ -1,0 +1,130 @@
+// Per-site circuit breakers for the serving path.
+//
+// A breaker watches the post-retry outcome stream of one fault site
+// (search.topk, kg.neighbors, predict, ...). When the rolling failure
+// ratio over a window of recent outcomes crosses the threshold, the
+// breaker trips open: subsequent calls at that site fail fast without
+// burning retries or backoff sleeps, which routes the pipeline around the
+// failing stage (tables degrade to the PLM-only path immediately instead
+// of stalling every worker in retry loops). After a cooldown the breaker
+// goes half-open and admits a limited number of probe calls; enough probe
+// successes close it again, any probe failure re-opens it.
+//
+// Breakers are disabled by default (one relaxed atomic test on the
+// gated path) and enabled process-wide by the AnnotationService. State
+// transitions are mirrored into the obs metrics registry as gauges
+// ("robust.breaker.<site>.state": 0 closed, 1 half-open, 2 open) and
+// counters (".trips", ".short_circuits"), so the health snapshot and any
+// exported metrics file show breaker activity.
+#ifndef KGLINK_ROBUST_CIRCUIT_BREAKER_H_
+#define KGLINK_ROBUST_CIRCUIT_BREAKER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "robust/fault_injector.h"
+#include "util/stopwatch.h"
+
+namespace kglink::robust {
+
+struct CircuitBreakerOptions {
+  int window = 64;             // rolling outcome window size
+  int min_samples = 20;        // outcomes required before the ratio counts
+  double failure_ratio = 0.5;  // trip threshold over the window
+  int64_t open_cooldown_us = 50000;  // open -> half-open after this long
+  int half_open_probes = 1;    // probe successes required to close
+};
+
+enum class BreakerState : int { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+// "closed" / "half_open" / "open".
+const char* BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(FaultSite site, const CircuitBreakerOptions& options);
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // True when a call at this site may proceed. Open breakers transition to
+  // half-open here once the cooldown has elapsed; half-open breakers admit
+  // at most `half_open_probes` in-flight probes.
+  bool Allow();
+
+  // Post-retry outcome feedback. A retried-then-succeeded call counts as a
+  // success (the retry policy absorbed the fault).
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const {
+    return static_cast<BreakerState>(
+        state_.load(std::memory_order_acquire));
+  }
+  FaultSite site() const { return site_; }
+  int64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+  // Back to closed with an empty window (used between test scenarios).
+  void Reset();
+
+  // Swaps in new options and resets to closed. Safe concurrently with
+  // traffic (references from BreakerRegistry::ForSite stay valid — the
+  // breaker object itself is never destroyed or replaced).
+  void Configure(const CircuitBreakerOptions& options);
+
+ private:
+  void SetState(BreakerState next);  // requires mu_
+  void PushOutcome(bool failed);     // requires mu_
+  void TripOpen();                   // requires mu_
+  void ClearWindow();                // requires mu_
+
+  const FaultSite site_;
+  CircuitBreakerOptions options_;  // guarded by mu_
+
+  mutable std::mutex mu_;
+  std::atomic<int> state_{static_cast<int>(BreakerState::kClosed)};
+  std::vector<uint8_t> outcomes_;  // ring buffer: 1 = failure
+  int head_ = 0;
+  int filled_ = 0;
+  int window_failures_ = 0;
+  int probes_in_flight_ = 0;
+  int probe_successes_ = 0;
+  Stopwatch since_open_;
+  std::atomic<int64_t> trips_{0};
+};
+
+// The process-wide per-site breaker set. Gating code tests Enabled()
+// first, so breakers cost one relaxed load when the feature is off.
+class BreakerRegistry {
+ public:
+  BreakerRegistry(const BreakerRegistry&) = delete;
+  BreakerRegistry& operator=(const BreakerRegistry&) = delete;
+
+  static BreakerRegistry& Global();
+
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  // Reconfigures every breaker with `options` and turns gating on. The
+  // breaker objects are allocated once and reconfigured in place, so
+  // references handed out by ForSite never dangle.
+  void Enable(const CircuitBreakerOptions& options);
+  // Turns gating off and resets every breaker to closed.
+  void Disable();
+
+  CircuitBreaker& ForSite(FaultSite site);
+
+ private:
+  BreakerRegistry();
+
+  static std::atomic<bool> enabled_;
+
+  std::mutex mu_;
+  std::array<std::unique_ptr<CircuitBreaker>, kNumFaultSites> breakers_;
+};
+
+}  // namespace kglink::robust
+
+#endif  // KGLINK_ROBUST_CIRCUIT_BREAKER_H_

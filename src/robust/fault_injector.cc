@@ -16,6 +16,7 @@ namespace {
 
 constexpr const char* kSiteNames[kNumFaultSites] = {
     "search.topk", "kg.neighbors", "io.read", "io.write", "train.batch",
+    "predict",
 };
 
 // Registered once; indexed by site for lock-free updates on the fault path.
@@ -151,6 +152,28 @@ bool FaultInjector::ShouldFail(FaultSite site) {
     return false;
   }
   return true;
+}
+
+bool FaultInjector::ShouldFailWithRng(FaultSite site, Rng& rng) {
+  FaultRule rule = RuleFor(site);
+  if (rule.probability <= 0.0) return false;
+  if (!rng.Bernoulli(rule.probability)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sites_[static_cast<size_t>(site)].trips;
+  }
+  SiteTripCounter(site).Add();
+  TotalTripCounter().Add();
+  if (rule.latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(rule.latency_us));
+    return false;
+  }
+  return true;
+}
+
+FaultRule FaultInjector::RuleFor(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<size_t>(site)].rule;
 }
 
 double FaultInjector::JitterUniform() {

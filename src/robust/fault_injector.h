@@ -36,6 +36,7 @@ enum class FaultSite : int {
   kIoRead,          // "io.read":      reading a persisted artifact
   kIoWrite,         // "io.write":     writing a persisted artifact
   kTrainBatch,      // "train.batch":  one gradient batch (poisons the loss)
+  kPredict,         // "predict":      one PLM inference pass for a table
   kNumSites,
 };
 
@@ -80,6 +81,18 @@ class FaultInjector {
   // trip sleeps and returns false (the operation proceeds). Never call
   // directly from production code — use MaybeInject.
   bool ShouldFail(FaultSite site);
+
+  // Like ShouldFail, but draws from `rng` — a caller-owned stream — instead
+  // of the site's shared global stream. The serving path gives every
+  // request its own stream (seeded from the injector seed and the
+  // request's stream key), so trip decisions are deterministic per seed no
+  // matter how worker threads interleave; the shared streams above stay
+  // schedule-dependent under concurrency by construction. No draw happens
+  // when the site has no active rule, which is stable for a fixed config.
+  bool ShouldFailWithRng(FaultSite site, Rng& rng);
+
+  // Copy of the site's active rule (zero probability when none).
+  FaultRule RuleFor(FaultSite site) const;
 
   // Deterministic uniform double in [0, 1) from a dedicated jitter stream
   // (used by retry backoff so sleeps are reproducible per seed).

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "robust/circuit_breaker.h"
 
 namespace kglink::robust {
 
@@ -14,15 +15,26 @@ namespace {
 struct RobustMetrics {
   obs::Counter& retries;
   obs::Counter& failed_ops;
+  obs::Counter& breaker_rejects;
 
   static RobustMetrics& Get() {
     auto& reg = obs::MetricsRegistry::Global();
     static RobustMetrics& m = *new RobustMetrics{
         reg.GetCounter("robust.retries"),
-        reg.GetCounter("robust.failed_ops")};
+        reg.GetCounter("robust.failed_ops"),
+        reg.GetCounter("robust.breaker_rejects")};
     return m;
   }
 };
+
+// Decorrelates consecutive stream keys into well-separated RNG seeds
+// (splitmix64 finalizer).
+uint64_t MixStreamKey(uint64_t key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 }  // namespace
 
@@ -37,12 +49,23 @@ int64_t RetryPolicy::BackoffMicros(int attempt, double jitter01) const {
 namespace internal {
 
 void SleepBackoff(const RetryPolicy& policy, int attempt) {
-  RobustMetrics::Get().retries.Add();
   double jitter = FaultInjector::Enabled()
                       ? FaultInjector::Global().JitterUniform()
                       : 0.5;
-  std::this_thread::sleep_for(std::chrono::microseconds(
-      policy.BackoffMicros(attempt, jitter)));
+  SleepBackoff(policy, attempt, policy.BackoffMicros(attempt, jitter));
+}
+
+void SleepBackoff(const RetryPolicy& policy, int attempt, int64_t backoff_us) {
+  (void)policy;
+  (void)attempt;
+  RobustMetrics::Get().retries.Add();
+  std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+}
+
+bool BackoffBlocked(const RequestContext* request, int64_t backoff_us) {
+  if (request == nullptr || request->Unbounded()) return false;
+  if (request->cancel.Cancelled()) return true;
+  return request->deadline.RemainingMicros() <= backoff_us;
 }
 
 }  // namespace internal
@@ -50,7 +73,21 @@ void SleepBackoff(const RetryPolicy& policy, int attempt) {
 TableOpContext::TableOpContext(const RetryPolicy& policy,
                                const TableBudget& budget,
                                uint64_t jitter_seed)
-    : policy_(policy), budget_(budget), jitter_rng_(jitter_seed) {}
+    : TableOpContext(policy, budget, jitter_seed, nullptr) {}
+
+TableOpContext::TableOpContext(const RetryPolicy& policy,
+                               const TableBudget& budget,
+                               uint64_t jitter_seed,
+                               const RequestContext* request)
+    : policy_(policy),
+      budget_(budget),
+      jitter_rng_(jitter_seed),
+      request_(request) {
+  if (request_ != nullptr) {
+    fault_rng_ = Rng(FaultInjector::Global().seed() ^
+                     MixStreamKey(request_->stream_key));
+  }
+}
 
 void TableOpContext::Degrade(const char* reason) {
   degraded_ = true;
@@ -63,28 +100,91 @@ bool TableOpContext::DeadlineExpired() {
          static_cast<double>(budget_.deadline_us);
 }
 
-bool TableOpContext::Attempt(FaultSite site) {
-  if (!FaultInjector::Enabled()) return true;
-  if (degraded_) return false;
+bool TableOpContext::RollFault(FaultSite site) {
+  if (request_ != nullptr) {
+    return FaultInjector::Global().ShouldFailWithRng(site, fault_rng_);
+  }
+  return FaultInjector::Global().ShouldFail(site);
+}
+
+bool TableOpContext::SoftFault(FaultSite site) {
+  if (!FaultInjector::Enabled()) return false;
+  return RollFault(site);
+}
+
+bool TableOpContext::CheckDeadline() {
+  if (degraded_) return true;
+  if (request_ != nullptr && !request_->Unbounded()) {
+    if (request_->cancel.Cancelled()) {
+      Degrade("cancelled");
+      return true;
+    }
+    if (request_->deadline.IsExpired()) {
+      Degrade("deadline");
+      return true;
+    }
+  }
   if (DeadlineExpired()) {
     Degrade("deadline");
-    return false;
+    return true;
   }
+  return false;
+}
+
+bool TableOpContext::Attempt(FaultSite site) {
+  if (degraded_) return false;
+  if (request_ != nullptr && CheckDeadline()) return false;
+  if (!FaultInjector::Enabled()) return true;
+  if (CheckDeadline()) return false;
+  bool hard_failure = false;
+  if (BreakerRegistry::Enabled()) {
+    CircuitBreaker& breaker = BreakerRegistry::Global().ForSite(site);
+    if (!breaker.Allow()) {
+      // Open breaker: fail fast without retries or sleeps. Charged as a
+      // failed op so the table budget still governs how many sites may be
+      // skipped before the whole table degrades. No outcome is recorded —
+      // the operation never ran, so it says nothing about site health.
+      RobustMetrics::Get().breaker_rejects.Add();
+      RobustMetrics::Get().failed_ops.Add();
+      if (++failed_ops_ > budget_.max_failed_ops) {
+        Degrade("fault budget exhausted");
+      }
+      return false;
+    }
+    bool proceed = AttemptRetryLoop(site, &hard_failure);
+    // Only post-retry hard failures feed the breaker; deadline/cancel and
+    // retry-budget exits say nothing about the site itself.
+    if (proceed) {
+      breaker.RecordSuccess();
+    } else if (hard_failure) {
+      breaker.RecordFailure();
+    }
+    return proceed;
+  }
+  return AttemptRetryLoop(site, &hard_failure);
+}
+
+bool TableOpContext::AttemptRetryLoop(FaultSite site, bool* hard_failure) {
   for (int attempt = 0;; ++attempt) {
-    if (!FaultInjector::Global().ShouldFail(site)) return true;
+    if (!RollFault(site)) return true;
     if (attempt + 1 >= policy_.max_attempts) break;  // retries exhausted
     if (++retries_used_ > budget_.max_retries) {
       Degrade("retry budget exhausted");
       return false;
     }
-    RobustMetrics::Get().retries.Add();
-    std::this_thread::sleep_for(std::chrono::microseconds(
-        policy_.BackoffMicros(attempt + 1, jitter_rng_.UniformDouble())));
-    if (DeadlineExpired()) {
-      Degrade("deadline");
+    int64_t backoff_us =
+        policy_.BackoffMicros(attempt + 1, jitter_rng_.UniformDouble());
+    if (internal::BackoffBlocked(request_, backoff_us)) {
+      // The sleep could not finish inside the request budget: stop
+      // retrying now instead of blocking a worker past the deadline.
+      Degrade(request_->cancel.Cancelled() ? "cancelled" : "deadline");
       return false;
     }
+    RobustMetrics::Get().retries.Add();
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    if (CheckDeadline()) return false;
   }
+  *hard_failure = true;
   RobustMetrics::Get().failed_ops.Add();
   if (++failed_ops_ > budget_.max_failed_ops) {
     Degrade("fault budget exhausted");

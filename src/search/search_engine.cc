@@ -80,15 +80,20 @@ double SearchEngine::Idf(std::string_view term) const {
   return std::log((total - n + 0.5) / (n + 0.5) + 1.0);
 }
 
-std::vector<SearchResult> SearchEngine::TopK(std::string_view query,
-                                             int k) const {
+std::vector<SearchResult> SearchEngine::TopK(std::string_view query, int k,
+                                             const RequestContext* rc) const {
   KGLINK_CHECK(finalized_) << "query before Finalize";
   KGLINK_OBS_HOT(TopKMetrics::Get().calls.Add());
   KGLINK_OBS_TIMER(TopKMetrics::Get().latency_us);
   if (k <= 0 || doc_len_.empty()) return {};
+  bool bounded = rc != nullptr && !rc->Unbounded();
+  if (bounded && rc->Expired()) return {};
 
   std::unordered_map<int32_t, double> scores;
   for (const auto& term : SplitWords(query)) {
+    // An expired request gets nothing rather than a partial (and therefore
+    // timing-dependent) score map.
+    if (bounded && rc->Expired()) return {};
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     double idf = Idf(term);

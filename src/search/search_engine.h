@@ -12,6 +12,7 @@
 
 #include "kg/knowledge_graph.h"
 #include "util/check.h"
+#include "util/deadline.h"
 
 namespace kglink::search {
 
@@ -50,7 +51,17 @@ class SearchEngine {
 
   // Top-k documents by BM25 score for a free-text query. Ties broken by
   // doc id for determinism. Documents with zero overlap are not returned.
-  std::vector<SearchResult> TopK(std::string_view query, int k) const;
+  //
+  // `rc` (optional, borrowed) is the serving path's deadline/cancellation:
+  // an expired or cancelled request returns an empty result immediately
+  // (checked once at entry and once per query term), which upstream treats
+  // as an unlinkable cell. A null or unbounded context costs nothing.
+  //
+  // Thread safety: const queries on a finalized engine are safe from any
+  // number of threads concurrently (the index is immutable after
+  // Finalize).
+  std::vector<SearchResult> TopK(std::string_view query, int k,
+                                 const RequestContext* rc = nullptr) const;
 
   // BM25 score of one document for a query (0 if no term overlap).
   double Score(std::string_view query, int32_t doc_id) const;

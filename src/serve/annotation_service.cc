@@ -1,0 +1,264 @@
+#include "serve/annotation_service.h"
+
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace kglink::serve {
+
+namespace {
+
+constexpr const char* kStatusNames[kNumRequestStatuses] = {
+    "ok", "degraded", "shed", "overloaded", "cancelled", "failed",
+};
+
+struct ServeMetrics {
+  obs::Gauge& queue_depth;
+  obs::Gauge& inflight;
+  obs::Histogram& latency_us;     // queue wait + work, end to end
+  obs::Histogram& queue_wait_us;  // queue wait alone
+  std::array<obs::Counter*, kNumRequestStatuses> by_status;
+
+  static ServeMetrics& Get() {
+    static ServeMetrics& m = *[] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new ServeMetrics{
+          reg.GetGauge("serve.queue.depth"),
+          reg.GetGauge("serve.inflight"),
+          reg.GetHistogram("serve.latency_us"),
+          reg.GetHistogram("serve.queue_wait_us"),
+          {}};
+      for (int i = 0; i < kNumRequestStatuses; ++i) {
+        metrics->by_status[static_cast<size_t>(i)] = &reg.GetCounter(
+            std::string("serve.requests.") + kStatusNames[i]);
+      }
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+int64_t ElapsedMicros(const Stopwatch& watch) {
+  return static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
+}
+
+}  // namespace
+
+const char* RequestStatusName(RequestStatus status) {
+  return kStatusNames[static_cast<size_t>(status)];
+}
+
+AnnotationService::AnnotationService(core::KgLinkAnnotator* annotator,
+                                     ServiceOptions options)
+    : annotator_(annotator), options_(options) {
+  KGLINK_CHECK(annotator_ != nullptr);
+  if (options_.num_threads < 1) options_.num_threads = 1;
+  if (options_.max_queue < 1) options_.max_queue = 1;
+  for (auto& c : completed_) c.store(0, std::memory_order_relaxed);
+  if (options_.enable_circuit_breakers) {
+    robust::BreakerRegistry::Global().Enable(options_.breaker);
+  }
+  accepting_ = true;
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AnnotationService::~AnnotationService() { Shutdown(); }
+
+std::future<AnnotationResult> AnnotationService::Submit(
+    const table::Table& table) {
+  return Submit(table, options_.default_deadline_us > 0
+                           ? Deadline::AfterMicros(options_.default_deadline_us)
+                           : Deadline::Infinite());
+}
+
+std::future<AnnotationResult> AnnotationService::Submit(
+    const table::Table& table, Deadline deadline, CancellationToken cancel) {
+  Request req;
+  req.table = &table;
+  req.rc.deadline = deadline;
+  req.rc.cancel = std::move(cancel);
+  std::future<AnnotationResult> future = req.promise.get_future();
+
+  bool enqueued = false;
+  bool open = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The stream key is assigned to every submission — accepted or not —
+    // in submission order, so fault-injection streams stay aligned with
+    // the caller's submit sequence no matter what admission decides.
+    req.rc.stream_key = next_stream_key_++;
+    open = accepting_;
+    if (open && static_cast<int>(queue_.size()) < options_.max_queue) {
+      queue_.push_back(std::move(req));
+      ServeMetrics::Get().queue_depth.Set(
+          static_cast<double>(queue_.size()));
+      enqueued = true;
+    }
+  }
+  if (enqueued) {
+    cv_.notify_one();
+    return future;
+  }
+
+  // Admission refused. A closed service or a spent deadline means even the
+  // cheap path is pointless: refuse outright. Otherwise shed load by
+  // running the degraded PLM-only path right here in the caller's thread —
+  // the queue and workers never see the request.
+  AnnotationResult result;
+  if (!open) {
+    result.status = RequestStatus::kOverloaded;
+    result.error = Status::Unavailable("annotation service is shut down");
+  } else if (req.rc.Expired()) {
+    result.status = RequestStatus::kOverloaded;
+    result.error =
+        Status::Unavailable("queue full and request deadline already spent");
+  } else {
+    result = RunShedInline(table, req.rc);
+  }
+  CountCompletion(result.status);
+  req.promise.set_value(std::move(result));
+  return future;
+}
+
+AnnotationResult AnnotationService::RunShedInline(const table::Table& table,
+                                                  const RequestContext& rc) {
+  Stopwatch work;
+  AnnotationResult result;
+  result.status = RequestStatus::kShed;
+  core::AnnotateOutcome outcome = annotator_->AnnotateDegraded(table, "shed");
+  result.predictions = std::move(outcome.predictions);
+  result.degrade_reason = std::move(outcome.degrade_reason);
+  result.work_us = ElapsedMicros(work);
+  ServeMetrics::Get().latency_us.Record(
+      static_cast<double>(result.work_us));
+  KGLINK_LOG(kWarn, "serve.shed")
+      .With("table", table.id())
+      .With("stream_key", static_cast<int64_t>(rc.stream_key));
+  return result;
+}
+
+void AnnotationService::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      ServeMetrics::Get().queue_depth.Set(
+          static_cast<double>(queue_.size()));
+    }
+    ServeMetrics::Get().inflight.Set(static_cast<double>(
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
+    AnnotationResult result = RunRequest(req);
+    ServeMetrics::Get().inflight.Set(static_cast<double>(
+        inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    CountCompletion(result.status);
+    req.promise.set_value(std::move(result));
+  }
+}
+
+AnnotationResult AnnotationService::RunRequest(Request& req) {
+  AnnotationResult result;
+  result.queue_us = ElapsedMicros(req.queued_at);
+  ServeMetrics::Get().queue_wait_us.Record(
+      static_cast<double>(result.queue_us));
+
+  Stopwatch work;
+  core::AnnotateOutcome outcome =
+      annotator_->AnnotateTable(*req.table, &req.rc);
+  result.work_us = ElapsedMicros(work);
+  ServeMetrics::Get().latency_us.Record(
+      static_cast<double>(result.queue_us + result.work_us));
+
+  result.predictions = std::move(outcome.predictions);
+  result.degrade_reason = std::move(outcome.degrade_reason);
+  if (!outcome.status.ok()) {
+    result.status = RequestStatus::kFailed;
+    result.error = std::move(outcome.status);
+  } else if (result.degrade_reason == "cancelled") {
+    result.status = RequestStatus::kCancelled;
+  } else if (outcome.degraded) {
+    result.status = RequestStatus::kDegraded;
+  } else {
+    result.status = RequestStatus::kOk;
+  }
+  return result;
+}
+
+void AnnotationService::CountCompletion(RequestStatus status) {
+  completed_[static_cast<size_t>(status)].fetch_add(
+      1, std::memory_order_relaxed);
+  ServeMetrics::Get().by_status[static_cast<size_t>(status)]->Add();
+}
+
+void AnnotationService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (options_.enable_circuit_breakers) {
+    robust::BreakerRegistry::Global().Disable();
+  }
+}
+
+int64_t AnnotationService::completed(RequestStatus status) const {
+  return completed_[static_cast<size_t>(status)].load(
+      std::memory_order_relaxed);
+}
+
+int AnnotationService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+std::string AnnotationService::HealthJson() const {
+  bool accepting;
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting = accepting_;
+    depth = queue_.size();
+  }
+  std::string out = "{\"accepting\": ";
+  out += accepting ? "true" : "false";
+  out += ", \"threads\": " + std::to_string(options_.num_threads);
+  out += ", \"queue_depth\": " + std::to_string(depth);
+  out += ", \"max_queue\": " + std::to_string(options_.max_queue);
+  out += ", \"inflight\": " +
+         std::to_string(inflight_.load(std::memory_order_relaxed));
+  out += ", \"completed\": {";
+  for (int i = 0; i < kNumRequestStatuses; ++i) {
+    if (i > 0) out += ", ";
+    out += std::string("\"") + kStatusNames[i] + "\": " +
+           std::to_string(completed(static_cast<RequestStatus>(i)));
+  }
+  out += "}";
+  if (robust::BreakerRegistry::Enabled()) {
+    out += ", \"breakers\": {";
+    for (int i = 0; i < robust::kNumFaultSites; ++i) {
+      auto site = static_cast<robust::FaultSite>(i);
+      if (i > 0) out += ", ";
+      out += std::string("\"") + robust::FaultSiteName(site) + "\": \"" +
+             robust::BreakerStateName(
+                 robust::BreakerRegistry::Global().ForSite(site).state()) +
+             "\"";
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace kglink::serve

@@ -1,0 +1,166 @@
+// AnnotationService: concurrent table annotation with deadlines, admission
+// control and circuit breakers — the serving harness around
+// core::KgLinkAnnotator.
+//
+// Architecture (one PR-sized subsystem, three cooperating pieces):
+//
+//   Submit ──► admission controller ──► bounded queue ──► worker pool
+//                │ (full queue)                             │
+//                └─► shed: degraded PLM-only run inline,    ├─► deadline /
+//                    or kOverloaded when the deadline       │   cancellation
+//                    cannot even fit that                   │   propagate to
+//                                                          │   every layer
+//                                                          └─► per-site
+//                                                              circuit
+//                                                              breakers
+//
+// - Every request carries a Deadline + CancellationToken (RequestContext)
+//   through linker::KgPipeline, search::SearchEngine::TopK and the predict
+//   pass. An expired request short-circuits to the degraded PLM-only
+//   ProcessedTable (degrade_reason "deadline" / "cancelled") — full-width
+//   predictions, never a crash or a partial result.
+// - The admission controller bounds the queue: when it is full the caller
+//   thread runs the degraded PLM-only path inline (status kShed) if the
+//   request's deadline still allows, else the request is refused
+//   (kOverloaded) without touching the model.
+// - Per-site circuit breakers (the fault-injection site names: search.topk,
+//   kg.neighbors, predict, ...) trip on rolling post-retry error rates and
+//   fail fast while open, with half-open probes after a cooldown.
+// - Health/readiness: HealthJson() snapshots queue depth, inflight count,
+//   per-status totals and breaker states; the same numbers are exported
+//   through the obs metrics registry ("serve.*").
+//
+// Thread safety: all public methods are safe from any thread. The borrowed
+// annotator must have finished Fit/Load before the first Submit, and
+// every submitted table must stay alive until its future resolves.
+#ifndef KGLINK_SERVE_ANNOTATION_SERVICE_H_
+#define KGLINK_SERVE_ANNOTATION_SERVICE_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotator.h"
+#include "robust/circuit_breaker.h"
+#include "table/table.h"
+#include "util/deadline.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace kglink::serve {
+
+struct ServiceOptions {
+  int num_threads = 4;
+  int max_queue = 64;
+  // Applied to Submit calls that do not bring their own deadline;
+  // 0 = unbounded.
+  int64_t default_deadline_us = 0;
+  bool enable_circuit_breakers = true;
+  robust::CircuitBreakerOptions breaker;
+};
+
+// Terminal state of one request. Ordered roughly by "how much work ran".
+enum class RequestStatus : int {
+  kOk = 0,        // full KG+PLM annotation inside the deadline
+  kDegraded,      // PLM-only fallback (deadline, cancellation, faults)
+  kShed,          // queue full: degraded PLM-only run in the caller thread
+  kOverloaded,    // refused outright (queue full and no deadline headroom,
+                  // or the service is shutting down)
+  kCancelled,     // cancellation token fired
+  kFailed,        // hard failure (predict site exhausted its retries)
+  kNumStatuses,
+};
+
+inline constexpr int kNumRequestStatuses =
+    static_cast<int>(RequestStatus::kNumStatuses);
+
+// Lowercase name, e.g. "ok", "degraded", "overloaded".
+const char* RequestStatusName(RequestStatus status);
+
+struct AnnotationResult {
+  RequestStatus status = RequestStatus::kOk;
+  // Per original column; empty only for kOverloaded / kFailed.
+  std::vector<int> predictions;
+  std::string degrade_reason;  // set for kDegraded / kShed / kCancelled
+  Status error;                // set for kOverloaded / kFailed
+  int64_t queue_us = 0;        // time spent waiting for a worker
+  int64_t work_us = 0;         // time spent annotating
+};
+
+class AnnotationService {
+ public:
+  // `annotator` is borrowed and must outlive the service; Fit/Load must
+  // have completed. Enables the process-wide circuit breakers when
+  // options.enable_circuit_breakers is set (disabled again on Shutdown).
+  AnnotationService(core::KgLinkAnnotator* annotator, ServiceOptions options);
+  ~AnnotationService();  // implies Shutdown()
+
+  AnnotationService(const AnnotationService&) = delete;
+  AnnotationService& operator=(const AnnotationService&) = delete;
+
+  // Enqueues one table (borrowed; must outlive the returned future's
+  // resolution) under the service default deadline.
+  std::future<AnnotationResult> Submit(const table::Table& table);
+
+  // Enqueues with an explicit per-request deadline and (optionally) a
+  // cancellation token the caller may fire at any point.
+  std::future<AnnotationResult> Submit(const table::Table& table,
+                                       Deadline deadline,
+                                       CancellationToken cancel = {});
+
+  // Stops admission, drains every queued request through the workers and
+  // joins them. Idempotent; called by the destructor.
+  void Shutdown();
+
+  // {"accepting":…, "threads":…, "queue_depth":…, "max_queue":…,
+  //  "inflight":…, "completed":{status:count,…}, "breakers":{site:state,…}}
+  // Breaker states appear only while breakers are enabled.
+  std::string HealthJson() const;
+
+  // Total requests that finished with `status` (includes shed/overloaded
+  // resolutions performed in Submit).
+  int64_t completed(RequestStatus status) const;
+
+  int queue_depth() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    const table::Table* table;
+    RequestContext rc;
+    std::promise<AnnotationResult> promise;
+    Stopwatch queued_at;
+  };
+
+  void WorkerLoop();
+  AnnotationResult RunRequest(Request& req);
+  // The shed path: degraded PLM-only annotation in the calling thread.
+  AnnotationResult RunShedInline(const table::Table& table,
+                                 const RequestContext& rc);
+  void CountCompletion(RequestStatus status);
+
+  core::KgLinkAnnotator* annotator_;
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  uint64_t next_stream_key_ = 0;  // assigned under mu_ in submission order
+  bool accepting_ = false;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  std::atomic<int> inflight_{0};
+  std::array<std::atomic<int64_t>, kNumRequestStatuses> completed_{};
+};
+
+}  // namespace kglink::serve
+
+#endif  // KGLINK_SERVE_ANNOTATION_SERVICE_H_

@@ -20,6 +20,10 @@ const char* CodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

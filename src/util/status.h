@@ -21,6 +21,8 @@ enum class StatusCode {
   kCorruption,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,  // transiently refused (overload shed, open breaker)
 };
 
 // A success-or-error result. Cheap to copy on the OK path.
@@ -46,6 +48,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json_util.h"
@@ -81,6 +83,58 @@ TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
 TEST(HistogramTest, ExponentialBucketLayout) {
   HistogramBuckets b = HistogramBuckets::Exponential(1.0, 4.0, 5);
   EXPECT_EQ(b.upper_bounds, (std::vector<double>{1, 4, 16, 64, 256}));
+}
+
+TEST(MetricsThreadingTest, ConcurrentUpdatesObeyPublicationContract) {
+  // Writers hammer a counter, a gauge and a histogram while a reader
+  // repeatedly snapshots them. The histogram's release/acquire contract
+  // must hold at every instant: a snapshot that reads count() first never
+  // sees bucket totals *behind* that count. Totals are exact at the end.
+  MetricsRegistry reg;
+  Counter& counter = reg.GetCounter("mt.events");
+  Gauge& gauge = reg.GetGauge("mt.level");
+  Histogram& hist =
+      reg.GetHistogram("mt.lat", HistogramBuckets{{1.0, 10.0, 100.0}});
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> torn_reads{0};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      int64_t count = hist.count();  // acquire: fence for the bucket reads
+      int64_t buckets = 0;
+      for (size_t i = 0; i <= hist.upper_bounds().size(); ++i) {
+        buckets += hist.bucket_count(i);
+      }
+      if (buckets < count) torn_reads.fetch_add(1);
+      gauge.value();
+      reg.SnapshotJson();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        counter.Add();
+        gauge.Set(static_cast<double>(i));
+        hist.Record(static_cast<double>((w * kPerWriter + i) % 200));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ(counter.value(), static_cast<int64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(hist.count(), static_cast<int64_t>(kWriters) * kPerWriter);
+  int64_t buckets = 0;
+  for (size_t i = 0; i <= hist.upper_bounds().size(); ++i) {
+    buckets += hist.bucket_count(i);
+  }
+  EXPECT_EQ(buckets, hist.count());
 }
 
 TEST(MetricsRegistryTest, SameNameSameMetric) {

@@ -3,14 +3,19 @@
 // pipeline's degraded (PLM-only) fallback.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "linker/pipeline.h"
 #include "obs/metrics.h"
+#include "robust/circuit_breaker.h"
 #include "robust/fault_injector.h"
 #include "robust/retry.h"
 #include "search/search_engine.h"
+#include "util/deadline.h"
+#include "util/stopwatch.h"
 
 namespace kglink::robust {
 namespace {
@@ -328,6 +333,222 @@ TEST_F(DegradedPipelineTest, SoftKgNeighborFaultsDegradeEvidenceNotTables) {
   for (const auto& col : out.columns) {
     EXPECT_TRUE(col.candidate_types.empty());
   }
+}
+
+// --- Deadline- and cancellation-aware retries (serving path) ------------
+
+TEST_F(FaultInjectorTest, ExpiredRequestDegradesAttemptEvenWithoutFaults) {
+  // Deadline enforcement is not gated on fault injection being enabled:
+  // an expired request degrades the very first Attempt.
+  RequestContext rc;
+  rc.deadline = Deadline::Expired();
+  TableOpContext ctx({}, {}, 1, &rc);
+  EXPECT_FALSE(ctx.Attempt(FaultSite::kSearchTopK));
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_STREQ(ctx.degrade_reason(), "deadline");
+}
+
+TEST_F(FaultInjectorTest, CancellationWinsOverExpiredDeadline) {
+  RequestContext rc;
+  rc.deadline = Deadline::Expired();
+  rc.cancel = CancellationToken::Cancellable();
+  rc.cancel.Cancel();
+  TableOpContext ctx({}, {}, 1, &rc);
+  EXPECT_FALSE(ctx.Attempt(FaultSite::kPredict));
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_STREQ(ctx.degrade_reason(), "cancelled");
+}
+
+TEST_F(FaultInjectorTest, RetryStopsBeforeBackoffThatWouldMissDeadline) {
+  // Every attempt fails and the policy's backoff (>= 25ms with jitter) can
+  // never finish inside the 5ms request budget: the retry loop must give
+  // up immediately with reason "deadline" instead of sleeping past it.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0", 11)
+                  .ok());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 50000;
+  policy.max_backoff_us = 50000;
+  TableBudget budget;
+  budget.max_failed_ops = 5;
+  RequestContext rc;
+  rc.deadline = Deadline::AfterMillis(5);
+  TableOpContext ctx(policy, budget, 1, &rc);
+
+  Stopwatch watch;
+  EXPECT_FALSE(ctx.Attempt(FaultSite::kSearchTopK));
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_STREQ(ctx.degrade_reason(), "deadline");
+  // Gave up without serving the 25-50ms backoff sleep.
+  EXPECT_LT(watch.ElapsedSeconds(), 0.020);
+}
+
+TEST_F(FaultInjectorTest, WithRetryShortCircuitsExpiredRequest) {
+  RequestContext rc;
+  rc.deadline = Deadline::Expired();
+  int calls = 0;
+  Status s = WithRetry(
+      FaultSite::kIoRead, {},
+      [&] {
+        ++calls;
+        return Status::Ok();
+      },
+      &rc);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(FaultInjectorTest, WithRetryStopsRetryingAtTheDeadline) {
+  // Injection suppresses every attempt; the first backoff cannot fit in
+  // the remaining budget, so the result is kDeadlineExceeded — promptly —
+  // rather than the kIoError a fully exhausted retry loop would produce.
+  ASSERT_TRUE(
+      FaultInjector::Global().ConfigureFromSpec("io.read:1.0", 11).ok());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 50000;
+  policy.max_backoff_us = 50000;
+  RequestContext rc;
+  rc.deadline = Deadline::AfterMillis(5);
+  Stopwatch watch;
+  Status s = WithRetry(
+      FaultSite::kIoRead, policy, [] { return Status::Ok(); }, &rc);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(watch.ElapsedSeconds(), 0.020);
+}
+
+TEST_F(FaultInjectorTest, PerRequestStreamsAreScheduleIndependent) {
+  // Two contexts for the same stream key draw identical fault sequences
+  // even when unrelated traffic hammers the injector's shared streams in
+  // between — the property that makes concurrent chaos deterministic.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:0.5", 42)
+                  .ok());
+  RetryPolicy one_shot;
+  one_shot.max_attempts = 1;  // one draw per Attempt
+  TableBudget roomy;
+  roomy.max_failed_ops = 1000;
+  roomy.max_retries = 100000;
+
+  auto draw = [&](uint64_t stream_key) {
+    RequestContext rc;
+    rc.stream_key = stream_key;
+    TableOpContext ctx(one_shot, roomy, 1, &rc);
+    std::vector<bool> out;
+    for (int i = 0; i < 40; ++i) {
+      out.push_back(ctx.Attempt(FaultSite::kSearchTopK));
+    }
+    return out;
+  };
+
+  std::vector<bool> first = draw(7);
+  // Unrelated shared-stream traffic between the two same-key runs.
+  for (int i = 0; i < 100; ++i) {
+    FaultInjector::Global().ShouldFail(FaultSite::kSearchTopK);
+  }
+  std::vector<bool> second = draw(7);
+  std::vector<bool> other = draw(8);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultInjectorTest, SoftFaultDrawsWithoutBudgetOrDegrade) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ConfigureFromSpec("kg.neighbors:1.0", 11)
+                  .ok());
+  TableOpContext ctx({}, {}, 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ctx.SoftFault(FaultSite::kKgNeighbors));
+  }
+  EXPECT_EQ(ctx.failed_ops(), 0);
+  EXPECT_EQ(ctx.retries_used(), 0);
+  EXPECT_FALSE(ctx.degraded());
+
+  FaultInjector::Global().Disable();
+  EXPECT_FALSE(ctx.SoftFault(FaultSite::kKgNeighbors));
+}
+
+// --- Circuit breakers ----------------------------------------------------
+
+CircuitBreakerOptions FastBreaker() {
+  CircuitBreakerOptions o;
+  o.window = 8;
+  o.min_samples = 4;
+  o.failure_ratio = 0.5;
+  o.open_cooldown_us = 2000;
+  o.half_open_probes = 1;
+  return o;
+}
+
+TEST(CircuitBreakerTest, TripsOpenAndRecoversThroughHalfOpen) {
+  CircuitBreaker b(FaultSite::kSearchTopK, FastBreaker());
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.trips(), 1);
+  EXPECT_FALSE(b.Allow());  // fail fast while the cooldown runs
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(b.Allow());  // cooldown elapsed: one half-open probe
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  // The window was cleared on close: old failures do not linger.
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  CircuitBreaker b(FaultSite::kIoRead, FastBreaker());
+  for (int i = 0; i < 4; ++i) b.RecordFailure();
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(b.Allow());
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.trips(), 2);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOnlyConfiguredProbes) {
+  CircuitBreaker b(FaultSite::kIoWrite, FastBreaker());
+  for (int i = 0; i < 4; ++i) b.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(b.Allow());   // the single probe slot
+  EXPECT_FALSE(b.Allow());  // concurrent calls keep failing fast
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowFailureRatio) {
+  CircuitBreaker b(FaultSite::kPredict, FastBreaker());
+  for (int i = 0; i < 50; ++i) {
+    b.RecordSuccess();
+    b.RecordSuccess();
+    b.RecordSuccess();
+    b.RecordFailure();  // 25% failure rate, threshold is 50%
+  }
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, RegistryGatesAndReconfiguresInPlace) {
+  EXPECT_FALSE(BreakerRegistry::Enabled());
+  CircuitBreaker& before =
+      BreakerRegistry::Global().ForSite(FaultSite::kSearchTopK);
+  BreakerRegistry::Global().Enable(FastBreaker());
+  EXPECT_TRUE(BreakerRegistry::Enabled());
+  CircuitBreaker& after =
+      BreakerRegistry::Global().ForSite(FaultSite::kSearchTopK);
+  // Enable reconfigures the existing objects; references never dangle.
+  EXPECT_EQ(&before, &after);
+
+  for (int i = 0; i < 4; ++i) after.RecordFailure();
+  EXPECT_EQ(after.state(), BreakerState::kOpen);
+  BreakerRegistry::Global().Disable();
+  EXPECT_FALSE(BreakerRegistry::Enabled());
+  EXPECT_EQ(after.state(), BreakerState::kClosed);
 }
 
 }  // namespace

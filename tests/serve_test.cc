@@ -1,0 +1,332 @@
+// AnnotationService unit tests: deadline short-circuiting at every gated
+// site, admission control (enqueue / shed / refuse), shutdown draining,
+// health reporting and the circuit-breaker integration. The concurrent
+// chaos acceptance lives in concurrent_chaos_test.cc.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotator.h"
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "obs/metrics.h"
+#include "robust/circuit_breaker.h"
+#include "robust/fault_injector.h"
+#include "search/search_engine.h"
+#include "serve/annotation_service.h"
+#include "util/deadline.h"
+
+namespace kglink::serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::WorldConfig wc;
+    wc.scale = 0.25;
+    world_ = new data::World(data::GenerateWorld(wc));
+    engine_ = new search::SearchEngine(
+        search::IndexKnowledgeGraph(world_->kg));
+    table::Corpus corpus = data::GenerateSemTabCorpus(
+        *world_, data::CorpusOptions::SemTabDefaults(24));
+    Rng rng(5);
+    split_ = new table::SplitCorpus(
+        table::StratifiedSplit(corpus, 0.7, 0.1, rng));
+
+    core::KgLinkOptions o;
+    o.epochs = 2;
+    o.encoder.dim = 24;
+    o.encoder.num_heads = 2;
+    o.encoder.num_layers = 1;
+    o.encoder.ffn_dim = 32;
+    o.serializer.max_seq_len = 96;
+    o.linker.top_k_rows = 8;
+    o.seed = 99;
+    annotator_ = new core::KgLinkAnnotator(&world_->kg, engine_, o);
+    annotator_->Fit(split_->train, split_->valid);
+  }
+  static void TearDownTestSuite() {
+    delete annotator_;
+    delete split_;
+    delete engine_;
+    delete world_;
+  }
+
+  void TearDown() override {
+    robust::FaultInjector::Global().Disable();
+    robust::BreakerRegistry::Global().Disable();
+  }
+
+  static const table::Table& TestTable(size_t i) {
+    return split_->test.tables[i % split_->test.tables.size()].table;
+  }
+
+  static data::World* world_;
+  static search::SearchEngine* engine_;
+  static table::SplitCorpus* split_;
+  static core::KgLinkAnnotator* annotator_;
+};
+data::World* ServeTest::world_ = nullptr;
+search::SearchEngine* ServeTest::engine_ = nullptr;
+table::SplitCorpus* ServeTest::split_ = nullptr;
+core::KgLinkAnnotator* ServeTest::annotator_ = nullptr;
+
+// --- Deadline / cancellation propagation through AnnotateTable ----------
+
+TEST_F(ServeTest, ExpiredDeadlineShortCircuitsToDegraded) {
+  const table::Table& t = TestTable(0);
+  RequestContext rc;
+  rc.deadline = Deadline::Expired();
+  core::AnnotateOutcome out = annotator_->AnnotateTable(t, &rc);
+
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degrade_reason, "deadline");
+  // Never partial: the degraded path still predicts every column, and the
+  // result is exactly the PLM-only prediction set.
+  ASSERT_EQ(out.predictions.size(), static_cast<size_t>(t.num_cols()));
+  core::AnnotateOutcome plm_only = annotator_->AnnotateDegraded(t, "x");
+  EXPECT_EQ(out.predictions, plm_only.predictions);
+}
+
+TEST_F(ServeTest, CancelledRequestReportsCancelledNotDeadline) {
+  const table::Table& t = TestTable(0);
+  RequestContext rc;
+  rc.cancel = CancellationToken::Cancellable();
+  rc.cancel.Cancel();
+  // Cancellation must win even when the deadline is also gone.
+  rc.deadline = Deadline::Expired();
+  core::AnnotateOutcome out = annotator_->AnnotateTable(t, &rc);
+
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degrade_reason, "cancelled");
+  EXPECT_EQ(out.predictions.size(), static_cast<size_t>(t.num_cols()));
+}
+
+TEST_F(ServeTest, DeadlineBurnedAtSearchSiteDegradesMidPipeline) {
+  // Every BM25 retrieval sleeps 20ms but succeeds; a 5ms deadline expires
+  // while the first cell is being linked, so the deadline check at the
+  // *next* gated search.topk attempt must flip the table to the degraded
+  // PLM-only path — full-width predictions, reason "deadline", no crash.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0:20000", 3)
+                  .ok());
+  const table::Table& t = TestTable(1);
+  RequestContext rc;
+  rc.deadline = Deadline::AfterMillis(5);
+  core::AnnotateOutcome out = annotator_->AnnotateTable(t, &rc);
+
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degrade_reason, "deadline");
+  EXPECT_EQ(out.predictions.size(), static_cast<size_t>(t.num_cols()));
+}
+
+TEST_F(ServeTest, HardPredictFaultYieldsUnavailableNotCrash) {
+  // The predict site fails hard every attempt: the outcome surfaces a
+  // non-OK status (the service maps it to kFailed) instead of crashing or
+  // returning fabricated predictions.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("predict:1.0", 3)
+                  .ok());
+  const table::Table& t = TestTable(0);
+  core::AnnotateOutcome out = annotator_->AnnotateTable(t, nullptr);
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kUnavailable);
+}
+
+// --- Service: concurrency, admission control, shutdown ------------------
+
+TEST_F(ServeTest, ConcurrentServiceMatchesSequentialPredictions) {
+  std::vector<std::vector<int>> sequential;
+  for (size_t i = 0; i < split_->test.tables.size(); ++i) {
+    sequential.push_back(annotator_->PredictTable(TestTable(i)));
+  }
+
+  ServiceOptions so;
+  so.num_threads = 4;
+  so.max_queue = 64;
+  AnnotationService service(annotator_, so);
+  std::vector<std::future<AnnotationResult>> futures;
+  for (size_t i = 0; i < split_->test.tables.size(); ++i) {
+    futures.push_back(service.Submit(TestTable(i)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    AnnotationResult r = futures[i].get();
+    EXPECT_EQ(r.status, RequestStatus::kOk) << "table " << i;
+    EXPECT_EQ(r.predictions, sequential[i]) << "table " << i;
+  }
+  EXPECT_EQ(service.completed(RequestStatus::kOk),
+            static_cast<int64_t>(futures.size()));
+}
+
+TEST_F(ServeTest, FullQueueShedsToInlineDegradedRun) {
+  // One slow worker (every retrieval sleeps 5ms) and a queue of one:
+  // rapid-fire submissions overflow admission, and the overflow requests
+  // run the degraded PLM-only path inline with status kShed.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0:5000", 3)
+                  .ok());
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.max_queue = 1;
+  AnnotationService service(annotator_, so);
+
+  constexpr int kRequests = 4;
+  std::vector<std::future<AnnotationResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.Submit(TestTable(static_cast<size_t>(i))));
+  }
+  int shed = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    AnnotationResult r = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(r.status == RequestStatus::kOk ||
+                r.status == RequestStatus::kShed)
+        << RequestStatusName(r.status);
+    EXPECT_EQ(r.predictions.size(),
+              static_cast<size_t>(TestTable(static_cast<size_t>(i)).num_cols()));
+    if (r.status == RequestStatus::kShed) {
+      ++shed;
+      EXPECT_EQ(r.degrade_reason, "shed");
+    }
+  }
+  // With a >100ms-busy worker and four back-to-back submissions, at least
+  // one must have overflowed the single queue slot.
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(service.completed(RequestStatus::kOk) +
+                service.completed(RequestStatus::kShed),
+            static_cast<int64_t>(kRequests));
+}
+
+TEST_F(ServeTest, SpentDeadlineOnFullQueueIsRefusedOutright) {
+  // Occupy the worker with a slow request, fill the queue, then submit a
+  // request whose deadline is already gone: shedding would be pointless,
+  // so admission refuses it with kOverloaded and empty predictions.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0:5000", 3)
+                  .ok());
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.max_queue = 1;
+  AnnotationService service(annotator_, so);
+
+  auto busy = service.Submit(TestTable(0));
+  // Wait for the worker to pop the busy request so the queue slot is free
+  // (it then stays busy for >100ms of injected latency).
+  while (service.queue_depth() > 0) {
+    std::this_thread::yield();
+  }
+  auto queued = service.Submit(TestTable(1));  // fills the only slot
+  auto refused = service.Submit(TestTable(2), Deadline::Expired());
+
+  AnnotationResult r = refused.get();
+  EXPECT_EQ(r.status, RequestStatus::kOverloaded);
+  EXPECT_FALSE(r.error.ok());
+  EXPECT_TRUE(r.predictions.empty());
+  busy.get();
+  queued.get();
+}
+
+TEST_F(ServeTest, ShutdownDrainsQueueThenRefusesNewWork) {
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.max_queue = 16;
+  AnnotationService service(annotator_, so);
+  std::vector<std::future<AnnotationResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit(TestTable(static_cast<size_t>(i))));
+  }
+  service.Shutdown();
+  // Every request submitted before Shutdown still resolves (drained, not
+  // dropped)...
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, RequestStatus::kOk);
+  }
+  // ...and new work is refused.
+  AnnotationResult late = service.Submit(TestTable(0)).get();
+  EXPECT_EQ(late.status, RequestStatus::kOverloaded);
+  EXPECT_NE(late.error.message().find("shut down"), std::string::npos);
+}
+
+TEST_F(ServeTest, SubmittedCancellationYieldsCancelledStatus) {
+  ServiceOptions so;
+  so.num_threads = 1;
+  AnnotationService service(annotator_, so);
+  CancellationToken cancel = CancellationToken::Cancellable();
+  cancel.Cancel();  // fired before the worker ever sees it
+  AnnotationResult r =
+      service.Submit(TestTable(0), Deadline::Infinite(), cancel).get();
+  EXPECT_EQ(r.status, RequestStatus::kCancelled);
+  EXPECT_EQ(r.degrade_reason, "cancelled");
+  EXPECT_EQ(r.predictions.size(),
+            static_cast<size_t>(TestTable(0).num_cols()));
+}
+
+TEST_F(ServeTest, HealthJsonReflectsServiceState) {
+  ServiceOptions so;
+  so.num_threads = 2;
+  so.max_queue = 8;
+  AnnotationService service(annotator_, so);
+  service.Submit(TestTable(0)).get();
+
+  std::string health = service.HealthJson();
+  EXPECT_NE(health.find("\"accepting\": true"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"threads\": 2"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"max_queue\": 8"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"ok\": 1"), std::string::npos) << health;
+  // Breakers are enabled while the service runs, so their states appear.
+  EXPECT_NE(health.find("\"search.topk\": \"closed\""), std::string::npos)
+      << health;
+
+  service.Shutdown();
+  health = service.HealthJson();
+  EXPECT_NE(health.find("\"accepting\": false"), std::string::npos) << health;
+  // Shutdown disabled the breakers again; the section disappears.
+  EXPECT_EQ(health.find("\"breakers\""), std::string::npos) << health;
+}
+
+// --- Circuit-breaker integration ----------------------------------------
+
+TEST_F(ServeTest, RepeatedHardFailuresTripTheSearchBreaker) {
+  // Every retrieval fails hard: each table records one post-retry failure
+  // at search.topk, and after min_samples of those the breaker trips open.
+  // Later tables then short-circuit (fail fast to the degraded path)
+  // instead of burning retries.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0", 3)
+                  .ok());
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.max_queue = 16;
+  so.breaker.window = 8;
+  so.breaker.min_samples = 3;
+  so.breaker.failure_ratio = 0.5;
+  so.breaker.open_cooldown_us = 60'000'000;  // stays open for this test
+  AnnotationService service(annotator_, so);
+
+  int64_t short_circuits_before =
+      obs::MetricsRegistry::Global()
+          .GetCounter("robust.breaker.search.topk.short_circuits")
+          .value();
+  for (int i = 0; i < 6; ++i) {
+    AnnotationResult r = service.Submit(TestTable(static_cast<size_t>(i))).get();
+    EXPECT_EQ(r.status, RequestStatus::kDegraded);
+    EXPECT_EQ(r.predictions.size(),
+              static_cast<size_t>(TestTable(static_cast<size_t>(i)).num_cols()));
+  }
+  robust::CircuitBreaker& breaker = robust::BreakerRegistry::Global().ForSite(
+      robust::FaultSite::kSearchTopK);
+  EXPECT_EQ(breaker.state(), robust::BreakerState::kOpen);
+  EXPECT_GE(breaker.trips(), 1);
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("robust.breaker.search.topk.short_circuits")
+                .value(),
+            short_circuits_before);
+}
+
+}  // namespace
+}  // namespace kglink::serve
