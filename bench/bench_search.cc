@@ -1,0 +1,160 @@
+// Retrieval fast-path benchmarks, emitted as BENCH_search.json (the CI
+// perf gate diffs them against the committed baseline): the flat-index
+// TopK against the retained naive reference scorer (same corpus, same
+// queries — the speedup the flat index exists for), LinkCell with the
+// cell-link cache on/off, and the parallel IndexKnowledgeGraph build.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "data/corpus_gen.h"
+#include "data/world.h"
+#include "linker/entity_linker.h"
+#include "obs/metrics.h"
+#include "search/reference_scorer.h"
+#include "search/search_engine.h"
+
+namespace kglink {
+namespace {
+
+struct SearchEnv {
+  data::World world;
+  search::SearchEngine engine;
+  search::NaiveReferenceScorer naive;
+  table::Corpus corpus;
+
+  SearchEnv()
+      : world(data::GenerateWorld({.seed = 42, .scale = 1.0})),
+        engine(search::IndexKnowledgeGraph(world.kg)) {
+    // The naive scorer gets the exact documents IndexKnowledgeGraph
+    // builds: label + aliases per entity.
+    for (kg::EntityId id = 0; id < world.kg.num_entities(); ++id) {
+      const kg::Entity& e = world.kg.entity(id);
+      std::string doc = e.label;
+      for (const auto& alias : e.aliases) {
+        doc += " ";
+        doc += alias;
+      }
+      naive.AddDocument(id, doc);
+    }
+    naive.Finalize();
+    corpus = data::GenerateSemTabCorpus(
+        world, data::CorpusOptions::SemTabDefaults(24));
+  }
+};
+
+SearchEnv& Env() {
+  bench::InitObservabilityFromEnv();
+  static SearchEnv& env = *new SearchEnv();
+  return env;
+}
+
+// One pass of column-0 cell texts through the flat-index TopK — the same
+// shape as bench_micro's BM_Bm25TopK, kept here next to its reference.
+void BM_FlatTopK(benchmark::State& state) {
+  SearchEnv& env = Env();
+  const auto& t = env.corpus.tables[0].table;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    for (int r = 0; r < t.num_rows(); ++r) {
+      benchmark::DoNotOptimize(env.engine.TopK(t.at(r, 0).text, 10));
+      ++queries;
+    }
+  }
+  state.SetItemsProcessed(queries);
+}
+BENCHMARK(BM_FlatTopK);
+
+// The pre-flat-index implementation on identical documents and queries;
+// BM_FlatTopK / BM_NaiveTopK is the fast-path speedup, measured on the
+// same machine in the same run.
+void BM_NaiveTopK(benchmark::State& state) {
+  SearchEnv& env = Env();
+  const auto& t = env.corpus.tables[0].table;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    for (int r = 0; r < t.num_rows(); ++r) {
+      benchmark::DoNotOptimize(env.naive.TopK(t.at(r, 0).text, 10));
+      ++queries;
+    }
+  }
+  state.SetItemsProcessed(queries);
+}
+BENCHMARK(BM_NaiveTopK);
+
+// LinkCell over every cell of one table, repeated — the serving access
+// pattern the cache is built for (cell texts repeat across rows/passes).
+void LinkCellPass(benchmark::State& state, int cache_capacity) {
+  SearchEnv& env = Env();
+  linker::LinkerConfig config;
+  config.cell_cache_capacity = cache_capacity;
+  linker::EntityLinker linker(&env.world.kg, &env.engine, config);
+  const auto& t = env.corpus.tables[0].table;
+  int64_t cells = 0;
+  for (auto _ : state) {
+    for (int r = 0; r < t.num_rows(); ++r) {
+      for (int c = 0; c < t.num_cols(); ++c) {
+        benchmark::DoNotOptimize(linker.LinkCell(t.at(r, c)));
+        ++cells;
+      }
+    }
+  }
+  state.SetItemsProcessed(cells);
+}
+void BM_LinkCellCacheOff(benchmark::State& state) { LinkCellPass(state, 0); }
+BENCHMARK(BM_LinkCellCacheOff);
+void BM_LinkCellCacheOn(benchmark::State& state) {
+  LinkCellPass(state, 4096);
+}
+BENCHMARK(BM_LinkCellCacheOn);
+
+// Full index construction (tokenization parallelized across entity
+// shards; the result is bit-identical to the sequential build).
+void BM_IndexKnowledgeGraph(benchmark::State& state) {
+  SearchEnv& env = Env();
+  for (auto _ : state) {
+    search::SearchEngine built = search::IndexKnowledgeGraph(env.world.kg);
+    benchmark::DoNotOptimize(built.num_documents());
+  }
+}
+BENCHMARK(BM_IndexKnowledgeGraph);
+
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      bench::RecordBenchMetric(run.benchmark_name(),
+                               run.GetAdjustedRealTime(),
+                               benchmark::GetTimeUnitString(run.time_unit),
+                               run.iterations);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+}  // namespace
+}  // namespace kglink
+
+int main(int argc, char** argv) {
+  kglink::bench::InitBenchTelemetry("search");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  kglink::TelemetryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Cache effectiveness over the whole run (the cache-on benchmark's
+  // hits/misses land in the global registry): recorded as a ratio so the
+  // perf gate flags a hit-rate collapse as a regression.
+  auto& reg = kglink::obs::MetricsRegistry::Global();
+  double hits =
+      static_cast<double>(reg.GetCounter("search.cache.hits").value());
+  double misses =
+      static_cast<double>(reg.GetCounter("search.cache.misses").value());
+  if (hits + misses > 0) {
+    kglink::bench::RecordBenchMetric("cache_hit_rate",
+                                     hits / (hits + misses), "ratio");
+  }
+  return 0;
+}

@@ -58,6 +58,7 @@ struct Args {
   int threads = 1;        // --threads N: service worker threads
   int64_t deadline_ms = 0;  // --deadline-ms N: per-request deadline
   int max_queue = 64;     // --max-queue N: admission-control bound
+  int cell_cache = 4096;  // --cell-cache N: cell-link cache entries (0=off)
 };
 
 int Usage() {
@@ -78,6 +79,13 @@ int Usage() {
       "                   to the PLM-only path instead of blocking\n"
       "  --max-queue N    admission-control queue bound (default 64);\n"
       "                   overflow requests are shed to the degraded path\n"
+      "\n"
+      "retrieval (train / eval / annotate):\n"
+      "  --cell-cache N   cell-link cache capacity in entries (default\n"
+      "                   4096; 0 disables). Memoizes cell-text -> BM25\n"
+      "                   top-k results across rows and tables; hit/miss/\n"
+      "                   eviction counts appear under search.cache.* in\n"
+      "                   --metrics output\n"
       "\n"
       "observability (any command):\n"
       "  --trace=FILE    write a Chrome trace-event JSON (load in\n"
@@ -144,6 +152,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!v) return false;
       args->max_queue = std::atoi(v);
       if (args->max_queue < 1) return false;
+    } else if (a == "--cell-cache") {
+      const char* v = next();
+      if (!v) return false;
+      args->cell_cache = std::atoi(v);
+      if (args->cell_cache < 0) return false;
     } else if (a.rfind("--trace=", 0) == 0) {
       args->trace_path = a.substr(std::strlen("--trace="));
       if (args->trace_path.empty()) return false;
@@ -249,6 +262,7 @@ int Train(const Args& args) {
   core::KgLinkOptions options;
   options.epochs = args.epochs;
   options.verbose = true;
+  options.linker.cell_cache_capacity = args.cell_cache;
   core::KgLinkAnnotator annotator(&world->kg, &engine, options);
   annotator.Fit(*train, *valid);
   Status s = annotator.Save(args.model_prefix);
@@ -326,7 +340,9 @@ int Eval(const Args& args) {
     std::fprintf(stderr, "cannot load test split\n");
     return 1;
   }
-  core::KgLinkAnnotator annotator(&world->kg, &engine, {});
+  core::KgLinkOptions options;
+  options.linker.cell_cache_capacity = args.cell_cache;
+  core::KgLinkAnnotator annotator(&world->kg, &engine, options);
   Status s = annotator.Load(args.model_prefix);
   if (!s.ok()) {
     std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
@@ -349,7 +365,9 @@ int Annotate(const Args& args) {
     return 1;
   }
   search::SearchEngine engine = search::IndexKnowledgeGraph(world->kg);
-  core::KgLinkAnnotator annotator(&world->kg, &engine, {});
+  core::KgLinkOptions options;
+  options.linker.cell_cache_capacity = args.cell_cache;
+  core::KgLinkAnnotator annotator(&world->kg, &engine, options);
   Status s = annotator.Load(args.model_prefix);
   if (!s.ok()) {
     std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());

@@ -28,11 +28,12 @@ elif [ "${1:-}" = "--tsan" ]; then
   set -- -DKGLINK_SANITIZE=thread "$@"
 fi
 
-cmake -B "$BUILD_DIR" -S . "$@"
+# Warnings (including -Wshadow) are errors on every checked build.
+cmake -B "$BUILD_DIR" -S . -DKGLINK_WERROR=ON "$@"
 cmake --build "$BUILD_DIR" -j
 if [ "$TSAN" = 1 ]; then
   (cd "$BUILD_DIR/tests" &&
-   for t in serve_test concurrent_chaos_test obs_test robust_test; do
+   for t in serve_test concurrent_chaos_test obs_test robust_test cell_cache_test; do
      echo "== tsan: $t =="
      ./"$t"
    done)

@@ -125,6 +125,12 @@ class KgLinkAnnotator : public eval::ColumnAnnotator {
 
   const std::vector<EpochStats>& epoch_stats() const { return epoch_stats_; }
   double fit_seconds() const { return fit_seconds_; }
+
+  // The Part-1 pipeline's cell-link cache; null when disabled. The serving
+  // layer surfaces its hit/miss/eviction counts in HealthJson.
+  const search::CellLinkCache* cell_cache() const {
+    return pipeline_.cell_cache();
+  }
   const std::vector<std::string>& label_names() const { return label_names_; }
 
   // Persistence: writes <prefix>.vocab, <prefix>.labels, <prefix>.weights.

@@ -19,6 +19,9 @@ std::vector<CandidateType> GenerateCandidateTypes(
   std::unordered_map<kg::EntityId, Accum> accum;
 
   for (size_t r = 0; r < row_links.size(); ++r) {
+    // LinkRow guarantees full-width rows (degraded rows are padded), but a
+    // short row must never be UB here — treat missing cells as unlinked.
+    if (static_cast<size_t>(col) >= row_links[r].cells.size()) continue;
     const CellLinks& cell = row_links[r].cells[static_cast<size_t>(col)];
     for (const EntityCandidate& cand : cell.pruned) {
       for (kg::EntityId ct : kg.NeighborSet(cand.entity)) {

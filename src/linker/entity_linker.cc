@@ -36,6 +36,10 @@ EntityLinker::EntityLinker(const kg::KnowledgeGraph* kg,
   KGLINK_CHECK(kg_ != nullptr);
   KGLINK_CHECK(engine_ != nullptr);
   KGLINK_CHECK(engine_->finalized());
+  if (config_.cell_cache_capacity > 0) {
+    cache_ = std::make_unique<search::CellLinkCache>(
+        static_cast<size_t>(config_.cell_cache_capacity));
+  }
 }
 
 CellLinks EntityLinker::LinkCell(const table::Cell& cell,
@@ -50,16 +54,33 @@ CellLinks EntityLinker::LinkCell(const table::Cell& cell,
   }
   // Retrieval can fail in a real deployment (the paper's Elasticsearch
   // lookup). A hard failure after retries degrades to an unlinkable cell —
-  // the same state a cell with no KG match is already in.
+  // the same state a cell with no KG match is already in. This gate stays
+  // ahead of the cache lookup so the injected-fault draw sequence is
+  // independent of cache hits (per-seed chaos determinism).
   if (ctx != nullptr &&
       !ctx->Attempt(robust::FaultSite::kSearchTopK)) {
     return links;
   }
   metrics.cells_linked.Add();
   links.linkable = true;
-  for (const auto& hit :
-       engine_->TopK(cell.text, config_.max_entities_per_cell,
-                     ctx != nullptr ? ctx->request() : nullptr)) {
+
+  const RequestContext* rc = ctx != nullptr ? ctx->request() : nullptr;
+  // An already-expired request bypasses the cache in both directions: it
+  // gets the empty short-circuit TopK result (never a cached full one),
+  // and nothing it produces is stored.
+  bool expired = rc != nullptr && rc->Expired();
+  std::vector<search::SearchResult> hits;
+  bool cached = cache_ != nullptr && !expired && cache_->Get(cell.text, &hits);
+  if (!cached) {
+    hits = engine_->TopK(cell.text, config_.max_entities_per_cell, rc);
+    // A request that expired *during* TopK got a truncated (empty) result;
+    // caching it would poison every later lookup of this cell text.
+    if (cache_ != nullptr && !expired &&
+        (rc == nullptr || !rc->Expired())) {
+      cache_->Put(cell.text, hits);
+    }
+  }
+  for (const search::SearchResult& hit : hits) {
     links.retrieved.push_back({hit.doc_id, hit.score, 0.0});
   }
   metrics.cands_retrieved.Add(static_cast<int64_t>(links.retrieved.size()));
@@ -73,7 +94,14 @@ RowLinks EntityLinker::LinkRow(const table::Table& table, int row,
   out.cells.reserve(static_cast<size_t>(cols));
   for (int c = 0; c < cols; ++c) {
     out.cells.push_back(LinkCell(table.at(row, c), ctx));
-    if (ctx != nullptr && ctx->degraded()) return out;
+    if (ctx != nullptr && ctx->degraded()) {
+      // Invariant: a RowLinks always spans the full row. Pad the cells the
+      // degradation skipped as empty/unlinkable so downstream per-column
+      // consumers (GenerateCandidateTypes indexes cells[col]) never read
+      // out of bounds on a partial row.
+      out.cells.resize(static_cast<size_t>(cols));
+      return out;
+    }
   }
 
   // One-hop neighbour multiset of each cell's retrieved entities:
@@ -97,7 +125,7 @@ RowLinks EntityLinker::LinkRow(const table::Table& table, int row,
   // Eq. 3 pruning + Eq. 6 overlap scores: keep a candidate when it appears
   // in at least one other column's neighbour set; its overlap score counts
   // the supporting candidate entities across all other columns.
-  int64_t kept = 0;
+  int64_t total_kept = 0;
   for (int c1 = 0; c1 < cols; ++c1) {
     CellLinks& cell = out.cells[static_cast<size_t>(c1)];
     for (const EntityCandidate& cand : cell.retrieved) {
@@ -110,19 +138,19 @@ RowLinks EntityLinker::LinkRow(const table::Table& table, int row,
         }
       }
       if (support > 0) {
-        EntityCandidate kept = cand;
-        kept.overlap_score = static_cast<double>(support);
-        cell.pruned.push_back(kept);
+        EntityCandidate pruned = cand;
+        pruned.overlap_score = static_cast<double>(support);
+        cell.pruned.push_back(pruned);
       }
     }
     // Eq. 4: cell linking score = max BM25 score among pruned candidates.
     for (const EntityCandidate& cand : cell.pruned) {
       cell.score = std::max(cell.score, cand.linking_score);
     }
-    kept += static_cast<int64_t>(cell.pruned.size());
+    total_kept += static_cast<int64_t>(cell.pruned.size());
     out.row_score += cell.score;  // Eq. 5
   }
-  LinkerMetrics::Get().cands_kept.Add(kept);
+  LinkerMetrics::Get().cands_kept.Add(total_kept);
   return out;
 }
 

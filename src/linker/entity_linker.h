@@ -4,11 +4,13 @@
 #ifndef KGLINK_LINKER_ENTITY_LINKER_H_
 #define KGLINK_LINKER_ENTITY_LINKER_H_
 
+#include <memory>
 #include <vector>
 
 #include "kg/knowledge_graph.h"
 #include "linker/types.h"
 #include "robust/retry.h"
+#include "search/cell_link_cache.h"
 #include "search/search_engine.h"
 #include "table/table.h"
 
@@ -17,13 +19,17 @@ namespace kglink::linker {
 class EntityLinker {
  public:
   // Both pointers must outlive the linker; `engine` must be finalized.
+  // With config.cell_cache_capacity > 0 the linker owns a sharded LRU
+  // memoizing cell-text -> TopK results (see search/cell_link_cache.h).
   EntityLinker(const kg::KnowledgeGraph* kg,
                const search::SearchEngine* engine, LinkerConfig config);
 
   // Step 1: retrieve E_m for one cell. NUMBER/DATE/empty cells come back
   // non-linkable with score 0. With a context, the retrieval is gated by
   // the "search.topk" fault site (retried per the context's policy); a
-  // hard failure yields an empty, non-linkable cell.
+  // hard failure yields an empty, non-linkable cell. The fault gate runs
+  // *before* the cache lookup, so injected-fault draw sequences (and with
+  // them per-seed chaos determinism) never depend on cache state.
   CellLinks LinkCell(const table::Cell& cell,
                      robust::TableOpContext* ctx = nullptr) const;
 
@@ -31,15 +37,25 @@ class EntityLinker {
   // inter-column overlap (Eq. 3), compute overlap scores (Eq. 6) and the
   // cell/row linking scores (Eq. 4-5). The "kg.neighbors" fault site is a
   // soft site here: a trip drops that candidate's neighbour evidence.
+  //
+  // Invariant: the returned RowLinks always has exactly table.num_cols()
+  // cells — when the context degrades mid-row, the remaining cells are
+  // padded as empty/unlinkable rather than left missing (downstream
+  // consumers like GenerateCandidateTypes index cells[col] per column).
   RowLinks LinkRow(const table::Table& table, int row,
                    robust::TableOpContext* ctx = nullptr) const;
 
   const LinkerConfig& config() const { return config_; }
+  // Null when config.cell_cache_capacity == 0.
+  const search::CellLinkCache* cell_cache() const { return cache_.get(); }
 
  private:
   const kg::KnowledgeGraph* kg_;
   const search::SearchEngine* engine_;
   LinkerConfig config_;
+  // Internally synchronized; mutated from const LinkCell (the pipeline's
+  // Process is const and concurrent by contract).
+  std::unique_ptr<search::CellLinkCache> cache_;
 };
 
 }  // namespace kglink::linker

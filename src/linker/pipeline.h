@@ -45,6 +45,13 @@ class KgPipeline {
 
   const LinkerConfig& config() const { return linker_.config(); }
 
+  // The linker's cell-link cache; null when disabled (cell_cache_capacity
+  // = 0). Exposed for health/metrics surfaces (e.g. the serving layer's
+  // HealthJson reports hit/miss/eviction counts from it).
+  const search::CellLinkCache* cell_cache() const {
+    return linker_.cell_cache();
+  }
+
  private:
 
   const kg::KnowledgeGraph* kg_;

@@ -30,6 +30,12 @@ struct LinkerConfig {
   int max_feature_edges = 8;
   RowFilterMode row_filter_mode = RowFilterMode::kLinkingScore;
 
+  // Cell-link cache: memoizes cell-text -> BM25 TopK results across rows
+  // and tables (entries; 0 disables the cache). Tables repeat cell values
+  // heavily, so this turns most retrievals into a hash lookup. Surfaced as
+  // kglink_cli --cell-cache N; observable as search.cache.* metrics.
+  int cell_cache_capacity = 4096;
+
   // Failure handling (active only when fault injection is enabled, or a
   // deadline is set): retry policy for fallible per-cell operations and the
   // per-table budget that decides when to fall back to a degraded,

@@ -94,6 +94,38 @@ class ScopedSpan {
   bool active_ = false;
 };
 
+// Like ScopedLatencyTimer, but only every Nth construction per thread
+// actually reads the clock and records — for paths so hot (hundreds of
+// nanoseconds) that two steady_clock reads per call would dominate the
+// operation being measured. The first call on each thread is always
+// sampled, so short tests still see a non-empty histogram. The histogram's
+// count becomes "samples taken", not "calls made"; pair it with an exact
+// calls counter. Use via KGLINK_OBS_TIMER_SAMPLED.
+class SampledLatencyTimer {
+ public:
+  // mask must be 2^n - 1; one in every 2^n calls is timed.
+  SampledLatencyTimer(Histogram& histogram, uint32_t mask)
+      : histogram_(histogram) {
+    thread_local uint32_t tick = 0;
+    armed_ = (tick++ & mask) == 0;
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~SampledLatencyTimer() {
+    if (armed_) {
+      histogram_.Record(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+    }
+  }
+  SampledLatencyTimer(const SampledLatencyTimer&) = delete;
+  SampledLatencyTimer& operator=(const SampledLatencyTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
 // Records elapsed wall time (microseconds) into a latency histogram on
 // destruction. Use via KGLINK_OBS_TIMER so disabled builds skip the clock.
 class ScopedLatencyTimer {
@@ -124,10 +156,14 @@ class ScopedLatencyTimer {
 #define KGLINK_OBS_TIMER(histogram)                                     \
   ::kglink::obs::ScopedLatencyTimer KGLINK_OBS_CONCAT_(kglink_timer_,   \
                                                        __LINE__)(histogram)
+#define KGLINK_OBS_TIMER_SAMPLED(histogram, mask)                       \
+  ::kglink::obs::SampledLatencyTimer KGLINK_OBS_CONCAT_(                \
+      kglink_timer_, __LINE__)(histogram, (mask))
 #define KGLINK_OBS_HOT(...) __VA_ARGS__
 #else
 #define KGLINK_TRACE_SPAN(name) ((void)0)
 #define KGLINK_OBS_TIMER(histogram) ((void)0)
+#define KGLINK_OBS_TIMER_SAMPLED(histogram, mask) ((void)0)
 #define KGLINK_OBS_HOT(...) ((void)0)
 #endif
 

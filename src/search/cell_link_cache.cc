@@ -1,0 +1,147 @@
+#include "search/cell_link_cache.h"
+
+#include <atomic>
+#include <functional>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace kglink::search {
+
+namespace {
+
+// Process-wide counters shared by every cache instance (one annotator owns
+// one cache in practice); per-instance totals come from the shard walk in
+// hits()/misses()/evictions().
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& size;
+
+  static CacheMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static CacheMetrics& m = *new CacheMetrics{
+        reg.GetCounter("search.cache.hits"),
+        reg.GetCounter("search.cache.misses"),
+        reg.GetCounter("search.cache.evictions"),
+        reg.GetGauge("search.cache.size")};
+    return m;
+  }
+};
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Key -> shard distribution uses std::hash<string_view>; shard count is a
+// power of two so the mask is cheap.
+inline size_t HashKey(std::string_view key) {
+  return std::hash<std::string_view>{}(key);
+}
+
+}  // namespace
+
+// Per-instance totals live beside the shards rather than in them so the
+// accessors need no lock-ordering story.
+struct CellLinkCacheStats {
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> misses{0};
+  std::atomic<int64_t> evictions{0};
+  std::atomic<int64_t> size{0};
+};
+
+CellLinkCache::CellLinkCache(size_t capacity, int num_shards)
+    : capacity_(capacity) {
+  KGLINK_CHECK(capacity > 0) << "zero-capacity cache";
+  KGLINK_CHECK(num_shards > 0);
+  size_t shards = RoundUpPow2(static_cast<size_t>(num_shards));
+  // No point sharding wider than one entry per shard.
+  while (shards > 1 && capacity < shards) shards >>= 1;
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Spread the budget; earlier shards absorb the remainder.
+    shard->max_entries = capacity / shards + (s < capacity % shards ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+  stats_ = std::make_shared<CellLinkCacheStats>();
+}
+
+CellLinkCache::Shard& CellLinkCache::ShardFor(std::string_view key) {
+  return *shards_[HashKey(key) & shard_mask_];
+}
+
+bool CellLinkCache::Get(std::string_view key,
+                        std::vector<SearchResult>* out) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->results;
+      stats_->hits.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::Get().hits.Add();
+      return true;
+    }
+  }
+  stats_->misses.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().misses.Add();
+  return false;
+}
+
+void CellLinkCache::Put(std::string_view key,
+                        const std::vector<SearchResult>& results) {
+  Shard& shard = ShardFor(key);
+  int64_t evicted = 0;
+  int64_t added = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Refresh: results for a fixed key and finalized engine are
+      // identical, but overwrite anyway so the cache never depends on it.
+      it->second->results = results;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{std::string(key), results});
+      // The map key views the entry's own string, which is stable for the
+      // entry's lifetime (list nodes never move).
+      shard.index.emplace(std::string_view(shard.lru.front().key),
+                          shard.lru.begin());
+      ++added;
+      while (shard.lru.size() > shard.max_entries) {
+        shard.index.erase(std::string_view(shard.lru.back().key));
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (added > 0) stats_->size.fetch_add(added - evicted,
+                                        std::memory_order_relaxed);
+  if (evicted > 0) {
+    stats_->evictions.fetch_add(evicted, std::memory_order_relaxed);
+    CacheMetrics::Get().evictions.Add(evicted);
+  }
+  CacheMetrics::Get().size.Set(
+      static_cast<double>(stats_->size.load(std::memory_order_relaxed)));
+}
+
+int64_t CellLinkCache::hits() const {
+  return stats_->hits.load(std::memory_order_relaxed);
+}
+int64_t CellLinkCache::misses() const {
+  return stats_->misses.load(std::memory_order_relaxed);
+}
+int64_t CellLinkCache::evictions() const {
+  return stats_->evictions.load(std::memory_order_relaxed);
+}
+size_t CellLinkCache::size() const {
+  return static_cast<size_t>(stats_->size.load(std::memory_order_relaxed));
+}
+
+}  // namespace kglink::search

@@ -1,0 +1,91 @@
+// Serving-grade memoization of cell-text -> BM25 TopK results. Tables
+// repeat cell values heavily (the same entity mention appears in row after
+// row) and the serving path repeats tables, so a small LRU in front of
+// SearchEngine::TopK turns most retrievals into a hash lookup.
+//
+// Design:
+//  - Sharded: the key hash picks one of `num_shards` independent LRU maps,
+//    each behind its own mutex, so concurrent workers rarely contend.
+//  - Thread-safe: Get/Put are safe from any thread; a hit copies the
+//    cached vector out under the shard lock (results are <= k entries).
+//  - Deadline-safe by construction: callers only Put results from
+//    *completed* retrievals (EntityLinker skips the Put when the request
+//    expired mid-query), so a deadline-truncated empty result can never
+//    poison the cache. Lookups themselves are deadline-agnostic — serving
+//    a cached full result to a tight-deadline request is strictly better
+//    than recomputing it.
+//  - Observable: "search.cache.{hits,misses,evictions}" counters and a
+//    "search.cache.size" gauge in the global metrics registry.
+//
+// Invalidation: none — the cache fronts a *finalized* (immutable)
+// SearchEngine, and its owner (EntityLinker) never outlives the engine, so
+// entries can only ever go stale by eviction.
+#ifndef KGLINK_SEARCH_CELL_LINK_CACHE_H_
+#define KGLINK_SEARCH_CELL_LINK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "search/search_engine.h"
+
+namespace kglink::search {
+
+// Per-instance hit/miss/eviction/size totals (definition private to the
+// .cc; atomics only).
+struct CellLinkCacheStats;
+
+class CellLinkCache {
+ public:
+  // `capacity` is the total entry budget across all shards (minimum one
+  // entry per shard is enforced). `num_shards` is rounded up to a power of
+  // two. A zero-capacity cache is a programming error — callers gate
+  // construction on the configured capacity instead.
+  explicit CellLinkCache(size_t capacity, int num_shards = 8);
+
+  // Copies the cached results for `key` into `*out` and returns true on a
+  // hit (refreshing the entry's LRU position); returns false on a miss.
+  bool Get(std::string_view key, std::vector<SearchResult>* out);
+
+  // Inserts (or refreshes) `key` -> `results`, evicting the shard's
+  // least-recently-used entries beyond its capacity.
+  void Put(std::string_view key, const std::vector<SearchResult>& results);
+
+  // Point-in-time totals (for tests and health endpoints; the same numbers
+  // are exported as search.cache.* metrics).
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<SearchResult> results;
+  };
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used. The map stores list iterators, which
+    // stay valid across splices and erases of *other* elements.
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    size_t max_entries = 0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+
+  size_t capacity_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<CellLinkCacheStats> stats_;
+};
+
+}  // namespace kglink::search
+
+#endif  // KGLINK_SEARCH_CELL_LINK_CACHE_H_

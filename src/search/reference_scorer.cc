@@ -1,0 +1,158 @@
+#include "search/reference_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace kglink::search {
+
+NaiveReferenceScorer::NaiveReferenceScorer(Bm25Params params)
+    : params_(params) {}
+
+void NaiveReferenceScorer::AddDocument(int32_t doc_id,
+                                       std::string_view text) {
+  KGLINK_CHECK(!finalized_) << "AddDocument after Finalize";
+  auto [it, inserted] =
+      id_to_index_.emplace(doc_id, static_cast<int32_t>(doc_len_.size()));
+  KGLINK_CHECK(inserted) << "duplicate doc id " << doc_id;
+  int32_t index = it->second;
+  external_ids_.push_back(doc_id);
+
+  auto terms = SplitWords(text);
+  doc_len_.push_back(static_cast<int32_t>(terms.size()));
+
+  std::sort(terms.begin(), terms.end());
+  for (size_t i = 0; i < terms.size();) {
+    size_t j = i;
+    while (j < terms.size() && terms[j] == terms[i]) ++j;
+    postings_[terms[i]].push_back({index, static_cast<int32_t>(j - i)});
+    i = j;
+  }
+}
+
+void NaiveReferenceScorer::Finalize() {
+  KGLINK_CHECK(!finalized_);
+  finalized_ = true;
+  int64_t total = 0;
+  for (int32_t len : doc_len_) total += len;
+  avg_doc_len_ = doc_len_.empty()
+                     ? 1.0
+                     : static_cast<double>(total) /
+                           static_cast<double>(doc_len_.size());
+  if (avg_doc_len_ <= 0) avg_doc_len_ = 1.0;
+}
+
+double NaiveReferenceScorer::Idf(std::string_view term) const {
+  KGLINK_CHECK(finalized_);
+  double n = 0.0;
+  auto it = postings_.find(std::string(term));
+  if (it != postings_.end()) n = static_cast<double>(it->second.size());
+  double total = static_cast<double>(doc_len_.size());
+  // Paper Eq. 2: ln((N - n + 0.5) / (n + 0.5) + 1).
+  return std::log((total - n + 0.5) / (n + 0.5) + 1.0);
+}
+
+std::vector<SearchResult> NaiveReferenceScorer::TopK(std::string_view query,
+                                                     int k) const {
+  KGLINK_CHECK(finalized_) << "query before Finalize";
+  if (k <= 0 || doc_len_.empty()) return {};
+
+  std::unordered_map<int32_t, double> scores;
+  for (const auto& term : SplitWords(query)) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    double idf = Idf(term);
+    for (const Posting& p : it->second) {
+      double f = static_cast<double>(p.term_freq);
+      double len = static_cast<double>(doc_len_[p.doc_index]);
+      // Paper Eq. 1 per-term contribution.
+      double tf = f * (params_.k1 + 1.0) /
+                  (f + params_.k1 * (1.0 - params_.b +
+                                     params_.b * len / avg_doc_len_));
+      scores[p.doc_index] += idf * tf;
+    }
+  }
+
+  std::vector<SearchResult> results;
+  results.reserve(scores.size());
+  for (const auto& [index, score] : scores) {
+    results.push_back({external_ids_[static_cast<size_t>(index)], score});
+  }
+  auto cmp = [](const SearchResult& a, const SearchResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  };
+  if (static_cast<int>(results.size()) > k) {
+    std::partial_sort(results.begin(), results.begin() + k, results.end(),
+                      cmp);
+    results.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(results.begin(), results.end(), cmp);
+  }
+  return results;
+}
+
+double NaiveReferenceScorer::Score(std::string_view query,
+                                   int32_t doc_id) const {
+  KGLINK_CHECK(finalized_);
+  auto idx_it = id_to_index_.find(doc_id);
+  KGLINK_CHECK(idx_it != id_to_index_.end()) << "unknown doc id " << doc_id;
+  int32_t index = idx_it->second;
+  double score = 0.0;
+  for (const auto& term : SplitWords(query)) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& plist = it->second;
+    auto pit = std::lower_bound(
+        plist.begin(), plist.end(), index,
+        [](const Posting& p, int32_t v) { return p.doc_index < v; });
+    if (pit == plist.end() || pit->doc_index != index) continue;
+    double f = static_cast<double>(pit->term_freq);
+    double len = static_cast<double>(doc_len_[index]);
+    double tf = f * (params_.k1 + 1.0) /
+                (f + params_.k1 * (1.0 - params_.b +
+                                   params_.b * len / avg_doc_len_));
+    score += Idf(term) * tf;
+  }
+  return score;
+}
+
+std::vector<TermScore> NaiveReferenceScorer::ExplainScore(
+    std::string_view query, int32_t doc_id) const {
+  KGLINK_CHECK(finalized_);
+  auto idx_it = id_to_index_.find(doc_id);
+  KGLINK_CHECK(idx_it != id_to_index_.end()) << "unknown doc id " << doc_id;
+  int32_t index = idx_it->second;
+  std::vector<TermScore> out;
+  for (const auto& term : SplitWords(query)) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& plist = it->second;
+    auto pit = std::lower_bound(
+        plist.begin(), plist.end(), index,
+        [](const Posting& p, int32_t v) { return p.doc_index < v; });
+    if (pit == plist.end() || pit->doc_index != index) continue;
+    double f = static_cast<double>(pit->term_freq);
+    double len = static_cast<double>(doc_len_[index]);
+    double tf = f * (params_.k1 + 1.0) /
+                (f + params_.k1 * (1.0 - params_.b +
+                                   params_.b * len / avg_doc_len_));
+    double contribution = Idf(term) * tf;
+    bool merged = false;
+    for (TermScore& ts : out) {
+      if (ts.term == term) {
+        ts.contribution += contribution;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      out.push_back({term, Idf(term), pit->term_freq, contribution});
+    }
+  }
+  return out;
+}
+
+}  // namespace kglink::search

@@ -1,0 +1,58 @@
+// The pre-flat-index BM25 implementation, retained verbatim as a reference:
+// per-query hash-map score accumulation, IDF recomputed per term, full
+// partial_sort selection. It exists only so tests (search_parity_test) and
+// the bench harness can pin the production SearchEngine's TopK / Score /
+// ExplainScore to an independently-coded scorer — exact score, order and
+// tie-break parity. Never use it on a serving path.
+#ifndef KGLINK_SEARCH_REFERENCE_SCORER_H_
+#define KGLINK_SEARCH_REFERENCE_SCORER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "search/search_engine.h"
+
+namespace kglink::search {
+
+// Mirrors the SearchEngine query API over the naive data layout. Both are
+// compiled with the same floating-point rules (the search library pins
+// -ffp-contract=off), so agreement is bit-exact, not approximate.
+class NaiveReferenceScorer {
+ public:
+  explicit NaiveReferenceScorer(Bm25Params params = {});
+
+  void AddDocument(int32_t doc_id, std::string_view text);
+  void Finalize();
+
+  std::vector<SearchResult> TopK(std::string_view query, int k) const;
+  double Score(std::string_view query, int32_t doc_id) const;
+  std::vector<TermScore> ExplainScore(std::string_view query,
+                                      int32_t doc_id) const;
+  double Idf(std::string_view term) const;
+
+  int64_t num_documents() const {
+    return static_cast<int64_t>(doc_len_.size());
+  }
+  double average_doc_length() const { return avg_doc_len_; }
+
+ private:
+  struct Posting {
+    int32_t doc_index;
+    int32_t term_freq;
+  };
+
+  Bm25Params params_;
+  bool finalized_ = false;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<int32_t> doc_len_;
+  std::vector<int32_t> external_ids_;
+  std::unordered_map<int32_t, int32_t> id_to_index_;
+  double avg_doc_len_ = 0.0;
+};
+
+}  // namespace kglink::search
+
+#endif  // KGLINK_SEARCH_REFERENCE_SCORER_H_

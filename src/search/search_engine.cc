@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -33,28 +34,77 @@ struct TopKMetrics {
 };
 #endif  // KGLINK_TRACE_ENABLED
 
+// Thread-local dense score accumulator for TopK. The score slot for a
+// document is valid only when its stamp equals the current query's stamp,
+// so successive queries never pay an O(num_docs) clear — only the touched
+// list is walked. Shared across engines on a thread (sized to the largest
+// engine seen); TopK is re-entrant per thread by construction (no
+// recursion), so one scratch per thread suffices.
+struct TopKScratch {
+  std::vector<double> score;
+  std::vector<uint32_t> stamp;
+  std::vector<int32_t> touched;
+  std::string token;  // ForEachWord's reusable token buffer
+  uint32_t cur = 0;
+
+  void Begin(size_t num_docs) {
+    if (score.size() < num_docs) {
+      score.resize(num_docs);
+      stamp.resize(num_docs, 0);
+    }
+    touched.clear();
+    if (++cur == 0) {  // stamp wrap: invalidate everything once per 2^32
+      std::fill(stamp.begin(), stamp.end(), 0);
+      cur = 1;
+    }
+  }
+
+  static TopKScratch& Get() {
+    thread_local TopKScratch scratch;
+    return scratch;
+  }
+};
+
+// Result ordering: score descending, doc id ascending on ties.
+inline bool BetterResult(const SearchResult& a, const SearchResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc_id < b.doc_id;
+}
+
 }  // namespace
 
-SearchEngine::SearchEngine(Bm25Params params) : params_(params) {}
-
-void SearchEngine::AddDocument(int32_t doc_id, std::string_view text) {
-  KGLINK_CHECK(!finalized_) << "AddDocument after Finalize";
-  auto [it, inserted] =
-      id_to_index_.emplace(doc_id, static_cast<int32_t>(doc_len_.size()));
-  KGLINK_CHECK(inserted) << "duplicate doc id " << doc_id;
-  int32_t index = it->second;
-  external_ids_.push_back(doc_id);
-
+TokenizedDoc TokenizeDocument(int32_t doc_id, std::string_view text) {
+  TokenizedDoc doc;
+  doc.doc_id = doc_id;
   auto terms = SplitWords(text);
-  doc_len_.push_back(static_cast<int32_t>(terms.size()));
-
-  // Per-document term frequencies.
+  doc.length = static_cast<int32_t>(terms.size());
   std::sort(terms.begin(), terms.end());
   for (size_t i = 0; i < terms.size();) {
     size_t j = i;
     while (j < terms.size() && terms[j] == terms[i]) ++j;
-    postings_[terms[i]].push_back({index, static_cast<int32_t>(j - i)});
+    doc.term_freqs.emplace_back(std::move(terms[i]),
+                                static_cast<int32_t>(j - i));
     i = j;
+  }
+  return doc;
+}
+
+SearchEngine::SearchEngine(Bm25Params params) : params_(params) {}
+
+void SearchEngine::AddDocument(int32_t doc_id, std::string_view text) {
+  AddTokenized(TokenizeDocument(doc_id, text));
+}
+
+void SearchEngine::AddTokenized(const TokenizedDoc& doc) {
+  KGLINK_CHECK(!finalized_) << "AddDocument after Finalize";
+  auto [it, inserted] =
+      id_to_index_.emplace(doc.doc_id, static_cast<int32_t>(doc_len_.size()));
+  KGLINK_CHECK(inserted) << "duplicate doc id " << doc.doc_id;
+  int32_t index = it->second;
+  external_ids_.push_back(doc.doc_id);
+  doc_len_.push_back(doc.length);
+  for (const auto& [term, freq] : doc.term_freqs) {
+    postings_[term].push_back({index, freq});
   }
 }
 
@@ -68,65 +118,128 @@ void SearchEngine::Finalize() {
                      : static_cast<double>(total) /
                            static_cast<double>(doc_len_.size());
   if (avg_doc_len_ <= 0) avg_doc_len_ = 1.0;
+
+  // Precompute each document's Eq. 1 length norm k1*(1 - b + b*len/avgdl):
+  // the only per-document factor of the BM25 denominator.
+  doc_norm_.resize(doc_len_.size());
+  for (size_t i = 0; i < doc_len_.size(); ++i) {
+    double len = static_cast<double>(doc_len_[i]);
+    doc_norm_[i] = params_.k1 * (1.0 - params_.b +
+                                 params_.b * len / avg_doc_len_);
+  }
+
+  // Compact the per-term posting vectors into one contiguous array with
+  // per-term slices, and precompute each term's Eq. 2 IDF. Postings within
+  // a slice keep their build order, which is ascending doc_index (documents
+  // are added one at a time), so Score/ExplainScore can binary-search.
+  int64_t total_postings = 0;
+  for (const auto& [term, plist] : postings_) {
+    total_postings += static_cast<int64_t>(plist.size());
+  }
+  flat_postings_.reserve(static_cast<size_t>(total_postings));
+  terms_.reserve(postings_.size());
+  double num_docs = static_cast<double>(doc_len_.size());
+  for (auto& [term, plist] : postings_) {
+    TermSlice slice;
+    slice.begin = static_cast<int64_t>(flat_postings_.size());
+    slice.count = static_cast<int32_t>(plist.size());
+    double n = static_cast<double>(plist.size());
+    // Paper Eq. 2: ln((N - n + 0.5) / (n + 0.5) + 1).
+    slice.idf = std::log((num_docs - n + 0.5) / (n + 0.5) + 1.0);
+    flat_postings_.insert(flat_postings_.end(), plist.begin(), plist.end());
+    terms_.emplace(term, slice);
+  }
+  postings_.clear();
+}
+
+const SearchEngine::TermSlice* SearchEngine::FindTerm(
+    std::string_view term) const {
+  auto it = terms_.find(term);  // transparent: no string copy
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+double SearchEngine::PostingScore(double idf, const Posting& p) const {
+  double f = static_cast<double>(p.term_freq);
+  // Paper Eq. 1 per-term contribution, with the precomputed length norm.
+  double tf = f * (params_.k1 + 1.0) / (f + doc_norm_[p.doc_index]);
+  return idf * tf;
 }
 
 double SearchEngine::Idf(std::string_view term) const {
   KGLINK_CHECK(finalized_);
-  double n = 0.0;
-  auto it = postings_.find(std::string(term));
-  if (it != postings_.end()) n = static_cast<double>(it->second.size());
+  const TermSlice* slice = FindTerm(term);
+  if (slice != nullptr) return slice->idf;
   double total = static_cast<double>(doc_len_.size());
-  // Paper Eq. 2: ln((N - n + 0.5) / (n + 0.5) + 1).
-  return std::log((total - n + 0.5) / (n + 0.5) + 1.0);
+  // Unseen term: n(w) = 0 in Eq. 2.
+  return std::log((total + 0.5) / 0.5 + 1.0);
 }
 
 std::vector<SearchResult> SearchEngine::TopK(std::string_view query, int k,
                                              const RequestContext* rc) const {
   KGLINK_CHECK(finalized_) << "query before Finalize";
   KGLINK_OBS_HOT(TopKMetrics::Get().calls.Add());
-  KGLINK_OBS_TIMER(TopKMetrics::Get().latency_us);
+  // TopK runs in a few hundred nanoseconds; timing every call would spend
+  // more in steady_clock reads than in scoring. Sample 1 in 64 per thread
+  // (the calls counter above stays exact).
+  KGLINK_OBS_TIMER_SAMPLED(TopKMetrics::Get().latency_us, 63);
   if (k <= 0 || doc_len_.empty()) return {};
   bool bounded = rc != nullptr && !rc->Unbounded();
   if (bounded && rc->Expired()) return {};
 
-  std::unordered_map<int32_t, double> scores;
-  for (const auto& term : SplitWords(query)) {
+  TopKScratch& scratch = TopKScratch::Get();
+  scratch.Begin(doc_len_.size());
+  bool expired_mid_query = false;
+  // Tokenize in place (no per-term allocation) and accumulate into the
+  // stamped dense array.
+  ForEachWord(query, scratch.token, [&](const std::string& term) {
     // An expired request gets nothing rather than a partial (and therefore
-    // timing-dependent) score map.
-    if (bounded && rc->Expired()) return {};
-    auto it = postings_.find(term);
-    if (it == postings_.end()) continue;
-    double idf = Idf(term);
-    for (const Posting& p : it->second) {
-      double f = static_cast<double>(p.term_freq);
-      double len = static_cast<double>(doc_len_[p.doc_index]);
-      // Paper Eq. 1 per-term contribution.
-      double tf = f * (params_.k1 + 1.0) /
-                  (f + params_.k1 * (1.0 - params_.b +
-                                     params_.b * len / avg_doc_len_));
-      scores[p.doc_index] += idf * tf;
+    // timing-dependent) score accumulation.
+    if (bounded && rc->Expired()) {
+      expired_mid_query = true;
+      return false;
+    }
+    const TermSlice* slice = FindTerm(term);
+    if (slice == nullptr) return true;
+    const Posting* postings = flat_postings_.data() + slice->begin;
+    for (int32_t i = 0; i < slice->count; ++i) {
+      const Posting& p = postings[i];
+      double contribution = PostingScore(slice->idf, p);
+      size_t d = static_cast<size_t>(p.doc_index);
+      if (scratch.stamp[d] == scratch.cur) {
+        scratch.score[d] += contribution;
+      } else {
+        scratch.stamp[d] = scratch.cur;
+        scratch.score[d] = contribution;
+        scratch.touched.push_back(p.doc_index);
+      }
+    }
+    return true;
+  });
+  if (expired_mid_query) return {};
+
+  KGLINK_OBS_HOT(TopKMetrics::Get().docs_scanned.Add(
+      static_cast<int64_t>(scratch.touched.size())));
+
+  // Bounded top-k selection: a k-element heap with the *worst* kept result
+  // at the front (BetterResult as the heap comparator makes push/pop_heap
+  // sift the best elements down), so each touched doc costs one compare
+  // against the current cutoff and at most O(log k) on improvement.
+  std::vector<SearchResult> results;
+  size_t want = static_cast<size_t>(k);
+  results.reserve(std::min(want, scratch.touched.size()));
+  for (int32_t index : scratch.touched) {
+    SearchResult r{external_ids_[static_cast<size_t>(index)],
+                   scratch.score[static_cast<size_t>(index)]};
+    if (results.size() < want) {
+      results.push_back(r);
+      std::push_heap(results.begin(), results.end(), BetterResult);
+    } else if (BetterResult(r, results.front())) {
+      std::pop_heap(results.begin(), results.end(), BetterResult);
+      results.back() = r;
+      std::push_heap(results.begin(), results.end(), BetterResult);
     }
   }
-
-  KGLINK_OBS_HOT(
-      TopKMetrics::Get().docs_scanned.Add(static_cast<int64_t>(scores.size())));
-
-  std::vector<SearchResult> results;
-  results.reserve(scores.size());
-  for (const auto& [index, score] : scores) {
-    results.push_back({external_ids_[static_cast<size_t>(index)], score});
-  }
-  auto cmp = [](const SearchResult& a, const SearchResult& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc_id < b.doc_id;
-  };
-  if (static_cast<int>(results.size()) > k) {
-    std::partial_sort(results.begin(), results.begin() + k, results.end(),
-                      cmp);
-    results.resize(static_cast<size_t>(k));
-  } else {
-    std::sort(results.begin(), results.end(), cmp);
-  }
+  std::sort_heap(results.begin(), results.end(), BetterResult);
   KGLINK_OBS_HOT(TopKMetrics::Get().candidates.Add(
       static_cast<int64_t>(results.size())));
   return results;
@@ -139,19 +252,15 @@ double SearchEngine::Score(std::string_view query, int32_t doc_id) const {
   int32_t index = idx_it->second;
   double score = 0.0;
   for (const auto& term : SplitWords(query)) {
-    auto it = postings_.find(term);
-    if (it == postings_.end()) continue;
-    const auto& plist = it->second;
+    const TermSlice* slice = FindTerm(term);
+    if (slice == nullptr) continue;
+    auto begin = flat_postings_.begin() + slice->begin;
+    auto end = begin + slice->count;
     auto pit = std::lower_bound(
-        plist.begin(), plist.end(), index,
+        begin, end, index,
         [](const Posting& p, int32_t v) { return p.doc_index < v; });
-    if (pit == plist.end() || pit->doc_index != index) continue;
-    double f = static_cast<double>(pit->term_freq);
-    double len = static_cast<double>(doc_len_[index]);
-    double tf = f * (params_.k1 + 1.0) /
-                (f + params_.k1 * (1.0 - params_.b +
-                                   params_.b * len / avg_doc_len_));
-    score += Idf(term) * tf;
+    if (pit == end || pit->doc_index != index) continue;
+    score += PostingScore(slice->idf, *pit);
   }
   return score;
 }
@@ -164,19 +273,15 @@ std::vector<TermScore> SearchEngine::ExplainScore(std::string_view query,
   int32_t index = idx_it->second;
   std::vector<TermScore> out;
   for (const auto& term : SplitWords(query)) {
-    auto it = postings_.find(term);
-    if (it == postings_.end()) continue;
-    const auto& plist = it->second;
+    const TermSlice* slice = FindTerm(term);
+    if (slice == nullptr) continue;
+    auto begin = flat_postings_.begin() + slice->begin;
+    auto end = begin + slice->count;
     auto pit = std::lower_bound(
-        plist.begin(), plist.end(), index,
+        begin, end, index,
         [](const Posting& p, int32_t v) { return p.doc_index < v; });
-    if (pit == plist.end() || pit->doc_index != index) continue;
-    double f = static_cast<double>(pit->term_freq);
-    double len = static_cast<double>(doc_len_[index]);
-    double tf = f * (params_.k1 + 1.0) /
-                (f + params_.k1 * (1.0 - params_.b +
-                                   params_.b * len / avg_doc_len_));
-    double contribution = Idf(term) * tf;
+    if (pit == end || pit->doc_index != index) continue;
+    double contribution = PostingScore(slice->idf, *pit);
     // Fold repeated query terms into one entry (Score sums per occurrence).
     bool merged = false;
     for (TermScore& ts : out) {
@@ -187,7 +292,7 @@ std::vector<TermScore> SearchEngine::ExplainScore(std::string_view query,
       }
     }
     if (!merged) {
-      out.push_back({term, Idf(term), pit->term_freq, contribution});
+      out.push_back({term, slice->idf, pit->term_freq, contribution});
     }
   }
   return out;
@@ -196,14 +301,46 @@ std::vector<TermScore> SearchEngine::ExplainScore(std::string_view query,
 SearchEngine IndexKnowledgeGraph(const kg::KnowledgeGraph& kg,
                                  Bm25Params params) {
   SearchEngine engine(params);
-  for (kg::EntityId id = 0; id < kg.num_entities(); ++id) {
+  const int64_t n = kg.num_entities();
+
+  auto tokenize_one = [&kg](kg::EntityId id) {
     const kg::Entity& e = kg.entity(id);
     std::string doc = e.label;
     for (const auto& alias : e.aliases) {
       doc += " ";
       doc += alias;
     }
-    engine.AddDocument(id, doc);
+    return TokenizeDocument(id, doc);
+  };
+
+  // Tokenization (SplitWords + sort) dominates the build, and is a pure
+  // per-entity function — shard it across threads. Documents are then fed
+  // to the index in entity order, so the result is bit-identical to the
+  // sequential build for any thread count.
+  constexpr int64_t kMinEntitiesPerShard = 2048;
+  int64_t threads = std::min<int64_t>(
+      {static_cast<int64_t>(std::thread::hardware_concurrency()),
+       n / kMinEntitiesPerShard, 8});
+  if (threads > 1) {
+    std::vector<TokenizedDoc> docs(static_cast<size_t>(n));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int64_t t = 0; t < threads; ++t) {
+      int64_t lo = n * t / threads;
+      int64_t hi = n * (t + 1) / threads;
+      workers.emplace_back([&docs, &tokenize_one, lo, hi] {
+        for (int64_t id = lo; id < hi; ++id) {
+          docs[static_cast<size_t>(id)] =
+              tokenize_one(static_cast<kg::EntityId>(id));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (const TokenizedDoc& doc : docs) engine.AddTokenized(doc);
+  } else {
+    for (kg::EntityId id = 0; id < n; ++id) {
+      engine.AddTokenized(tokenize_one(id));
+    }
   }
   engine.Finalize();
   return engine;

@@ -1,6 +1,15 @@
 // Inverted-index BM25 retrieval over short text documents — the stand-in
 // for the paper's Elasticsearch index of WikiData entity labels. Scores are
 // exactly the paper's Eq. 1 (BM25) with Eq. 2 (IDF).
+//
+// The index is built incrementally (AddDocument) into per-term posting
+// vectors and then *frozen* by Finalize(), which compacts every posting
+// list into one contiguous array with per-term slices and precomputes the
+// two per-query-invariant factors of Eq. 1: each term's IDF and each
+// document's length norm k1*(1-b+b*len/avgdl). TopK, Score and
+// ExplainScore all read the same frozen tables, so the three stay
+// bit-identical with each other — and with the retained naive scorer in
+// reference_scorer.h, which tests pin them against.
 #ifndef KGLINK_SEARCH_SEARCH_ENGINE_H_
 #define KGLINK_SEARCH_SEARCH_ENGINE_H_
 
@@ -8,6 +17,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "kg/knowledge_graph.h"
@@ -37,6 +47,21 @@ struct TermScore {
   double contribution = 0.0;  // idf * saturated-tf (summed over the query)
 };
 
+// A pre-tokenized document: distinct terms with their in-document
+// frequencies, plus the total token count (the BM25 document length).
+// Produced by TokenizeDocument; lets callers tokenize off-thread (the
+// parallel IndexKnowledgeGraph path) and feed the index in a deterministic
+// order.
+struct TokenizedDoc {
+  int32_t doc_id = 0;
+  int32_t length = 0;  // total tokens, including repeats
+  std::vector<std::pair<std::string, int32_t>> term_freqs;  // sorted by term
+};
+
+// Splits `text` with the shared analyzer (SplitWords) and folds repeats
+// into term frequencies. Pure function, safe from any thread.
+TokenizedDoc TokenizeDocument(int32_t doc_id, std::string_view text);
+
 class SearchEngine {
  public:
   explicit SearchEngine(Bm25Params params = {});
@@ -45,8 +70,14 @@ class SearchEngine {
   // programming error. Call before Finalize().
   void AddDocument(int32_t doc_id, std::string_view text);
 
-  // Freezes the index: computes IDF and average document length. Must be
-  // called once before queries.
+  // Adds a pre-tokenized document (see TokenizeDocument). Equivalent to
+  // AddDocument(doc.doc_id, original_text); the parallel indexing path uses
+  // it to keep tokenization off the single-threaded build loop.
+  void AddTokenized(const TokenizedDoc& doc);
+
+  // Freezes the index: compacts the posting lists into one contiguous
+  // array, and precomputes IDF per term and the BM25 length norm per
+  // document. Must be called once before queries.
   void Finalize();
 
   // Top-k documents by BM25 score for a free-text query. Ties broken by
@@ -58,8 +89,8 @@ class SearchEngine {
   // as an unlinkable cell. A null or unbounded context costs nothing.
   //
   // Thread safety: const queries on a finalized engine are safe from any
-  // number of threads concurrently (the index is immutable after
-  // Finalize).
+  // number of threads concurrently (the index is immutable after Finalize;
+  // the score accumulator is thread-local scratch).
   std::vector<SearchResult> TopK(std::string_view query, int k,
                                  const RequestContext* rc = nullptr) const;
 
@@ -81,6 +112,7 @@ class SearchEngine {
   int64_t num_documents() const { return static_cast<int64_t>(doc_len_.size()); }
   double average_doc_length() const { return avg_doc_len_; }
   bool finalized() const { return finalized_; }
+  const Bm25Params& params() const { return params_; }
 
  private:
   struct Posting {
@@ -88,16 +120,48 @@ class SearchEngine {
     int32_t term_freq;
   };
 
+  // Flat-index slice of one term's postings after Finalize(): a
+  // [begin, begin+count) window into flat_postings_ plus the term's
+  // precomputed Eq. 2 IDF.
+  struct TermSlice {
+    int64_t begin = 0;
+    int32_t count = 0;
+    double idf = 0.0;
+  };
+
+  // Heterogeneous hashing so FindTerm(string_view) never copies the term.
+  struct TermHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  // Locates a term in the frozen index; nullptr when unseen.
+  const TermSlice* FindTerm(std::string_view term) const;
+  // Eq. 1 contribution of one posting against doc_norm_[doc_index].
+  double PostingScore(double idf, const Posting& p) const;
+
   Bm25Params params_;
   bool finalized_ = false;
+  // Build-time postings; cleared by Finalize() after compaction.
   std::unordered_map<std::string, std::vector<Posting>> postings_;
   std::vector<int32_t> doc_len_;        // in terms
   std::vector<int32_t> external_ids_;   // dense index -> doc_id
   std::unordered_map<int32_t, int32_t> id_to_index_;
   double avg_doc_len_ = 0.0;
+
+  // Frozen flat index (valid once finalized_):
+  std::unordered_map<std::string, TermSlice, TermHash, std::equal_to<>>
+      terms_;
+  std::vector<Posting> flat_postings_;  // all terms' postings, term-major
+  std::vector<double> doc_norm_;        // k1*(1 - b + b*len/avgdl) per doc
 };
 
 // Indexes every KG entity: document text = label + aliases. Finalized.
+// Tokenization is parallelized across entity shards for large graphs; the
+// resulting index is bit-identical to the sequential build regardless of
+// thread count.
 SearchEngine IndexKnowledgeGraph(const kg::KnowledgeGraph& kg,
                                  Bm25Params params = {});
 

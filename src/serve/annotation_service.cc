@@ -4,6 +4,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "search/cell_link_cache.h"
 
 namespace kglink::serve {
 
@@ -245,6 +246,14 @@ std::string AnnotationService::HealthJson() const {
            std::to_string(completed(static_cast<RequestStatus>(i)));
   }
   out += "}";
+  if (const search::CellLinkCache* cache = annotator_->cell_cache()) {
+    out += ", \"cell_cache\": {\"capacity\": " +
+           std::to_string(cache->capacity()) +
+           ", \"size\": " + std::to_string(cache->size()) +
+           ", \"hits\": " + std::to_string(cache->hits()) +
+           ", \"misses\": " + std::to_string(cache->misses()) +
+           ", \"evictions\": " + std::to_string(cache->evictions()) + "}";
+  }
   if (robust::BreakerRegistry::Enabled()) {
     out += ", \"breakers\": {";
     for (int i = 0; i < robust::kNumFaultSites; ++i) {

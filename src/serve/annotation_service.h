@@ -120,8 +120,11 @@ class AnnotationService {
   void Shutdown();
 
   // {"accepting":…, "threads":…, "queue_depth":…, "max_queue":…,
-  //  "inflight":…, "completed":{status:count,…}, "breakers":{site:state,…}}
-  // Breaker states appear only while breakers are enabled.
+  //  "inflight":…, "completed":{status:count,…},
+  //  "cell_cache":{capacity,size,hits,misses,evictions},
+  //  "breakers":{site:state,…}}
+  // cell_cache appears only when the annotator's cell-link cache is
+  // enabled; breaker states only while breakers are enabled.
   std::string HealthJson() const;
 
   // Total requests that finished with `status` (includes shed/overloaded

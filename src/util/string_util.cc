@@ -20,18 +20,18 @@ std::vector<std::string> Split(std::string_view s, char delim) {
 }
 
 std::vector<std::string> SplitWords(std::string_view s) {
+  // Non-ASCII bytes (>= 0x80) are word characters: treating them as
+  // separators (the old behaviour) tokenized every non-ASCII label —
+  // "Köln", "東京" — to nothing, silently making their cells unlinkable.
+  // They pass through uncased: lowercasing non-ASCII needs Unicode tables,
+  // and BM25 only needs the analyzer to be consistent between indexing
+  // and querying. The segmentation itself lives in ForEachWord.
   std::vector<std::string> out;
-  std::string cur;
-  for (char c : s) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      cur.push_back(static_cast<char>(
-          std::tolower(static_cast<unsigned char>(c))));
-    } else if (!cur.empty()) {
-      out.push_back(std::move(cur));
-      cur.clear();
-    }
-  }
-  if (!cur.empty()) out.push_back(std::move(cur));
+  std::string scratch;
+  ForEachWord(s, scratch, [&out](const std::string& word) {
+    out.push_back(word);
+    return true;
+  });
   return out;
 }
 

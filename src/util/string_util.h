@@ -2,17 +2,52 @@
 #ifndef KGLINK_UTIL_STRING_UTIL_H_
 #define KGLINK_UTIL_STRING_UTIL_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace kglink {
 
+// Streams the words of `s` (the exact segmentation of SplitWords below,
+// which is implemented on top of this) into fn(term) one at a time,
+// reusing `scratch` as the token buffer so a hot caller does zero
+// allocations per word. fn returns false to stop early. This is the BM25
+// query path's tokenizer; SplitWords is the convenience form.
+template <typename Fn>
+inline void ForEachWord(std::string_view s, std::string& scratch, Fn&& fn) {
+  scratch.clear();
+  for (char c : s) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      scratch.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (uc >= 0x80) {
+      // UTF-8 lead/continuation byte: part of a multi-byte code point,
+      // passed through uncased (see SplitWords docs).
+      scratch.push_back(c);
+    } else if (!scratch.empty()) {
+      const std::string& word = scratch;
+      if (!fn(word)) {
+        scratch.clear();
+        return;
+      }
+      scratch.clear();
+    }
+  }
+  if (!scratch.empty()) {
+    const std::string& word = scratch;
+    fn(word);
+  }
+}
+
 // Splits on a single delimiter character; keeps empty fields.
 std::vector<std::string> Split(std::string_view s, char delim);
 
-// Splits into maximal runs of alphanumeric characters, lowercased. This is
-// the word segmentation used by both the BM25 analyzer and the NN tokenizer.
+// Splits into maximal runs of word characters: ASCII alphanumerics
+// (lowercased) and UTF-8 multi-byte sequences (lead/continuation bytes,
+// passed through uncased — so accented and CJK labels tokenize to real
+// terms instead of nothing). This is the word segmentation used by both
+// the BM25 analyzer and the NN tokenizer.
 std::vector<std::string> SplitWords(std::string_view s);
 
 // Joins parts with a separator.

@@ -12,6 +12,7 @@
 #include "linker/feature_sequence.h"
 #include "linker/pipeline.h"
 #include "linker/row_filter.h"
+#include "robust/fault_injector.h"
 #include "search/search_engine.h"
 
 namespace kglink::linker {
@@ -231,6 +232,94 @@ TEST_F(LinkerFixture, UnlinkableTableHasNoKgInfo) {
     EXPECT_TRUE(col.candidate_types.empty());
     EXPECT_FALSE(col.has_feature);
   }
+}
+
+TEST_F(LinkerFixture, DegradedLinkRowIsPaddedToFullWidth) {
+  // Regression: a context that degrades mid-row used to return a RowLinks
+  // with fewer cells than the table has columns, and
+  // GenerateCandidateTypes indexed cells[col] out of bounds. With every
+  // search.topk attempt failing, the context degrades at the first cell;
+  // the row must still span all columns, padded unlinkable.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0", 42)
+                  .ok());
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  robust::TableOpContext ctx(config_.retry, config_.fault_budget,
+                             /*jitter_seed=*/1);
+  RowLinks row = linker.LinkRow(tbl_, 0);
+  RowLinks degraded = linker.LinkRow(tbl_, 0, &ctx);
+  robust::FaultInjector::Global().Disable();
+  ASSERT_TRUE(ctx.degraded());
+  ASSERT_EQ(degraded.cells.size(), static_cast<size_t>(tbl_.num_cols()));
+  for (const CellLinks& cell : degraded.cells) {
+    EXPECT_TRUE(cell.retrieved.empty());
+    EXPECT_TRUE(cell.pruned.empty());
+  }
+  // Downstream consumers index cells[col] per column: the padded row must
+  // be safe for every column (this crashed / was UB before the fix).
+  std::vector<RowLinks> rows = {degraded, row};
+  for (int c = 0; c < tbl_.num_cols(); ++c) {
+    auto types = GenerateCandidateTypes(kg_, rows, c, config_);
+    (void)types;
+  }
+}
+
+TEST_F(LinkerFixture, CandidateTypesTolerateShortRows) {
+  // Belt-and-braces for the same bug: even a hand-built short row (as a
+  // hypothetical future caller might produce) must not read out of
+  // bounds — missing cells count as unlinked.
+  EntityLinker linker(&kg_, engine_.get(), config_);
+  RowLinks full = linker.LinkRow(tbl_, 0);
+  RowLinks short_row;
+  short_row.cells.resize(1);
+  // Column 1 is past the short row's width; column 0 still aggregates the
+  // two full rows (two distinct supporting rows, as Eq. 8 requires).
+  std::vector<RowLinks> rows = {short_row, full, full};
+  auto artist_types = GenerateCandidateTypes(kg_, rows, /*col=*/1, config_);
+  EXPECT_FALSE(artist_types.empty());
+  auto album_types = GenerateCandidateTypes(kg_, rows, /*col=*/0, config_);
+  ASSERT_FALSE(album_types.empty());
+  EXPECT_EQ(album_types[0].entity, album_type_);
+}
+
+TEST_F(LinkerFixture, NonAsciiLabelsLinkEndToEnd) {
+  // Regression for the ASCII-only tokenizer: accented and CJK labels used
+  // to tokenize to nothing, making their cells silently unlinkable.
+  kg::KnowledgeGraph kg;
+  kg::EntityId city_type =
+      kg.AddEntity({"T1", "city", {}, "", true, false, false});
+  kg::EntityId koeln =
+      kg.AddEntity({"Q1", "Köln", {"Cologne"}, "", false, false, false});
+  kg::EntityId tokyo =
+      kg.AddEntity({"Q2", "東京", {"Tokyo"}, "", false, false, false});
+  kg::EntityId rhine =
+      kg.AddEntity({"Q3", "Rhein", {}, "", false, false, false});
+  kg::EntityId sumida =
+      kg.AddEntity({"Q4", "隅田川", {"Sumida"}, "", false, false, false});
+  kg::PredicateId river = kg.AddPredicate("river");
+  kg.AddTriple(koeln, kg::KnowledgeGraph::kInstanceOf, city_type);
+  kg.AddTriple(tokyo, kg::KnowledgeGraph::kInstanceOf, city_type);
+  kg.AddTriple(koeln, river, rhine);
+  kg.AddTriple(tokyo, river, sumida);
+  search::SearchEngine engine = search::IndexKnowledgeGraph(kg);
+
+  EntityLinker linker(&kg, &engine, config_);
+  table::Cell koeln_cell{"Köln", table::CellKind::kString, 0};
+  CellLinks links = linker.LinkCell(koeln_cell);
+  ASSERT_FALSE(links.retrieved.empty());
+  EXPECT_EQ(links.retrieved[0].entity, koeln);
+
+  // Whole-row linking with the overlap pruning, all through non-ASCII
+  // mentions: city column | river column.
+  table::Table t = table::Table::FromStrings(
+      "cities", {{"Köln", "Rhein"}, {"東京", "隅田川"}});
+  RowLinks row0 = linker.LinkRow(t, 0);
+  ASSERT_EQ(row0.cells.size(), 2u);
+  ASSERT_FALSE(row0.cells[0].pruned.empty());
+  EXPECT_EQ(row0.cells[0].pruned[0].entity, koeln);
+  RowLinks row1 = linker.LinkRow(t, 1);
+  ASSERT_FALSE(row1.cells[0].pruned.empty());
+  EXPECT_EQ(row1.cells[0].pruned[0].entity, tokyo);
 }
 
 }  // namespace

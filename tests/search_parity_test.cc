@@ -1,0 +1,195 @@
+// Randomized property tests pinning the flat-index SearchEngine to the
+// retained naive reference scorer (reference_scorer.h): TopK, Score and
+// ExplainScore must agree *bit-exactly* — same scores, same order, same
+// tie-breaks — across random corpora, repeated query terms, empty queries,
+// k beyond the corpus size, and non-ASCII vocabulary. Both libraries build
+// with -ffp-contract=off, so any disagreement is a real logic divergence,
+// not floating-point noise.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "search/reference_scorer.h"
+#include "search/search_engine.h"
+#include "util/deadline.h"
+#include "util/rng.h"
+
+namespace kglink::search {
+namespace {
+
+// Word pool mixing short/ambiguous ASCII terms with accented and CJK
+// labels (multi-byte UTF-8 must tokenize identically on both paths).
+const char* kWords[] = {
+    "rust",  "echo",   "peter", "steele", "mia",   "torv",
+    "album", "human",  "km",    "k2",     "köln",  "zürich",
+    "東京",  "大阪",   "crème", "brûlée", "naïve", "x",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string RandomText(Rng& rng, int max_words) {
+  std::string text;
+  int n = static_cast<int>(rng.Uniform(static_cast<uint64_t>(max_words + 1)));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += rng.Uniform(8) == 0 ? ", " : " ";
+    text += kWords[rng.Uniform(kNumWords)];
+  }
+  return text;
+}
+
+struct EnginePair {
+  SearchEngine flat;
+  NaiveReferenceScorer naive;
+  std::vector<int32_t> doc_ids;
+
+  explicit EnginePair(Rng& rng, int max_docs) {
+    int n = static_cast<int>(rng.Uniform(static_cast<uint64_t>(max_docs)));
+    for (int i = 0; i < n; ++i) {
+      // Non-contiguous external ids exercise the id <-> index mapping.
+      int32_t doc_id = static_cast<int32_t>(i * 7 + 3);
+      std::string text = RandomText(rng, 12);
+      flat.AddDocument(doc_id, text);
+      naive.AddDocument(doc_id, text);
+      doc_ids.push_back(doc_id);
+    }
+    flat.Finalize();
+    naive.Finalize();
+  }
+};
+
+void ExpectSameResults(const std::vector<SearchResult>& got,
+                       const std::vector<SearchResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].doc_id, want[i].doc_id) << "rank " << i;
+    // Bit-exact, not approximate: EXPECT_EQ on the doubles.
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+TEST(SearchParityTest, RandomCorporaTopKScoreAndExplainAgree) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 25; ++trial) {
+    EnginePair e(rng, /*max_docs=*/120);
+    int64_t n = e.flat.num_documents();
+    ASSERT_EQ(n, e.naive.num_documents());
+    EXPECT_EQ(e.flat.average_doc_length(), e.naive.average_doc_length());
+
+    for (int q = 0; q < 12; ++q) {
+      std::string query = RandomText(rng, 6);
+      // k sweeps 0, 1, mid, and past the corpus size.
+      for (int k : {0, 1, 5, static_cast<int>(n) + 7}) {
+        ExpectSameResults(e.flat.TopK(query, k), e.naive.TopK(query, k));
+      }
+      // Point scores and per-term breakdowns for a random document.
+      if (!e.doc_ids.empty()) {
+        int32_t doc = e.doc_ids[rng.Uniform(e.doc_ids.size())];
+        EXPECT_EQ(e.flat.Score(query, doc), e.naive.Score(query, doc));
+        auto flat_terms = e.flat.ExplainScore(query, doc);
+        auto naive_terms = e.naive.ExplainScore(query, doc);
+        ASSERT_EQ(flat_terms.size(), naive_terms.size());
+        double sum = 0.0;
+        for (size_t i = 0; i < flat_terms.size(); ++i) {
+          EXPECT_EQ(flat_terms[i].term, naive_terms[i].term);
+          EXPECT_EQ(flat_terms[i].idf, naive_terms[i].idf);
+          EXPECT_EQ(flat_terms[i].term_freq, naive_terms[i].term_freq);
+          EXPECT_EQ(flat_terms[i].contribution, naive_terms[i].contribution);
+          sum += flat_terms[i].contribution;
+        }
+        // The breakdown sums back to the score (repeated query terms fold,
+        // so the addition order may differ: NEAR, not EQ).
+        EXPECT_NEAR(sum, e.flat.Score(query, doc), 1e-12);
+      }
+      // IDF parity, including for terms unseen in this corpus.
+      EXPECT_EQ(e.flat.Idf("rust"), e.naive.Idf("rust"));
+      EXPECT_EQ(e.flat.Idf("never-indexed-term"),
+                e.naive.Idf("never-indexed-term"));
+    }
+  }
+}
+
+TEST(SearchParityTest, RepeatedQueryTermsAgree) {
+  Rng rng(7);
+  EnginePair e(rng, 60);
+  // Each term's contribution is added once per query occurrence on both
+  // paths, so repeats change scores — and must change them identically.
+  for (const char* query :
+       {"rust rust", "rust rust rust echo", "köln köln 東京 東京 東京"}) {
+    ExpectSameResults(e.flat.TopK(query, 10), e.naive.TopK(query, 10));
+    for (int32_t doc : e.doc_ids) {
+      EXPECT_EQ(e.flat.Score(query, doc), e.naive.Score(query, doc));
+    }
+  }
+}
+
+TEST(SearchParityTest, EmptyAndSeparatorOnlyQueries) {
+  Rng rng(11);
+  EnginePair e(rng, 40);
+  for (const char* query : {"", "   ", ",.;:!?", "\t\n"}) {
+    EXPECT_TRUE(e.flat.TopK(query, 10).empty());
+    EXPECT_TRUE(e.naive.TopK(query, 10).empty());
+    for (int32_t doc : e.doc_ids) {
+      EXPECT_EQ(e.flat.Score(query, doc), 0.0);
+      EXPECT_EQ(e.naive.Score(query, doc), 0.0);
+    }
+  }
+}
+
+TEST(SearchParityTest, TieBreaksAreByDocIdOnBothPaths) {
+  SearchEngine flat;
+  NaiveReferenceScorer naive;
+  // Five identical documents: all scores tie, so the order is purely the
+  // tie-break. Ids added out of order to make accidental agreement
+  // unlikely.
+  for (int32_t id : {40, 10, 30, 20, 50}) {
+    flat.AddDocument(id, "rust album");
+    naive.AddDocument(id, "rust album");
+  }
+  flat.Finalize();
+  naive.Finalize();
+  auto f = flat.TopK("rust", 5);
+  auto r = naive.TopK("rust", 5);
+  ASSERT_EQ(f.size(), 5u);
+  for (size_t i = 1; i < f.size(); ++i) {
+    EXPECT_LT(f[i - 1].doc_id, f[i].doc_id);
+    EXPECT_EQ(f[i - 1].score, f[i].score);
+  }
+  ExpectSameResults(f, r);
+}
+
+TEST(SearchParityTest, ExpiredDeadlineReturnsEmptyNotPartial) {
+  Rng rng(13);
+  EnginePair e(rng, 60);
+  RequestContext rc;
+  rc.deadline = Deadline::Expired();
+  EXPECT_TRUE(e.flat.TopK("rust echo album", 10, &rc).empty());
+  // A null / unbounded context must not change results.
+  RequestContext unbounded;
+  ExpectSameResults(e.flat.TopK("rust echo album", 10, &unbounded),
+                    e.naive.TopK("rust echo album", 10));
+}
+
+TEST(SearchParityTest, SingleAndZeroDocumentCorpora) {
+  {
+    SearchEngine flat;
+    NaiveReferenceScorer naive;
+    flat.Finalize();
+    naive.Finalize();
+    EXPECT_TRUE(flat.TopK("rust", 5).empty());
+    EXPECT_TRUE(naive.TopK("rust", 5).empty());
+  }
+  {
+    SearchEngine flat;
+    NaiveReferenceScorer naive;
+    flat.AddDocument(9, "köln 東京 köln");
+    naive.AddDocument(9, "köln 東京 köln");
+    flat.Finalize();
+    naive.Finalize();
+    ExpectSameResults(flat.TopK("köln", 3), naive.TopK("köln", 3));
+    EXPECT_EQ(flat.Score("köln", 9), naive.Score("köln", 9));
+    EXPECT_GT(flat.Score("köln", 9), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace kglink::search

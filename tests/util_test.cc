@@ -123,6 +123,49 @@ TEST(StringUtilTest, SplitWordsLowercasesAndSegments) {
   EXPECT_EQ(words[3], "2020");
 }
 
+TEST(StringUtilTest, SplitWordsKeepsUtf8Sequences) {
+  // Regression: bytes >= 0x80 used to be treated as separators, so any
+  // accented or CJK label tokenized to nothing (and its cells became
+  // silently unlinkable). Multi-byte sequences are word characters now,
+  // passed through uncased.
+  auto words = SplitWords("Köln 東京 crème brûlée");
+  ASSERT_EQ(words.size(), 4u);
+  // ASCII letters still lowercase; the multi-byte ö passes through as-is.
+  EXPECT_EQ(words[0], "köln");
+  EXPECT_EQ(words[1], "東京");
+  EXPECT_EQ(words[2], "crème");
+  EXPECT_EQ(words[3], "brûlée");
+}
+
+TEST(StringUtilTest, SplitWordsMixedAsciiAndUtf8Boundaries) {
+  // ASCII separators still split; UTF-8 runs merge with adjacent ASCII
+  // word characters exactly as accented words require.
+  auto words = SplitWords("Zürich-West (привет) 東京2020");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "zürich");
+  EXPECT_EQ(words[1], "west");
+  EXPECT_EQ(words[2], "привет");
+  EXPECT_EQ(words[3], "東京2020");
+}
+
+TEST(StringUtilTest, ForEachWordMatchesSplitWordsAndStopsEarly) {
+  const std::string_view text = "Köln, 東京; alpha BETA";
+  auto expected = SplitWords(text);
+  std::vector<std::string> streamed;
+  std::string scratch;
+  ForEachWord(text, scratch, [&](const std::string& w) {
+    streamed.push_back(w);
+    return true;
+  });
+  EXPECT_EQ(streamed, expected);
+  // Early stop: the callback's false return ends the walk.
+  int seen = 0;
+  ForEachWord(text, scratch, [&](const std::string&) {
+    return ++seen < 2;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
 TEST(StringUtilTest, LooksLikeNumber) {
   EXPECT_TRUE(LooksLikeNumber("42"));
   EXPECT_TRUE(LooksLikeNumber("-3.14"));
