@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "core/annotator.h"
@@ -23,9 +24,11 @@
 #include "data/world.h"
 #include "eval/explain_report.h"
 #include "eval/metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/statsz.h"
 #include "obs/trace.h"
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
@@ -47,6 +50,12 @@ struct Args {
   std::string trace_path;    // --trace=FILE: Chrome trace-event JSON
   std::string metrics_path;  // --metrics=FILE: metrics snapshot JSON
   std::string explain_dir;   // --explain=DIR: provenance JSONL + report
+  std::string statsz_path;   // --statsz=FILE: periodic status-page JSON
+  std::string slow_log_path; // --slow-log=FILE: flight-recorder JSONL
+  int64_t statsz_interval_ms = 1000;  // --statsz-interval-ms N
+  int64_t slo_ms = 0;        // --slo-ms N: served latency SLO target
+  int64_t slow_ms = 0;       // --slow-ms N: flight-record threshold
+  int64_t slow_every = 0;    // --slow-every N: also record 1-in-N
   std::string faults;        // --faults=site:prob[:latency_us],...
   uint64_t fault_seed = 42;  // --fault-seed=N
   int tables = 160;
@@ -79,6 +88,9 @@ int Usage() {
       "                   to the PLM-only path instead of blocking\n"
       "  --max-queue N    admission-control queue bound (default 64);\n"
       "                   overflow requests are shed to the degraded path\n"
+      "  --slo-ms N       served-latency SLO target; HealthJson/--statsz\n"
+      "                   report sliding-window compliance and burn rate\n"
+      "                   against it (default 100)\n"
       "\n"
       "retrieval (train / eval / annotate):\n"
       "  --cell-cache N   cell-link cache capacity in entries (default\n"
@@ -97,6 +109,14 @@ int Usage() {
       "                  to DIR/provenance.jsonl; eval/annotate runs also\n"
       "                  write DIR/report.{txt,json} — the accuracy split\n"
       "                  by linked/unlinked/degraded columns\n"
+      "  --statsz=FILE   rewrite FILE every --statsz-interval-ms (default\n"
+      "                  1000) with a /statsz-style JSON status page:\n"
+      "                  metrics snapshot plus, in served runs, the\n"
+      "                  service's sliding-window latency/SLO health\n"
+      "  --slow-ms N     flight-record any served request slower than N ms\n"
+      "                  (stage breakdown as one JSON line, in-memory ring)\n"
+      "  --slow-every N  also flight-record every Nth served request\n"
+      "  --slow-log=FILE dump the flight-recorder ring as JSONL at exit\n"
       "\n"
       "fault injection (any command; for chaos testing):\n"
       "  --faults=SPEC   comma-separated site:prob[:latency_us] rules,\n"
@@ -107,6 +127,10 @@ int Usage() {
       "                  (default 42; env KGLINK_FAULT_SEED)\n");
   return 2;
 }
+
+// Live while --statsz is active; ServedEval registers the service health
+// section on it for the duration of the serving run.
+std::unique_ptr<obs::StatszDumper> g_statsz;
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 3) return false;
@@ -178,6 +202,40 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->metrics_path = v;
+    } else if (a.rfind("--statsz=", 0) == 0) {
+      args->statsz_path = a.substr(std::strlen("--statsz="));
+      if (args->statsz_path.empty()) return false;
+    } else if (a == "--statsz") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->statsz_path = v;
+    } else if (a == "--statsz-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->statsz_interval_ms = std::atoll(v);
+      if (args->statsz_interval_ms < 1) return false;
+    } else if (a == "--slo-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->slo_ms = std::atoll(v);
+      if (args->slo_ms < 1) return false;
+    } else if (a == "--slow-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->slow_ms = std::atoll(v);
+      if (args->slow_ms < 1) return false;
+    } else if (a == "--slow-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->slow_every = std::atoll(v);
+      if (args->slow_every < 1) return false;
+    } else if (a.rfind("--slow-log=", 0) == 0) {
+      args->slow_log_path = a.substr(std::strlen("--slow-log="));
+      if (args->slow_log_path.empty()) return false;
+    } else if (a == "--slow-log") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->slow_log_path = v;
     } else if (a.rfind("--faults=", 0) == 0) {
       args->faults = a.substr(std::strlen("--faults="));
       if (args->faults.empty()) return false;
@@ -285,7 +343,12 @@ int ServedEval(const Args& args, core::KgLinkAnnotator& annotator,
   sopts.num_threads = args.threads;
   sopts.max_queue = args.max_queue;
   sopts.default_deadline_us = args.deadline_ms * 1000;
+  if (args.slo_ms > 0) sopts.slo_target_us = args.slo_ms * 1000;
   serve::AnnotationService service(&annotator, sopts);
+  if (g_statsz != nullptr) {
+    g_statsz->AddSection("serve",
+                         [&service] { return service.HealthJson(); });
+  }
 
   std::vector<std::future<serve::AnnotationResult>> futures;
   futures.reserve(test.tables.size());
@@ -307,6 +370,14 @@ int ServedEval(const Args& args, core::KgLinkAnnotator& annotator,
         ++correct;
       }
     }
+  }
+  if (g_statsz != nullptr) {
+    // Freeze the last live health snapshot before the service object dies:
+    // later dumps (including Stop()'s final write) keep reporting it
+    // instead of losing the "serve" section.
+    std::string final_health = service.HealthJson();
+    g_statsz->AddSection(
+        "serve", [final_health] { return final_health; });
   }
   service.Shutdown();
 
@@ -475,6 +546,30 @@ int ExportObservability(const Args& args, int command_rc) {
   if (!args.explain_dir.empty()) {
     command_rc = ExportProvenance(args.explain_dir, command_rc);
   }
+  if (g_statsz != nullptr) {
+    g_statsz->Stop();  // final write with end-of-run metrics
+    std::printf("statsz: %lld dumps -> %s\n",
+                static_cast<long long>(g_statsz->dumps()),
+                g_statsz->path().c_str());
+    g_statsz.reset();
+  }
+  if (!args.slow_log_path.empty()) {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    recorder.Disable();
+    Status s = recorder.WriteJsonl(args.slow_log_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write slow-request log: %s\n",
+                   s.ToString().c_str());
+      if (command_rc == 0) command_rc = 1;
+    } else {
+      std::printf("slow-log: %zu records (%lld captured, %lld dropped) "
+                  "-> %s\n",
+                  recorder.size(),
+                  static_cast<long long>(recorder.recorded()),
+                  static_cast<long long>(recorder.overwritten()),
+                  args.slow_log_path.c_str());
+    }
+  }
   return command_rc;
 }
 
@@ -508,6 +603,17 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.trace_path.empty()) obs::TraceRecorder::Global().Start();
+  if (!args.statsz_path.empty()) {
+    g_statsz = std::make_unique<obs::StatszDumper>(args.statsz_path,
+                                                   args.statsz_interval_ms);
+    g_statsz->Start();
+  }
+  if (args.slow_ms > 0 || args.slow_every > 0) {
+    obs::FlightRecorderOptions fr;
+    fr.threshold_us = args.slow_ms * 1000;
+    fr.sample_every_n = static_cast<uint32_t>(args.slow_every);
+    obs::FlightRecorder::Global().Configure(fr);
+  }
   if (!args.explain_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(args.explain_dir, ec);

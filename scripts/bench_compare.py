@@ -16,7 +16,13 @@ The unit decides which direction is worse:
   - time units (ns/us/ms/s/seconds): higher is worse
   - quality/throughput units (percent, ratio, items_per_second): lower is
     worse
-  - anything else (e.g. "count"): informational only, never flagged
+  - anything else (e.g. "count", "share"): informational only, never
+    flagged
+
+--include SUBSTR (repeatable) restricts the comparison to metrics whose
+bench or metric name contains any given substring — used by the CI
+obs-overhead gate to pin just the hot-path benches against the committed
+baselines with a tighter threshold.
 
 Stdlib only; no third-party dependencies.
 """
@@ -52,7 +58,7 @@ def load_benches(path):
     return benches
 
 
-def compare(baseline, candidate, threshold):
+def compare(baseline, candidate, threshold, include=None):
     regressions = []
     improvements = []
     infos = []
@@ -60,9 +66,15 @@ def compare(baseline, candidate, threshold):
     for bench, base_metrics in sorted(baseline.items()):
         cand_metrics = candidate.get(bench)
         if cand_metrics is None:
+            if include and not any(s in bench for s in include):
+                continue
             missing.append(f"{bench}: bench absent from candidate")
             continue
         for name, (base_value, unit) in sorted(base_metrics.items()):
+            if include and not any(
+                s in name or s in bench for s in include
+            ):
+                continue
             if name not in cand_metrics:
                 missing.append(f"{bench}/{name}: metric absent from candidate")
                 continue
@@ -106,12 +118,20 @@ def main():
         help="relative change (%%) beyond which a metric is flagged "
         "(default: 5)",
     )
+    parser.add_argument(
+        "--include",
+        action="append",
+        default=None,
+        metavar="SUBSTR",
+        help="only compare metrics whose bench or metric name contains "
+        "SUBSTR (repeatable); default: compare everything",
+    )
     args = parser.parse_args()
 
     baseline = load_benches(args.baseline)
     candidate = load_benches(args.candidate)
     regressions, improvements, infos, missing = compare(
-        baseline, candidate, args.threshold
+        baseline, candidate, args.threshold, args.include
     )
 
     for title, lines in (

@@ -9,6 +9,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/request_telemetry.h"
 #include "obs/trace.h"
 #include "robust/fault_injector.h"
 #include "util/csv.h"
@@ -111,7 +112,10 @@ AnnotateOutcome KgLinkAnnotator::AnnotateTable(const table::Table& t,
     }
   }
 
-  out.predictions = PredictProcessed(processed);
+  {
+    KGLINK_STAGE_TIMER(rc, obs::Stage::kEncode);
+    out.predictions = PredictProcessed(processed);
+  }
   out.degraded = processed.degraded;
   out.degrade_reason = processed.degrade_reason;
   return out;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/request_telemetry.h"
 
 namespace kglink::linker {
 
@@ -70,13 +71,23 @@ CellLinks EntityLinker::LinkCell(const table::Cell& cell,
   // and nothing it produces is stored.
   bool expired = rc != nullptr && rc->Expired();
   std::vector<search::SearchResult> hits;
-  bool cached = cache_ != nullptr && !expired && cache_->Get(cell.text, &hits);
+  bool cached = false;
+  if (cache_ != nullptr && !expired) {
+    KGLINK_STAGE_TIMER(rc, obs::Stage::kCellCache);
+    cached = cache_->Get(cell.text, &hits);
+    if (cached) {
+      KGLINK_TELEMETRY_COUNT(rc, cache_hits, 1);
+    } else {
+      KGLINK_TELEMETRY_COUNT(rc, cache_misses, 1);
+    }
+  }
   if (!cached) {
     hits = engine_->TopK(cell.text, config_.max_entities_per_cell, rc);
     // A request that expired *during* TopK got a truncated (empty) result;
     // caching it would poison every later lookup of this cell text.
     if (cache_ != nullptr && !expired &&
         (rc == nullptr || !rc->Expired())) {
+      KGLINK_STAGE_TIMER(rc, obs::Stage::kCellCache);
       cache_->Put(cell.text, hits);
     }
   }

@@ -7,6 +7,7 @@
 #include "linker/row_filter.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_telemetry.h"
 #include "obs/trace.h"
 
 namespace kglink::linker {
@@ -78,6 +79,9 @@ ProcessedTable KgPipeline::Process(const table::Table& table) const {
 ProcessedTable KgPipeline::Process(const table::Table& table,
                                    const RequestContext* rc) const {
   KGLINK_TRACE_SPAN("part1.process");
+  // Inclusive link-stage wall time; TopK and cell-cache time nested below
+  // are accounted separately and subtracted in exclusive_stage_us().
+  KGLINK_STAGE_TIMER(rc, obs::Stage::kLink);
   PipelineMetrics::Get().tables_processed.Add();
   const LinkerConfig& config = linker_.config();
 

@@ -1,0 +1,88 @@
+#include "obs/flight_recorder.h"
+
+#include <utility>
+
+#include "util/csv.h"
+
+namespace kglink::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder& recorder = *new FlightRecorder();
+  return recorder;
+}
+
+void FlightRecorder::Configure(const FlightRecorderOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.clear();
+  recorded_ = 0;
+  overwritten_ = 0;
+  completions_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+const char* FlightRecorder::Trigger(int64_t total_us) {
+  if (!enabled()) return "";
+  uint64_t n = completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FlightRecorderOptions opts = options();
+  if (opts.threshold_us > 0 && total_us >= opts.threshold_us) {
+    return "threshold";
+  }
+  if (opts.sample_every_n > 0 && n % opts.sample_every_n == 0) {
+    return "sample";
+  }
+  return "";
+}
+
+void FlightRecorder::Record(std::string json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  ring_.push_back(std::move(json_line));
+  ++recorded_;
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++overwritten_;
+  }
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+int64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+int64_t FlightRecorder::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overwritten_;
+}
+
+std::vector<std::string> FlightRecorder::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string FlightRecorder::Jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::string& line : ring_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Status FlightRecorder::WriteJsonl(const std::string& path) const {
+  return WriteFile(path, Jsonl());
+}
+
+FlightRecorderOptions FlightRecorder::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+}  // namespace kglink::obs

@@ -110,10 +110,15 @@ std::string MetricsRegistry::SnapshotJson() const {
   for (const auto& [name, h] : histograms_) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
-           std::to_string(h->count()) + ", \"sum\": " + JsonNumber(h->sum()) +
-           ", \"buckets\": [";
     const auto& bounds = h->upper_bounds();
+    // count first (acquire), buckets after: the publication contract
+    // guarantees the bucket reads below account for at least this count.
+    int64_t total = h->count();
+    int64_t overflow = h->bucket_count(bounds.size());
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(total) + ", \"sum\": " + JsonNumber(h->sum()) +
+           ", \"overflow\": " + std::to_string(overflow) +
+           ", \"buckets\": [";
     for (size_t i = 0; i <= bounds.size(); ++i) {
       if (i > 0) out += ", ";
       out += "{\"le\": ";

@@ -60,8 +60,13 @@ struct HistogramBuckets {
 
   // count bounds: start, start*factor, start*factor^2, ...
   static HistogramBuckets Exponential(double start, double factor, int count);
-  // Default latency scale in microseconds: 1us .. ~65ms, factor 4.
-  static HistogramBuckets LatencyMicros() { return Exponential(1.0, 4.0, 9); }
+  // Default latency scale in microseconds: 1us .. ~4.2s, factor 4. The top
+  // bound must clear slow serve requests (deadline-bounded, <= seconds) and
+  // ~22ms train steps; anything beyond it lands in the overflow bucket,
+  // which SnapshotJson() reports explicitly.
+  static HistogramBuckets LatencyMicros() {
+    return Exponential(1.0, 4.0, 12);
+  }
 };
 
 // Fixed-bucket histogram. Values land in the first bucket whose upper
@@ -115,7 +120,10 @@ class MetricsRegistry {
 
   // Point-in-time JSON snapshot:
   //   {"counters": {...}, "gauges": {...}, "histograms": {name:
-  //    {"count": C, "sum": S, "buckets": [{"le": bound, "count": n}, ...]}}}
+  //    {"count": C, "sum": S, "overflow": O,
+  //     "buckets": [{"le": bound, "count": n}, ...]}}}
+  // "overflow" duplicates the +Inf bucket's count so saturation (values
+  // beyond the largest finite bound) is visible without walking buckets.
   // Keys are sorted, so equal states serialize identically.
   std::string SnapshotJson() const;
   Status WriteSnapshot(const std::string& path) const;

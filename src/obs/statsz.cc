@@ -1,0 +1,103 @@
+#include "obs/statsz.h"
+
+#include <chrono>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "util/csv.h"
+
+namespace kglink::obs {
+
+StatszDumper::StatszDumper(std::string path, int64_t period_ms)
+    : path_(std::move(path)),
+      period_ms_(period_ms > 0 ? period_ms : 1000),
+      started_at_(std::chrono::steady_clock::now()) {}
+
+StatszDumper::~StatszDumper() { Stop(); }
+
+void StatszDumper::AddSection(const std::string& key, SectionFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, section] : sections_) {
+    if (name == key) {
+      section = std::move(fn);
+      return;
+    }
+  }
+  sections_.emplace_back(key, std::move(fn));
+}
+
+void StatszDumper::RemoveSection(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sections_.begin(); it != sections_.end(); ++it) {
+    if (it->first == key) {
+      sections_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string StatszDumper::ComposeJson() {
+  // Snapshot the section list under the lock, run the closures outside it
+  // (a section may itself take locks, e.g. HealthJson).
+  std::vector<std::pair<std::string, SectionFn>> sections;
+  int64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sections = sections_;
+    seq = ++seq_;
+  }
+  double uptime_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - started_at_)
+                        .count();
+  std::string out = "{\"seq\": " + std::to_string(seq);
+  out += ", \"uptime_s\": " + JsonNumber(uptime_s);
+  out += ", \"metrics\": " + MetricsRegistry::Global().SnapshotJson();
+  for (const auto& [key, fn] : sections) {
+    out += ", \"" + JsonEscape(key) + "\": " + fn();
+  }
+  out += "}\n";
+  return out;
+}
+
+Status StatszDumper::WriteOnce() { return WriteFile(path_, ComposeJson()); }
+
+void StatszDumper::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatszDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  (void)WriteOnce();
+}
+
+void StatszDumper::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                   [&] { return stopping_; });
+      if (stopping_) return;
+    }
+    (void)WriteOnce();
+  }
+}
+
+int64_t StatszDumper::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace kglink::obs

@@ -1,0 +1,72 @@
+// StatszDumper: a /statsz-style periodic exporter. Every period it
+// composes one JSON object —
+//   {"seq": …, "uptime_s": …, "metrics": <registry snapshot>,
+//    "<section>": <section JSON>, ...}
+// — and rewrites `path` with the latest snapshot (overwrite, not append:
+// the file is a live status page, history belongs to the metrics window).
+// Sections are caller-registered closures returning a JSON value, e.g. the
+// serving layer's HealthJson; RemoveSection() must be called before the
+// object a section captures is destroyed. Stop() (or the destructor)
+// joins the background thread after one final write, so the file always
+// reflects the end state of the run.
+#ifndef KGLINK_OBS_STATSZ_H_
+#define KGLINK_OBS_STATSZ_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kglink::obs {
+
+class StatszDumper {
+ public:
+  // Returns a JSON *value* (object/number/string) spliced in verbatim.
+  using SectionFn = std::function<std::string()>;
+
+  StatszDumper(std::string path, int64_t period_ms);
+  ~StatszDumper();  // implies Stop()
+  StatszDumper(const StatszDumper&) = delete;
+  StatszDumper& operator=(const StatszDumper&) = delete;
+
+  void AddSection(const std::string& key, SectionFn fn);
+  void RemoveSection(const std::string& key);
+
+  // Starts the periodic background writer. Idempotent.
+  void Start();
+  // Final write + join. Idempotent; safe without Start() (still writes).
+  void Stop();
+
+  // Composes and writes one snapshot now.
+  Status WriteOnce();
+  std::string ComposeJson();
+
+  int64_t dumps() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void Loop();
+
+  std::string path_;
+  int64_t period_ms_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<std::string, SectionFn>> sections_;
+  bool stopping_ = false;
+  bool running_ = false;
+  int64_t seq_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace kglink::obs
+
+#endif  // KGLINK_OBS_STATSZ_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <cstdlib>
+
 #include "obs/json_util.h"
 #include "util/csv.h"
 
@@ -79,5 +81,18 @@ ScopedSpan::~ScopedSpan() {
 }
 
 int ScopedSpan::CurrentDepth() { return g_span_depth; }
+
+uint32_t SampleMaskFromEnv(uint32_t default_shift) {
+  uint32_t shift = default_shift;
+  if (const char* env = std::getenv("KGLINK_OBS_SAMPLE_SHIFT")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 0) {
+      shift = static_cast<uint32_t>(parsed);
+    }
+  }
+  if (shift > 20) shift = 20;  // 1-in-1M: plenty, and no UB territory
+  return (1u << shift) - 1u;
+}
 
 }  // namespace kglink::obs

@@ -94,6 +94,14 @@ class ScopedSpan {
   bool active_ = false;
 };
 
+// Sampling mask for SampledLatencyTimer: (1 << shift) - 1, so one in every
+// 2^shift calls is timed. The shift comes from the KGLINK_OBS_SAMPLE_SHIFT
+// environment variable when set (clamped to [0, 20]; 0 times every call),
+// else `default_shift`. Read the environment once at the call site (static
+// init) and pair the metric with a *.sample_interval gauge so dashboards
+// can rescale sampled counts.
+uint32_t SampleMaskFromEnv(uint32_t default_shift);
+
 // Like ScopedLatencyTimer, but only every Nth construction per thread
 // actually reads the clock and records — for paths so hot (hundreds of
 // nanoseconds) that two steady_clock reads per call would dominate the

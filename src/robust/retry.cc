@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/request_telemetry.h"
 #include "robust/circuit_breaker.h"
 
 namespace kglink::robust {
@@ -92,6 +93,7 @@ TableOpContext::TableOpContext(const RetryPolicy& policy,
 void TableOpContext::Degrade(const char* reason) {
   degraded_ = true;
   degrade_reason_ = reason;
+  KGLINK_TELEMETRY_COUNT(request_, degrade_events, 1);
 }
 
 bool TableOpContext::DeadlineExpired() {
@@ -146,6 +148,7 @@ bool TableOpContext::Attempt(FaultSite site) {
       // the operation never ran, so it says nothing about site health.
       RobustMetrics::Get().breaker_rejects.Add();
       RobustMetrics::Get().failed_ops.Add();
+      KGLINK_TELEMETRY_COUNT(request_, breaker_short_circuits, 1);
       if (++failed_ops_ > budget_.max_failed_ops) {
         Degrade("fault budget exhausted");
       }
@@ -181,6 +184,7 @@ bool TableOpContext::AttemptRetryLoop(FaultSite site, bool* hard_failure) {
       return false;
     }
     RobustMetrics::Get().retries.Add();
+    KGLINK_TELEMETRY_COUNT(request_, retries, 1);
     std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     if (CheckDeadline()) return false;
   }

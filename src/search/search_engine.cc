@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/request_telemetry.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -21,14 +22,24 @@ struct TopKMetrics {
   obs::Counter& docs_scanned;
   obs::Counter& candidates;
   obs::Histogram& latency_us;
+  // Timer sampling mask, resolved once from KGLINK_OBS_SAMPLE_SHIFT
+  // (default 1 in 64). The interval is published as a gauge next to the
+  // histogram so consumers can rescale the sampled counts.
+  uint32_t sample_mask;
 
   static TopKMetrics& Get() {
-    static TopKMetrics& m = *new TopKMetrics{
-        obs::MetricsRegistry::Global().GetCounter("search.topk.calls"),
-        obs::MetricsRegistry::Global().GetCounter("search.topk.docs_scanned"),
-        obs::MetricsRegistry::Global().GetCounter("search.topk.candidates"),
-        obs::MetricsRegistry::Global().GetHistogram(
-            "search.topk.latency_us")};
+    static TopKMetrics& m = *[] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new TopKMetrics{
+          reg.GetCounter("search.topk.calls"),
+          reg.GetCounter("search.topk.docs_scanned"),
+          reg.GetCounter("search.topk.candidates"),
+          reg.GetHistogram("search.topk.latency_us"),
+          obs::SampleMaskFromEnv(/*default_shift=*/6)};
+      reg.GetGauge("search.topk.latency_us.sample_interval")
+          .Set(static_cast<double>(metrics->sample_mask) + 1.0);
+      return metrics;
+    }();
     return m;
   }
 };
@@ -179,9 +190,14 @@ std::vector<SearchResult> SearchEngine::TopK(std::string_view query, int k,
   KGLINK_CHECK(finalized_) << "query before Finalize";
   KGLINK_OBS_HOT(TopKMetrics::Get().calls.Add());
   // TopK runs in a few hundred nanoseconds; timing every call would spend
-  // more in steady_clock reads than in scoring. Sample 1 in 64 per thread
-  // (the calls counter above stays exact).
-  KGLINK_OBS_TIMER_SAMPLED(TopKMetrics::Get().latency_us, 63);
+  // more in steady_clock reads than in scoring. Sample 1 in 2^shift per
+  // thread (KGLINK_OBS_SAMPLE_SHIFT, default 64; the calls counter above
+  // stays exact and *.sample_interval records the rate).
+  KGLINK_OBS_TIMER_SAMPLED(TopKMetrics::Get().latency_us,
+                           TopKMetrics::Get().sample_mask);
+  // Per-request stage accounting is exact (not sampled): a request that
+  // carries telemetry has opted into the two clock reads.
+  KGLINK_STAGE_TIMER(rc, obs::Stage::kTopK);
   if (k <= 0 || doc_len_.empty()) return {};
   bool bounded = rc != nullptr && !rc->Unbounded();
   if (bounded && rc->Expired()) return {};

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/json_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "search/cell_link_cache.h"
@@ -56,6 +58,17 @@ AnnotationService::AnnotationService(core::KgLinkAnnotator* annotator,
   KGLINK_CHECK(annotator_ != nullptr);
   if (options_.num_threads < 1) options_.num_threads = 1;
   if (options_.max_queue < 1) options_.max_queue = 1;
+  obs::RollingWindowOptions window_options;
+  window_options.window_us = options_.stats_window_us;
+  window_options.num_slots = options_.stats_window_slots;
+  latency_window_ = std::make_unique<obs::RollingWindow>(window_options);
+  obs::SloOptions slo_options;
+  slo_options.target_latency_us = options_.slo_target_us;
+  slo_options.objective = options_.slo_objective;
+  slo_options.short_window_us = options_.slo_short_window_us;
+  slo_options.long_window_us = options_.slo_long_window_us;
+  slo_options.num_slots = options_.stats_window_slots;
+  slo_ = std::make_unique<obs::SloMonitor>(slo_options);
   for (auto& c : completed_) c.store(0, std::memory_order_relaxed);
   if (options_.enable_circuit_breakers) {
     robust::BreakerRegistry::Global().Enable(options_.breaker);
@@ -134,11 +147,16 @@ AnnotationResult AnnotationService::RunShedInline(const table::Table& table,
   result.predictions = std::move(outcome.predictions);
   result.degrade_reason = std::move(outcome.degrade_reason);
   result.work_us = ElapsedMicros(work);
+  // The degraded run skips the instrumented KG/encode layers, so the whole
+  // inline run is serving-harness remainder.
+  result.telemetry.AddStage(obs::Stage::kPostProcess,
+                            static_cast<uint64_t>(result.work_us));
   ServeMetrics::Get().latency_us.Record(
       static_cast<double>(result.work_us));
   KGLINK_LOG(kWarn, "serve.shed")
       .With("table", table.id())
       .With("stream_key", static_cast<int64_t>(rc.stream_key));
+  ObserveCompletion(table, rc, result);
   return result;
 }
 
@@ -166,7 +184,12 @@ void AnnotationService::WorkerLoop() {
 
 AnnotationResult AnnotationService::RunRequest(Request& req) {
   AnnotationResult result;
+  // The record lives in the result; the context carries a borrowed pointer
+  // down the stack for the duration of the annotate call.
+  req.rc.telemetry = &result.telemetry;
   result.queue_us = ElapsedMicros(req.queued_at);
+  result.telemetry.AddStage(obs::Stage::kQueueWait,
+                            static_cast<uint64_t>(result.queue_us));
   ServeMetrics::Get().queue_wait_us.Record(
       static_cast<double>(result.queue_us));
 
@@ -174,8 +197,23 @@ AnnotationResult AnnotationService::RunRequest(Request& req) {
   core::AnnotateOutcome outcome =
       annotator_->AnnotateTable(*req.table, &req.rc);
   result.work_us = ElapsedMicros(work);
+  req.rc.telemetry = nullptr;
   ServeMetrics::Get().latency_us.Record(
       static_cast<double>(result.queue_us + result.work_us));
+
+  // Post-process remainder: work time not already attributed to the link
+  // (inclusive of its nested stages) or encode intervals. Those are
+  // disjoint sub-intervals of the work interval on the same monotonic
+  // clock, and a sum of floored microsecond spans never exceeds the
+  // floored total — so exclusive stage sums stay <= queue_us + work_us.
+  uint64_t attributed =
+      result.telemetry.stage_micros(obs::Stage::kLink) +
+      result.telemetry.stage_micros(obs::Stage::kEncode);
+  uint64_t work_us = static_cast<uint64_t>(result.work_us);
+  if (work_us > attributed) {
+    result.telemetry.AddStage(obs::Stage::kPostProcess,
+                              work_us - attributed);
+  }
 
   result.predictions = std::move(outcome.predictions);
   result.degrade_reason = std::move(outcome.degrade_reason);
@@ -189,7 +227,36 @@ AnnotationResult AnnotationService::RunRequest(Request& req) {
   } else {
     result.status = RequestStatus::kOk;
   }
+  ObserveCompletion(*req.table, req.rc, result);
   return result;
+}
+
+void AnnotationService::ObserveCompletion(const table::Table& table,
+                                          const RequestContext& rc,
+                                          const AnnotationResult& result) {
+  int64_t total_us = result.total_us();
+  latency_window_->Record(static_cast<double>(total_us));
+  slo_->Record(total_us);
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (!recorder.enabled()) return;
+  const char* trigger = recorder.Trigger(total_us);
+  if (trigger[0] == '\0') return;
+  std::string line = "{\"table\": \"" + obs::JsonEscape(table.id()) + "\"";
+  line += ", \"stream_key\": " + std::to_string(rc.stream_key);
+  line += std::string(", \"status\": \"") + RequestStatusName(result.status) +
+          "\"";
+  if (!result.degrade_reason.empty()) {
+    line += ", \"degrade_reason\": \"" +
+            obs::JsonEscape(result.degrade_reason) + "\"";
+  }
+  line += std::string(", \"trigger\": \"") + trigger + "\"";
+  line += ", \"queue_us\": " + std::to_string(result.queue_us);
+  line += ", \"work_us\": " + std::to_string(result.work_us);
+  line += ", \"total_us\": " + std::to_string(total_us);
+  line += ", \"telemetry\": " + result.telemetry.Json();
+  line += "}";
+  recorder.Record(std::move(line));
 }
 
 void AnnotationService::CountCompletion(RequestStatus status) {
@@ -246,6 +313,8 @@ std::string AnnotationService::HealthJson() const {
            std::to_string(completed(static_cast<RequestStatus>(i)));
   }
   out += "}";
+  out += ", \"window\": " + latency_window_->SnapshotJson();
+  out += ", \"slo\": " + slo_->SnapshotJson();
   if (const search::CellLinkCache* cache = annotator_->cell_cache()) {
     out += ", \"cell_cache\": {\"capacity\": " +
            std::to_string(cache->capacity()) +

@@ -47,7 +47,11 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "core/annotator.h"
+#include "obs/request_telemetry.h"
+#include "obs/rolling_window.h"
 #include "robust/circuit_breaker.h"
 #include "table/table.h"
 #include "util/deadline.h"
@@ -64,6 +68,18 @@ struct ServiceOptions {
   int64_t default_deadline_us = 0;
   bool enable_circuit_breakers = true;
   robust::CircuitBreakerOptions breaker;
+
+  // Latency SLO surfaced by HealthJson(): target end-to-end latency, the
+  // fraction of requests required to meet it, and the two burn-rate
+  // windows (short for paging, long for confirmation).
+  int64_t slo_target_us = 100'000;
+  double slo_objective = 0.99;
+  int64_t slo_short_window_us = 10'000'000;
+  int64_t slo_long_window_us = 60'000'000;
+  // Sliding latency-stats window (p50/p99/p999 in HealthJson) and its
+  // slot granularity.
+  int64_t stats_window_us = 10'000'000;
+  int stats_window_slots = 10;
 };
 
 // Terminal state of one request. Ordered roughly by "how much work ran".
@@ -92,6 +108,13 @@ struct AnnotationResult {
   Status error;                // set for kOverloaded / kFailed
   int64_t queue_us = 0;        // time spent waiting for a worker
   int64_t work_us = 0;         // time spent annotating
+  // Per-stage accounting for this request. The service always fills queue
+  // wait and the post-process remainder; the library stages (link, topk,
+  // cell_cache, encode) stay zero when the build disables request
+  // telemetry (KGLINK_ENABLE_REQUEST_TELEMETRY=OFF).
+  obs::RequestTelemetry telemetry;
+
+  int64_t total_us() const { return queue_us + work_us; }
 };
 
 class AnnotationService {
@@ -121,10 +144,14 @@ class AnnotationService {
 
   // {"accepting":…, "threads":…, "queue_depth":…, "max_queue":…,
   //  "inflight":…, "completed":{status:count,…},
+  //  "window":{window_s,count,mean_us,p50_us,p99_us,p999_us},
+  //  "slo":{target_us,objective,burning,short:{…},long:{…}},
   //  "cell_cache":{capacity,size,hits,misses,evictions},
   //  "breakers":{site:state,…}}
-  // cell_cache appears only when the annotator's cell-link cache is
-  // enabled; breaker states only while breakers are enabled.
+  // "window"/"slo" cover the sliding windows configured in ServiceOptions
+  // (not cumulative-since-start). cell_cache appears only when the
+  // annotator's cell-link cache is enabled; breaker states only while
+  // breakers are enabled.
   std::string HealthJson() const;
 
   // Total requests that finished with `status` (includes shed/overloaded
@@ -148,9 +175,17 @@ class AnnotationService {
   AnnotationResult RunShedInline(const table::Table& table,
                                  const RequestContext& rc);
   void CountCompletion(RequestStatus status);
+  // Feeds the rolling latency window + SLO monitor and, when the global
+  // FlightRecorder is armed and triggers, emits this request's stage
+  // breakdown as one JSON line.
+  void ObserveCompletion(const table::Table& table, const RequestContext& rc,
+                         const AnnotationResult& result);
 
   core::KgLinkAnnotator* annotator_;
   ServiceOptions options_;
+  // Sliding-window latency stats and SLO burn tracking (HealthJson).
+  std::unique_ptr<obs::RollingWindow> latency_window_;
+  std::unique_ptr<obs::SloMonitor> slo_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

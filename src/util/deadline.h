@@ -18,6 +18,13 @@
 #include <cstdint>
 #include <memory>
 
+namespace kglink::obs {
+// Per-request stage-accounting record (obs/request_telemetry.h). Forward
+// declared so util stays free of obs dependencies; RequestContext carries
+// only a borrowed pointer.
+struct RequestTelemetry;
+}  // namespace kglink::obs
+
 namespace kglink {
 
 class Deadline {
@@ -97,6 +104,12 @@ struct RequestContext {
   // stream keyed on it, so trip decisions do not depend on how worker
   // threads interleave — the foundation of per-seed deterministic chaos.
   uint64_t stream_key = 0;
+
+  // Borrowed per-stage accounting sink, owned by whoever runs the request
+  // (the AnnotationService worker). Null when nobody collects telemetry —
+  // instrumented layers then pay a single pointer test. The request is
+  // handled by one thread at a time, so writes need no synchronization.
+  obs::RequestTelemetry* telemetry = nullptr;
 
   bool Expired() const { return cancel.Cancelled() || deadline.IsExpired(); }
 

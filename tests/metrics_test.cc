@@ -1,10 +1,19 @@
 // Metrics tests: accuracy, weighted F1 (validated against hand-computed
-// scikit-learn-convention values), per-class deltas, table printer.
+// scikit-learn-convention values), per-class deltas, table printer — plus
+// the obs metrics-registry export: explicit overflow reporting and the
+// SnapshotJson consistency contract under concurrent writers.
 #include "eval/metrics.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "eval/table_printer.h"
+#include "obs/json_util.h"
+#include "obs/metrics.h"
 
 namespace kglink::eval {
 namespace {
@@ -81,3 +90,106 @@ TEST(TablePrinterTest, Formatting) {
 
 }  // namespace
 }  // namespace kglink::eval
+
+namespace kglink::obs {
+namespace {
+
+TEST(MetricsRegistrySnapshotTest, HistogramReportsExplicitOverflow) {
+  MetricsRegistry reg;
+  HistogramBuckets buckets;
+  buckets.upper_bounds = {1.0, 2.0};
+  Histogram& h = reg.GetHistogram("test.latency", buckets);
+  h.Record(0.5);  // bucket le=1
+  h.Record(5.0);  // overflow
+  h.Record(10.0);  // overflow
+
+  auto doc = ParseJson(reg.SnapshotJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* hist = doc->Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* lat = hist->Find("test.latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->NumberOr("count", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(lat->NumberOr("overflow", -1.0), 2.0);
+  const JsonValue* bucket_array = lat->Find("buckets");
+  ASSERT_NE(bucket_array, nullptr);
+  // Finite buckets plus the +Inf overflow bucket; the "overflow" field
+  // duplicates the latter so saturation is visible without walking these.
+  ASSERT_EQ(bucket_array->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(bucket_array->array[0].NumberOr("count", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(bucket_array->array[1].NumberOr("count", -1.0), 0.0);
+  EXPECT_EQ(bucket_array->array[2].StringOr("le", ""), "+Inf");
+  EXPECT_DOUBLE_EQ(bucket_array->array[2].NumberOr("count", -1.0), 2.0);
+}
+
+TEST(MetricsRegistrySnapshotTest, LatencyBucketsCoverServeTail) {
+  // Satellite fix for the ~65ms saturation: the default latency scale must
+  // reach past 1 second so deadline-bounded serve requests and train steps
+  // land in a finite bucket instead of all piling into overflow.
+  HistogramBuckets b = HistogramBuckets::LatencyMicros();
+  ASSERT_FALSE(b.upper_bounds.empty());
+  EXPECT_GE(b.upper_bounds.back(), 1e6);
+}
+
+// The publication contract: Record publishes bucket/sum before count
+// (release), the exporter reads count first (acquire). A concurrent
+// snapshot must therefore never report a count its buckets cannot account
+// for — bucket sums run >= count, never behind.
+TEST(MetricsRegistrySnapshotTest, ConcurrentWritersNeverTearSnapshot) {
+  MetricsRegistry reg;
+  HistogramBuckets buckets;
+  buckets.upper_bounds = {10.0, 100.0, 1000.0};
+  reg.GetHistogram("t.h", buckets);
+  reg.GetCounter("t.c");
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20'000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&reg, t] {
+      Counter& c = reg.GetCounter("t.c");
+      Histogram& h = reg.GetHistogram("t.h");
+      for (int i = 0; i < kPerWriter; ++i) {
+        c.Add(1);
+        h.Record(static_cast<double>((t * kPerWriter + i) % 2000));
+      }
+    });
+  }
+
+  int snapshots = 0;
+  while (!done.load(std::memory_order_relaxed) || snapshots == 0) {
+    auto doc = ParseJson(reg.SnapshotJson());
+    ASSERT_TRUE(doc.has_value());  // never torn into invalid JSON
+    const JsonValue* h = doc->Find("histograms")->Find("t.h");
+    ASSERT_NE(h, nullptr);
+    double count = h->NumberOr("count", -1.0);
+    double in_buckets = 0.0;  // the array already includes +Inf
+    for (const JsonValue& bucket : h->Find("buckets")->array) {
+      in_buckets += bucket.NumberOr("count", 0.0);
+    }
+    EXPECT_GE(in_buckets, count);
+    ++snapshots;
+    if (snapshots >= 200) done.store(true, std::memory_order_relaxed);
+  }
+  for (auto& th : writers) th.join();
+
+  // Quiescent totals are exact.
+  auto doc = ParseJson(reg.SnapshotJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* h = doc->Find("histograms")->Find("t.h");
+  EXPECT_DOUBLE_EQ(h->NumberOr("count", -1.0), kWriters * kPerWriter);
+  EXPECT_DOUBLE_EQ(doc->Find("counters")->NumberOr("t.c", -1.0),
+                   kWriters * kPerWriter);
+  double in_buckets = 0.0;
+  for (const JsonValue& bucket : h->Find("buckets")->array) {
+    in_buckets += bucket.NumberOr("count", 0.0);
+  }
+  EXPECT_DOUBLE_EQ(in_buckets, kWriters * kPerWriter);
+  // The explicit overflow field mirrors the +Inf bucket.
+  EXPECT_DOUBLE_EQ(h->NumberOr("overflow", -1.0),
+                   h->Find("buckets")->array.back().NumberOr("count", -2.0));
+}
+
+}  // namespace
+}  // namespace kglink::obs

@@ -12,7 +12,10 @@
 #include "core/annotator.h"
 #include "data/corpus_gen.h"
 #include "data/world.h"
+#include "obs/flight_recorder.h"
+#include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/request_telemetry.h"
 #include "robust/circuit_breaker.h"
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
@@ -58,6 +61,7 @@ class ServeTest : public ::testing::Test {
   void TearDown() override {
     robust::FaultInjector::Global().Disable();
     robust::BreakerRegistry::Global().Disable();
+    obs::FlightRecorder::Global().Disable();
   }
 
   static const table::Table& TestTable(size_t i) {
@@ -287,6 +291,112 @@ TEST_F(ServeTest, HealthJsonReflectsServiceState) {
   EXPECT_NE(health.find("\"accepting\": false"), std::string::npos) << health;
   // Shutdown disabled the breakers again; the section disappears.
   EXPECT_EQ(health.find("\"breakers\""), std::string::npos) << health;
+}
+
+// --- Per-request telemetry, sliding-window health, flight recorder -------
+
+TEST_F(ServeTest, StageTelemetrySumsWithinEndToEndLatency) {
+  ServiceOptions so;
+  so.num_threads = 2;
+  so.max_queue = 16;
+  AnnotationService service(annotator_, so);
+  std::vector<std::future<AnnotationResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit(TestTable(static_cast<size_t>(i))));
+  }
+  for (auto& f : futures) {
+    AnnotationResult r = f.get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    // The core invariant: exclusive stage times partition the request, so
+    // their sum never exceeds the end-to-end latency.
+    EXPECT_LE(r.telemetry.TotalStageUs(),
+              static_cast<uint64_t>(r.total_us()));
+    // The service itself always accounts queue wait and the post-process
+    // remainder, independent of the build-time telemetry gate.
+    EXPECT_EQ(r.telemetry.stage_count(obs::Stage::kQueueWait), 1u);
+    EXPECT_GE(r.telemetry.stage_count(obs::Stage::kPostProcess), 1u);
+#if defined(KGLINK_TELEMETRY_ENABLED)
+    // Library-layer stages only populate when instrumentation is compiled
+    // in: one link pass, one encode pass, and per linked cell either a TopK
+    // retrieval or a cell-cache hit (earlier tests may have warmed the
+    // process-wide cache).
+    EXPECT_EQ(r.telemetry.stage_count(obs::Stage::kLink), 1u);
+    EXPECT_EQ(r.telemetry.stage_count(obs::Stage::kEncode), 1u);
+    EXPECT_GE(r.telemetry.stage_count(obs::Stage::kTopK) +
+                  r.telemetry.cache_hits,
+              1u);
+    // Nested subtraction never wraps.
+    EXPECT_LE(r.telemetry.exclusive_stage_us(obs::Stage::kLink),
+              r.telemetry.stage_micros(obs::Stage::kLink));
+#endif
+  }
+}
+
+TEST_F(ServeTest, HealthJsonReportsWindowedLatencyAndSloBurn) {
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.slo_target_us = 1;  // everything violates: the burn path must light up
+  AnnotationService service(annotator_, so);
+  for (int i = 0; i < 4; ++i) {
+    service.Submit(TestTable(static_cast<size_t>(i))).get();
+  }
+  auto doc = obs::ParseJson(service.HealthJson());
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* window = doc->Find("window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_DOUBLE_EQ(window->NumberOr("count", -1.0), 4.0);
+  EXPECT_GT(window->NumberOr("p99_us", 0.0), 0.0);
+  EXPECT_GE(window->NumberOr("p999_us", 0.0),
+            window->NumberOr("p50_us", 0.0));
+  const obs::JsonValue* slo = doc->Find("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_DOUBLE_EQ(slo->NumberOr("target_us", -1.0), 1.0);
+  EXPECT_TRUE(slo->BoolOr("burning", false));
+  const obs::JsonValue* short_window = slo->Find("short");
+  ASSERT_NE(short_window, nullptr);
+  EXPECT_DOUBLE_EQ(short_window->NumberOr("violations", -1.0), 4.0);
+  EXPECT_GT(short_window->NumberOr("burn_rate", 0.0), 1.0);
+}
+
+TEST_F(ServeTest, FlightRecorderCapturesInducedSlowRequest) {
+  // Every retrieval sleeps 20ms but succeeds, so the request completes kOk
+  // well past the 10ms recorder threshold — it must land in the ring with
+  // its full stage breakdown.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0:20000", 3)
+                  .ok());
+  obs::FlightRecorderOptions fro;
+  fro.threshold_us = 10'000;
+  obs::FlightRecorder::Global().Configure(fro);
+
+  ServiceOptions so;
+  so.num_threads = 1;
+  AnnotationService service(annotator_, so);
+  AnnotationResult r = service.Submit(TestTable(0)).get();
+  ASSERT_EQ(r.status, RequestStatus::kOk);
+  ASSERT_GE(r.total_us(), 10'000);
+
+  std::vector<std::string> records = obs::FlightRecorder::Global().Records();
+  ASSERT_GE(records.size(), 1u);
+  auto doc = obs::ParseJson(records.back());
+  ASSERT_TRUE(doc.has_value()) << records.back();
+  EXPECT_EQ(doc->StringOr("trigger", ""), "threshold");
+  EXPECT_EQ(doc->StringOr("status", ""), "ok");
+  EXPECT_GE(doc->NumberOr("total_us", 0.0), 10'000.0);
+  const obs::JsonValue* telemetry = doc->Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  const obs::JsonValue* stages = telemetry->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  // Post-process (the serving remainder) is always accounted; the linker
+  // stage timings additionally show up when telemetry is compiled in.
+  EXPECT_GE(stages->NumberOr("post_process_us", -1.0), 0.0);
+#if defined(KGLINK_TELEMETRY_ENABLED)
+  // The injected 20ms sleeps run in the robust gate ahead of the cache
+  // check and the retrieval itself, so they are attributed to the link
+  // stage (exclusive) — that is what must dominate this record.
+  EXPECT_GE(stages->NumberOr("link_us", 0.0), 10'000.0);
+  EXPECT_GE(stages->NumberOr("topk_us", -1.0), 0.0);  // present
+#endif
 }
 
 // --- Circuit-breaker integration ----------------------------------------
