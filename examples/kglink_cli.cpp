@@ -17,6 +17,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/annotator.h"
@@ -33,6 +34,8 @@
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
 #include "serve/annotation_service.h"
+#include "store/snapshot_store.h"
+#include "store/snapshot_writer.h"
 #include "table/corpus_io.h"
 #include "util/csv.h"
 #include "util/deadline.h"
@@ -58,6 +61,15 @@ struct Args {
   int64_t slow_every = 0;    // --slow-every N: also record 1-in-N
   std::string faults;        // --faults=site:prob[:latency_us],...
   uint64_t fault_seed = 42;  // --fault-seed=N
+  // Snapshot store (train / eval / annotate; --save-snapshot also in
+  // gen-data). --snapshot serves the KG + BM25 index straight out of a
+  // mapped snapshot file; a bad file quarantines and falls back to the
+  // deterministic rebuild.
+  std::string snapshot_path;         // --snapshot=FILE
+  std::string save_snapshot_path;    // --save-snapshot=FILE
+  std::string reload_snapshot_path;  // --reload-snapshot=FILE (served eval)
+  std::string snapshot_validate = "eager";  // --snapshot-validate=eager|lazy
+  uint64_t snapshot_generation = 1;  // --snapshot-generation=N
   int tables = 160;
   int epochs = 8;
   uint64_t seed = 42;
@@ -117,6 +129,25 @@ int Usage() {
       "                  (stage breakdown as one JSON line, in-memory ring)\n"
       "  --slow-every N  also flight-record every Nth served request\n"
       "  --slow-log=FILE dump the flight-recorder ring as JSONL at exit\n"
+      "\n"
+      "snapshots (crash-safe mmap store for the KG + BM25 index):\n"
+      "  --save-snapshot=FILE     write the world's KG + finalized index as\n"
+      "                           one mmap-able snapshot (atomic\n"
+      "                           temp+fsync+rename publish)\n"
+      "  --snapshot=FILE          serve train/eval/annotate straight out of\n"
+      "                           the mapped snapshot (zero-copy); a\n"
+      "                           corrupt file is quarantined to\n"
+      "                           FILE.corrupt and the world is rebuilt\n"
+      "                           from <dir>/world.seed instead\n"
+      "  --snapshot-validate=MODE eager (default: full CRC sweep at open)\n"
+      "                           or lazy (header now, sections on first\n"
+      "                           use)\n"
+      "  --reload-snapshot=FILE   served eval only: hot-reload FILE between\n"
+      "                           requests mid-run (RCU generation swap; a\n"
+      "                           bad file rolls back to the serving\n"
+      "                           generation)\n"
+      "  --snapshot-generation=N  generation stamp for --save-snapshot\n"
+      "                           (default 1; surfaced in HealthJson)\n"
       "\n"
       "fault injection (any command; for chaos testing):\n"
       "  --faults=SPEC   comma-separated site:prob[:latency_us] rules,\n"
@@ -242,9 +273,36 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (a.rfind("--fault-seed=", 0) == 0) {
       args->fault_seed = static_cast<uint64_t>(
           std::atoll(a.c_str() + std::strlen("--fault-seed=")));
+    } else if (a.rfind("--snapshot=", 0) == 0) {
+      args->snapshot_path = a.substr(std::strlen("--snapshot="));
+      if (args->snapshot_path.empty()) return false;
+    } else if (a.rfind("--save-snapshot=", 0) == 0) {
+      args->save_snapshot_path = a.substr(std::strlen("--save-snapshot="));
+      if (args->save_snapshot_path.empty()) return false;
+    } else if (a.rfind("--reload-snapshot=", 0) == 0) {
+      args->reload_snapshot_path =
+          a.substr(std::strlen("--reload-snapshot="));
+      if (args->reload_snapshot_path.empty()) return false;
+    } else if (a.rfind("--snapshot-validate=", 0) == 0) {
+      args->snapshot_validate =
+          a.substr(std::strlen("--snapshot-validate="));
+      if (args->snapshot_validate != "eager" &&
+          args->snapshot_validate != "lazy") {
+        std::fprintf(stderr,
+                     "kglink_cli: --snapshot-validate must be 'eager' or "
+                     "'lazy', got '%s'\n",
+                     args->snapshot_validate.c_str());
+        return false;
+      }
+    } else if (a.rfind("--snapshot-generation=", 0) == 0) {
+      args->snapshot_generation = static_cast<uint64_t>(
+          std::atoll(a.c_str() + std::strlen("--snapshot-generation=")));
     } else if (a.rfind("--", 0) != 0) {
       args->csv_path = a;
     } else {
+      // A typo'd flag (--snapsot=...) must fail loudly, not silently fall
+      // back to default behavior.
+      std::fprintf(stderr, "kglink_cli: unrecognized flag '%s'\n", a.c_str());
       return false;
     }
   }
@@ -259,6 +317,81 @@ StatusOr<data::World> LoadWorld(const std::string& dir) {
   wc.seed = static_cast<uint64_t>(std::atoll(seed_text.c_str()));
   wc.open_class_scale = 4.0;
   return data::GenerateWorld(wc);
+}
+
+// The KG + engine a command runs against: either borrowed zero-copy from a
+// mapped snapshot generation, or rebuilt in memory from <dir>/world.seed.
+// Exactly one of {snap} / {world, built_engine} is populated; kg/engine
+// always point at the live pair.
+struct WorldSource {
+  // Non-null when --snapshot / --reload-snapshot were given; served eval
+  // attaches it to the AnnotationService so hot reload works.
+  std::unique_ptr<store::SnapshotStore> store;
+  std::shared_ptr<const store::LoadedSnapshot> snap;
+  std::optional<data::World> world;
+  std::optional<search::SearchEngine> built_engine;
+  const kg::KnowledgeGraph* kg = nullptr;
+  const search::SearchEngine* engine = nullptr;
+};
+
+// Prefers the snapshot when one was requested; any load failure (after the
+// store's quarantine policy ran) falls back to the deterministic rebuild
+// instead of aborting the command.
+bool OpenWorld(const Args& args, WorldSource* src) {
+  if (!args.snapshot_path.empty() || !args.reload_snapshot_path.empty()) {
+    store::LoadOptions lopts;
+    lopts.validate = args.snapshot_validate == "lazy"
+                         ? store::ValidateMode::kLazy
+                         : store::ValidateMode::kEager;
+    src->store = std::make_unique<store::SnapshotStore>(lopts);
+  }
+  if (!args.snapshot_path.empty()) {
+    auto loaded = src->store->Load(args.snapshot_path);
+    if (loaded.ok()) {
+      src->snap = std::move(loaded).value();
+      src->kg = &src->snap->kg;
+      src->engine = &src->snap->engine;
+      std::printf("snapshot: serving generation %llu from %s (%s)\n",
+                  static_cast<unsigned long long>(src->snap->generation),
+                  args.snapshot_path.c_str(),
+                  args.snapshot_validate.c_str());
+      return true;
+    }
+    std::fprintf(stderr,
+                 "kglink_cli: snapshot load failed (%s); falling back to "
+                 "in-memory rebuild\n",
+                 loaded.status().ToString().c_str());
+  }
+  auto world = LoadWorld(args.dir);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return false;
+  }
+  src->world = std::move(world).value();
+  src->built_engine = search::IndexKnowledgeGraph(src->world->kg);
+  src->kg = &src->world->kg;
+  src->engine = &*src->built_engine;
+  return true;
+}
+
+// --save-snapshot: atomic temp+fsync+rename publish of the (kg, engine)
+// pair. Returns the command exit code contribution (0 = ok).
+int MaybeSaveSnapshot(const Args& args, const kg::KnowledgeGraph& kg,
+                      const search::SearchEngine& engine) {
+  if (args.save_snapshot_path.empty()) return 0;
+  store::WriterOptions wopts;
+  wopts.generation = args.snapshot_generation;
+  Status s =
+      store::WriteSnapshot(args.save_snapshot_path, kg, engine, wopts);
+  if (!s.ok()) {
+    std::fprintf(stderr, "kglink_cli: save-snapshot failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot: wrote generation %llu to %s\n",
+              static_cast<unsigned long long>(args.snapshot_generation),
+              args.save_snapshot_path.c_str());
+  return 0;
 }
 
 int GenData(const Args& args) {
@@ -300,16 +433,17 @@ int GenData(const Args& args) {
   std::printf("wrote %zu/%zu/%zu train/valid/test tables to %s\n",
               split.train.tables.size(), split.valid.tables.size(),
               split.test.tables.size(), args.dir.c_str());
+  if (!args.save_snapshot_path.empty()) {
+    search::SearchEngine engine = search::IndexKnowledgeGraph(world.kg);
+    return MaybeSaveSnapshot(args, world.kg, engine);
+  }
   return 0;
 }
 
 int Train(const Args& args) {
-  auto world = LoadWorld(args.dir);
-  if (!world.ok()) {
-    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
-    return 1;
-  }
-  search::SearchEngine engine = search::IndexKnowledgeGraph(world->kg);
+  WorldSource src;
+  if (!OpenWorld(args, &src)) return 1;
+  if (int rc = MaybeSaveSnapshot(args, *src.kg, *src.engine)) return rc;
   auto train = table::LoadCorpus(args.dir + "/train");
   auto valid = table::LoadCorpus(args.dir + "/valid");
   if (!train.ok() || !valid.ok()) {
@@ -321,7 +455,7 @@ int Train(const Args& args) {
   options.epochs = args.epochs;
   options.verbose = true;
   options.linker.cell_cache_capacity = args.cell_cache;
-  core::KgLinkAnnotator annotator(&world->kg, &engine, options);
+  core::KgLinkAnnotator annotator(src.kg, src.engine, options);
   annotator.Fit(*train, *valid);
   Status s = annotator.Save(args.model_prefix);
   if (!s.ok()) {
@@ -337,14 +471,15 @@ int Train(const Args& args) {
 // submitted as concurrent requests with the CLI's deadline, and columns
 // from degraded/shed responses still count toward accuracy (they carry the
 // PLM-only predictions). Prints the per-status breakdown next to accuracy.
-int ServedEval(const Args& args, core::KgLinkAnnotator& annotator,
-               const table::Corpus& test) {
+int ServedEval(const Args& args, WorldSource& src,
+               core::KgLinkAnnotator& annotator, const table::Corpus& test) {
   serve::ServiceOptions sopts;
   sopts.num_threads = args.threads;
   sopts.max_queue = args.max_queue;
   sopts.default_deadline_us = args.deadline_ms * 1000;
   if (args.slo_ms > 0) sopts.slo_target_us = args.slo_ms * 1000;
   serve::AnnotationService service(&annotator, sopts);
+  if (src.store != nullptr) service.AttachSnapshotStore(src.store.get());
   if (g_statsz != nullptr) {
     g_statsz->AddSection("serve",
                          [&service] { return service.HealthJson(); });
@@ -352,8 +487,26 @@ int ServedEval(const Args& args, core::KgLinkAnnotator& annotator,
 
   std::vector<std::future<serve::AnnotationResult>> futures;
   futures.reserve(test.tables.size());
-  for (const auto& lt : test.tables) {
-    futures.push_back(service.Submit(lt.table));
+  const size_t reload_at = test.tables.size() / 2;
+  for (size_t i = 0; i < test.tables.size(); ++i) {
+    if (i == reload_at && !args.reload_snapshot_path.empty()) {
+      // Swap generations with requests in flight: the service quiesces
+      // between items, so submissions before and after the swap both
+      // complete — against the old and new generation respectively.
+      Status s = service.ReloadSnapshot(args.reload_snapshot_path);
+      if (s.ok()) {
+        std::printf("snapshot: hot-reloaded %s mid-run (generation %llu)\n",
+                    args.reload_snapshot_path.c_str(),
+                    static_cast<unsigned long long>(
+                        service.serving_snapshot()->generation));
+      } else {
+        std::fprintf(stderr,
+                     "kglink_cli: hot reload failed (%s); previous "
+                     "generation keeps serving\n",
+                     s.ToString().c_str());
+      }
+    }
+    futures.push_back(service.Submit(test.tables[i].table));
   }
 
   int64_t correct = 0;
@@ -400,12 +553,9 @@ int ServedEval(const Args& args, core::KgLinkAnnotator& annotator,
 }
 
 int Eval(const Args& args) {
-  auto world = LoadWorld(args.dir);
-  if (!world.ok()) {
-    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
-    return 1;
-  }
-  search::SearchEngine engine = search::IndexKnowledgeGraph(world->kg);
+  WorldSource src;
+  if (!OpenWorld(args, &src)) return 1;
+  if (int rc = MaybeSaveSnapshot(args, *src.kg, *src.engine)) return rc;
   auto test = table::LoadCorpus(args.dir + "/test");
   if (!test.ok()) {
     std::fprintf(stderr, "cannot load test split\n");
@@ -413,14 +563,14 @@ int Eval(const Args& args) {
   }
   core::KgLinkOptions options;
   options.linker.cell_cache_capacity = args.cell_cache;
-  core::KgLinkAnnotator annotator(&world->kg, &engine, options);
+  core::KgLinkAnnotator annotator(src.kg, src.engine, options);
   Status s = annotator.Load(args.model_prefix);
   if (!s.ok()) {
     std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
     return 1;
   }
   if (args.threads > 1 || args.deadline_ms > 0) {
-    return ServedEval(args, annotator, *test);
+    return ServedEval(args, src, annotator, *test);
   }
   eval::Metrics m = annotator.Evaluate(*test);
   std::printf("test accuracy=%.2f%% weighted F1=%.2f%% over %lld columns\n",
@@ -430,15 +580,12 @@ int Eval(const Args& args) {
 }
 
 int Annotate(const Args& args) {
-  auto world = LoadWorld(args.dir);
-  if (!world.ok()) {
-    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
-    return 1;
-  }
-  search::SearchEngine engine = search::IndexKnowledgeGraph(world->kg);
+  WorldSource src;
+  if (!OpenWorld(args, &src)) return 1;
+  if (int rc = MaybeSaveSnapshot(args, *src.kg, *src.engine)) return rc;
   core::KgLinkOptions options;
   options.linker.cell_cache_capacity = args.cell_cache;
-  core::KgLinkAnnotator annotator(&world->kg, &engine, options);
+  core::KgLinkAnnotator annotator(src.kg, src.engine, options);
   Status s = annotator.Load(args.model_prefix);
   if (!s.ok()) {
     std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());

@@ -68,6 +68,15 @@ KgLinkAnnotator::KgLinkAnnotator(const kg::KnowledgeGraph* kg,
 
 KgLinkAnnotator::~KgLinkAnnotator() = default;
 
+void KgLinkAnnotator::Rebind(const kg::KnowledgeGraph* kg,
+                             const search::SearchEngine* engine) {
+  KGLINK_CHECK(kg != nullptr);
+  KGLINK_CHECK(engine != nullptr);
+  kg_ = kg;
+  engine_ = engine;
+  pipeline_.Rebind(kg, engine);
+}
+
 linker::ProcessedTable KgLinkAnnotator::Preprocess(
     const table::Table& t) const {
   return pipeline_.Process(t);

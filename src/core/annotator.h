@@ -137,6 +137,14 @@ class KgLinkAnnotator : public eval::ColumnAnnotator {
   Status Save(const std::string& prefix) const;
   Status Load(const std::string& prefix);
 
+  // Swaps the borrowed KG and engine for another generation (snapshot hot
+  // reload). The model/vocab are untouched — only the Part-1 evidence
+  // sources move. Callers must guarantee no concurrent Annotate*/Predict*
+  // calls for the duration (serve::AnnotationService quiesces its worker
+  // pool around this).
+  void Rebind(const kg::KnowledgeGraph* kg,
+              const search::SearchEngine* engine);
+
  private:
   struct PreparedTable;  // cached Part-1 output + label ids
 

@@ -22,6 +22,17 @@ void KnowledgeGraph::ResetNeighborCache() {
   }
 }
 
+void KnowledgeGraph::AdoptFrozenState(const KnowledgeGraph& other) {
+  frozen_ = other.frozen_;
+  flat_edges_ = other.flat_edges_;
+  edge_offsets_ = other.edge_offsets_;
+  flat_neighbors_ = other.flat_neighbors_;
+  neighbor_offsets_ = other.neighbor_offsets_;
+  qid_sorted_ = other.qid_sorted_;
+  qid_sorted_count_ = other.qid_sorted_count_;
+  label_sorted_ = other.label_sorted_;
+}
+
 KnowledgeGraph::KnowledgeGraph(const KnowledgeGraph& other)
     : entities_(other.entities_),
       predicate_labels_(other.predicate_labels_),
@@ -29,6 +40,7 @@ KnowledgeGraph::KnowledgeGraph(const KnowledgeGraph& other)
       num_triples_(other.num_triples_),
       by_qid_(other.by_qid_),
       by_label_(other.by_label_) {
+  AdoptFrozenState(other);
   ResetNeighborCache();
 }
 
@@ -40,6 +52,7 @@ KnowledgeGraph& KnowledgeGraph::operator=(const KnowledgeGraph& other) {
   num_triples_ = other.num_triples_;
   by_qid_ = other.by_qid_;
   by_label_ = other.by_label_;
+  AdoptFrozenState(other);
   ResetNeighborCache();
   return *this;
 }
@@ -51,6 +64,15 @@ KnowledgeGraph::KnowledgeGraph(KnowledgeGraph&& other) noexcept
       num_triples_(other.num_triples_),
       by_qid_(std::move(other.by_qid_)),
       by_label_(std::move(other.by_label_)) {
+  AdoptFrozenState(other);
+  other.frozen_ = false;
+  other.flat_edges_ = nullptr;
+  other.edge_offsets_ = nullptr;
+  other.flat_neighbors_ = nullptr;
+  other.neighbor_offsets_ = nullptr;
+  other.qid_sorted_ = nullptr;
+  other.qid_sorted_count_ = 0;
+  other.label_sorted_ = nullptr;
   other.num_triples_ = 0;
   other.ResetNeighborCache();
   ResetNeighborCache();
@@ -64,6 +86,15 @@ KnowledgeGraph& KnowledgeGraph::operator=(KnowledgeGraph&& other) noexcept {
   num_triples_ = other.num_triples_;
   by_qid_ = std::move(other.by_qid_);
   by_label_ = std::move(other.by_label_);
+  AdoptFrozenState(other);
+  other.frozen_ = false;
+  other.flat_edges_ = nullptr;
+  other.edge_offsets_ = nullptr;
+  other.flat_neighbors_ = nullptr;
+  other.neighbor_offsets_ = nullptr;
+  other.qid_sorted_ = nullptr;
+  other.qid_sorted_count_ = 0;
+  other.label_sorted_ = nullptr;
   other.num_triples_ = 0;
   other.ResetNeighborCache();
   ResetNeighborCache();
@@ -71,6 +102,7 @@ KnowledgeGraph& KnowledgeGraph::operator=(KnowledgeGraph&& other) noexcept {
 }
 
 EntityId KnowledgeGraph::AddEntity(Entity entity) {
+  KGLINK_CHECK(!frozen_) << "AddEntity on a frozen (snapshot-backed) graph";
   EntityId id = static_cast<EntityId>(entities_.size());
   if (!entity.qid.empty()) {
     auto [it, inserted] = by_qid_.emplace(entity.qid, id);
@@ -85,12 +117,14 @@ EntityId KnowledgeGraph::AddEntity(Entity entity) {
 }
 
 PredicateId KnowledgeGraph::AddPredicate(const std::string& label) {
+  KGLINK_CHECK(!frozen_) << "AddPredicate on a frozen (snapshot-backed) graph";
   predicate_labels_.push_back(label);
   return static_cast<PredicateId>(predicate_labels_.size() - 1);
 }
 
 void KnowledgeGraph::AddTriple(EntityId subject, PredicateId predicate,
                                EntityId object) {
+  KGLINK_CHECK(!frozen_) << "AddTriple on a frozen (snapshot-backed) graph";
   KGLINK_CHECK(subject >= 0 && subject < num_entities());
   KGLINK_CHECK(object >= 0 && object < num_entities());
   KGLINK_CHECK(predicate >= 0 && predicate < num_predicates());
@@ -101,6 +135,48 @@ void KnowledgeGraph::AddTriple(EntityId subject, PredicateId predicate,
   neighbor_cache_valid_[subject].store(false, std::memory_order_relaxed);
   neighbor_cache_valid_[object].store(false, std::memory_order_relaxed);
   ++num_triples_;
+}
+
+StatusOr<KnowledgeGraph> KnowledgeGraph::FromFrozen(
+    std::vector<Entity> entities, std::vector<std::string> predicate_labels,
+    int64_t num_triples, const FrozenTopologyView& topo) {
+  KGLINK_CHECK_EQ(static_cast<int64_t>(topo.num_entities),
+                  static_cast<int64_t>(entities.size()));
+  KGLINK_CHECK(predicate_labels.size() >= 2 &&
+               predicate_labels[0] == "instance of" &&
+               predicate_labels[1] == "subclass of")
+      << "frozen predicate table missing the built-in predicates";
+  KnowledgeGraph kg;
+  kg.predicate_labels_ = std::move(predicate_labels);
+  kg.entities_ = std::move(entities);
+  kg.num_triples_ = num_triples;
+  if (topo.qid_sorted != nullptr && topo.label_sorted != nullptr) {
+    // Borrow the pre-sorted indexes; building the two hash maps would
+    // otherwise dominate a snapshot load.
+    kg.qid_sorted_ = topo.qid_sorted;
+    kg.qid_sorted_count_ = topo.qid_sorted_count;
+    kg.label_sorted_ = topo.label_sorted;
+  } else {
+    kg.by_qid_.reserve(kg.entities_.size());
+    kg.by_label_.reserve(kg.entities_.size());
+    for (size_t i = 0; i < kg.entities_.size(); ++i) {
+      const Entity& e = kg.entities_[i];
+      if (!e.qid.empty()) {
+        auto [it, inserted] =
+            kg.by_qid_.emplace(e.qid, static_cast<EntityId>(i));
+        if (!inserted) {
+          return Status::Corruption("duplicate qid " + e.qid);
+        }
+      }
+      kg.by_label_[e.label].push_back(static_cast<EntityId>(i));
+    }
+  }
+  kg.frozen_ = true;
+  kg.flat_edges_ = topo.edges;
+  kg.edge_offsets_ = topo.edge_offsets;
+  kg.flat_neighbors_ = topo.neighbors;
+  kg.neighbor_offsets_ = topo.neighbor_offsets;
+  return kg;
 }
 
 const Entity& KnowledgeGraph::entity(EntityId id) const {
@@ -114,28 +190,69 @@ const std::string& KnowledgeGraph::predicate_label(PredicateId id) const {
 }
 
 EntityId KnowledgeGraph::FindByQid(const std::string& qid) const {
+  if (qid_sorted_ != nullptr) {
+    if (qid.empty()) return kInvalidEntity;  // empty qids are never indexed
+    const EntityId* end = qid_sorted_ + qid_sorted_count_;
+    const EntityId* it = std::lower_bound(
+        qid_sorted_, end, qid,
+        [this](EntityId id, const std::string& q) {
+          return entities_[static_cast<size_t>(id)].qid < q;
+        });
+    if (it != end && entities_[static_cast<size_t>(*it)].qid == qid) {
+      return *it;
+    }
+    return kInvalidEntity;
+  }
   auto it = by_qid_.find(qid);
   return it == by_qid_.end() ? kInvalidEntity : it->second;
 }
 
 std::vector<EntityId> KnowledgeGraph::FindByLabel(
     const std::string& label) const {
+  if (label_sorted_ != nullptr) {
+    const EntityId* end = label_sorted_ + entities_.size();
+    const EntityId* lo = std::lower_bound(
+        label_sorted_, end, label,
+        [this](EntityId id, const std::string& l) {
+          return entities_[static_cast<size_t>(id)].label < l;
+        });
+    std::vector<EntityId> out;
+    // Ties sort by id, so this matches the owned map's insertion order.
+    for (; lo != end && entities_[static_cast<size_t>(*lo)].label == label;
+         ++lo) {
+      out.push_back(*lo);
+    }
+    return out;
+  }
   auto it = by_label_.find(label);
   return it == by_label_.end() ? std::vector<EntityId>{} : it->second;
 }
 
-const std::vector<Edge>& KnowledgeGraph::Edges(EntityId id) const {
-  KGLINK_CHECK(id >= 0 && id < num_entities());
-  return edges_[static_cast<size_t>(id)];
-}
-
-const std::vector<EntityId>& KnowledgeGraph::NeighborSet(EntityId id) const {
+Span<Edge> KnowledgeGraph::Edges(EntityId id) const {
   KGLINK_CHECK(id >= 0 && id < num_entities());
   size_t i = static_cast<size_t>(id);
+  if (frozen_) {
+    uint64_t begin = edge_offsets_[i];
+    uint64_t end = edge_offsets_[i + 1];
+    return {flat_edges_ + begin, static_cast<size_t>(end - begin)};
+  }
+  const std::vector<Edge>& v = edges_[i];
+  return {v.data(), v.size()};
+}
+
+Span<EntityId> KnowledgeGraph::NeighborSet(EntityId id) const {
+  KGLINK_CHECK(id >= 0 && id < num_entities());
+  size_t i = static_cast<size_t>(id);
+  if (frozen_) {
+    uint64_t begin = neighbor_offsets_[i];
+    uint64_t end = neighbor_offsets_[i + 1];
+    return {flat_neighbors_ + begin, static_cast<size_t>(end - begin)};
+  }
   // Fast path: the flag's release store in the fill below makes the cached
   // vector visible to this acquire load.
   if (neighbor_cache_valid_[i].load(std::memory_order_acquire)) {
-    return neighbor_cache_[i];
+    const std::vector<EntityId>& v = neighbor_cache_[i];
+    return {v.data(), v.size()};
   }
   std::lock_guard<std::mutex> lock(neighbor_mu_);
   if (!neighbor_cache_valid_[i].load(std::memory_order_relaxed)) {
@@ -147,11 +264,12 @@ const std::vector<EntityId>& KnowledgeGraph::NeighborSet(EntityId id) const {
     neighbor_cache_[i] = std::move(nbrs);
     neighbor_cache_valid_[i].store(true, std::memory_order_release);
   }
-  return neighbor_cache_[i];
+  const std::vector<EntityId>& v = neighbor_cache_[i];
+  return {v.data(), v.size()};
 }
 
 bool KnowledgeGraph::IsNeighbor(EntityId id, EntityId candidate) const {
-  const auto& nbrs = NeighborSet(id);
+  Span<EntityId> nbrs = NeighborSet(id);
   return std::binary_search(nbrs.begin(), nbrs.end(), candidate);
 }
 
@@ -213,7 +331,7 @@ Status KnowledgeGraph::SaveToFile(const std::string& path) const {
            e.description + "\t" + Join(e.aliases, ";") + "\n";
   }
   for (EntityId s = 0; s < num_entities(); ++s) {
-    for (const Edge& e : edges_[static_cast<size_t>(s)]) {
+    for (const Edge& e : Edges(s)) {
       if (!e.forward) continue;
       out += "T\t" + std::to_string(s) + "\t" + std::to_string(e.predicate) +
              "\t" + std::to_string(e.target) + "\n";

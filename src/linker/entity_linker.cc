@@ -43,6 +43,16 @@ EntityLinker::EntityLinker(const kg::KnowledgeGraph* kg,
   }
 }
 
+void EntityLinker::Rebind(const kg::KnowledgeGraph* kg,
+                          const search::SearchEngine* engine) {
+  KGLINK_CHECK(kg != nullptr);
+  KGLINK_CHECK(engine != nullptr);
+  KGLINK_CHECK(engine->finalized());
+  kg_ = kg;
+  engine_ = engine;
+  if (cache_) cache_->Clear();
+}
+
 CellLinks EntityLinker::LinkCell(const table::Cell& cell,
                                  robust::TableOpContext* ctx) const {
   LinkerMetrics& metrics = LinkerMetrics::Get();

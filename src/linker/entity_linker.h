@@ -49,6 +49,14 @@ class EntityLinker {
   // Null when config.cell_cache_capacity == 0.
   const search::CellLinkCache* cell_cache() const { return cache_.get(); }
 
+  // Swaps the borrowed KG/engine for another generation (snapshot hot
+  // reload) and clears the cell-link cache — cached TopK results index
+  // into the old engine's document table. The caller must guarantee no
+  // concurrent LinkCell/LinkRow while the swap runs (the serving layer
+  // quiesces its workers first).
+  void Rebind(const kg::KnowledgeGraph* kg,
+              const search::SearchEngine* engine);
+
  private:
   const kg::KnowledgeGraph* kg_;
   const search::SearchEngine* engine_;

@@ -34,6 +34,12 @@ KgPipeline::KgPipeline(const kg::KnowledgeGraph* kg,
                        LinkerConfig config)
     : kg_(kg), linker_(kg, engine, config) {}
 
+void KgPipeline::Rebind(const kg::KnowledgeGraph* kg,
+                        const search::SearchEngine* engine) {
+  kg_ = kg;
+  linker_.Rebind(kg, engine);
+}
+
 ProcessedTable KgPipeline::ProcessDegraded(const table::Table& table,
                                            const char* reason) const {
   PipelineMetrics::Get().degraded_tables.Add();

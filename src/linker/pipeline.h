@@ -52,6 +52,12 @@ class KgPipeline {
     return linker_.cell_cache();
   }
 
+  // Generation swap for snapshot hot reload: repoints the borrowed KG and
+  // engine and clears the linker's cell cache. Not safe concurrently with
+  // Process — the serving layer quiesces first.
+  void Rebind(const kg::KnowledgeGraph* kg,
+              const search::SearchEngine* engine);
+
  private:
 
   const kg::KnowledgeGraph* kg_;

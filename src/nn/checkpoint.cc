@@ -104,7 +104,17 @@ Status LoadTensors(const std::string& path, std::vector<NamedParam>* params) {
   if (!in.ReadPod(&magic) || magic != kMagic) {
     return Status::Corruption("bad checkpoint magic: " + path);
   }
-  if (!in.ReadPod(&version) || version != kVersion) {
+  if (!in.ReadPod(&version)) {
+    return Status::Corruption("truncated checkpoint version");
+  }
+  if (version > kVersion) {
+    // A newer writer produced this file; the file itself is fine. Keep the
+    // error distinct from corruption so callers don't quarantine it.
+    return Status::VersionSkew("checkpoint format v" + std::to_string(version) +
+                               " is newer than this binary's v" +
+                               std::to_string(kVersion) + ": " + path);
+  }
+  if (version != kVersion) {
     return Status::Corruption("unsupported checkpoint version");
   }
   if (!in.ReadPod(&count)) return Status::Corruption("truncated checkpoint");

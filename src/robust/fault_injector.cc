@@ -16,7 +16,7 @@ namespace {
 
 constexpr const char* kSiteNames[kNumFaultSites] = {
     "search.topk", "kg.neighbors", "io.read", "io.write", "train.batch",
-    "predict",
+    "predict",     "io.mmap",      "store.load",
 };
 
 // Registered once; indexed by site for lock-free updates on the fault path.

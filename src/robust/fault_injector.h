@@ -37,6 +37,10 @@ enum class FaultSite : int {
   kIoWrite,         // "io.write":     writing a persisted artifact
   kTrainBatch,      // "train.batch":  one gradient batch (poisons the loss)
   kPredict,         // "predict":      one PLM inference pass for a table
+  // New sites are appended so existing per-site RNG streams (keyed by site
+  // index) keep their historical draw sequences.
+  kIoMmap,          // "io.mmap":      memory-mapping a snapshot file
+  kStoreLoad,       // "store.load":   validating/loading a mapped snapshot
   kNumSites,
 };
 

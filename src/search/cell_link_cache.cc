@@ -131,6 +131,19 @@ void CellLinkCache::Put(std::string_view key,
       static_cast<double>(stats_->size.load(std::memory_order_relaxed)));
 }
 
+void CellLinkCache::Clear() {
+  int64_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += static_cast<int64_t>(shard->lru.size());
+    shard->index.clear();
+    shard->lru.clear();
+  }
+  stats_->size.fetch_sub(dropped, std::memory_order_relaxed);
+  CacheMetrics::Get().size.Set(
+      static_cast<double>(stats_->size.load(std::memory_order_relaxed)));
+}
+
 int64_t CellLinkCache::hits() const {
   return stats_->hits.load(std::memory_order_relaxed);
 }

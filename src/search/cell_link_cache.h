@@ -17,9 +17,10 @@
 //  - Observable: "search.cache.{hits,misses,evictions}" counters and a
 //    "search.cache.size" gauge in the global metrics registry.
 //
-// Invalidation: none — the cache fronts a *finalized* (immutable)
-// SearchEngine, and its owner (EntityLinker) never outlives the engine, so
-// entries can only ever go stale by eviction.
+// Invalidation: the cache fronts a *finalized* (immutable) SearchEngine,
+// so entries only go stale by eviction — except when the engine itself is
+// swapped for another generation (snapshot hot reload), in which case the
+// owner calls Clear() during the quiesced window of the swap.
 #ifndef KGLINK_SEARCH_CELL_LINK_CACHE_H_
 #define KGLINK_SEARCH_CELL_LINK_CACHE_H_
 
@@ -55,6 +56,12 @@ class CellLinkCache {
   // Inserts (or refreshes) `key` -> `results`, evicting the shard's
   // least-recently-used entries beyond its capacity.
   void Put(std::string_view key, const std::vector<SearchResult>& results);
+
+  // Drops every entry. Used when the engine the cache fronts is swapped
+  // out (snapshot hot reload) — cached results index into the old engine's
+  // document table, so they must not survive a rebind. Hit/miss/eviction
+  // totals are preserved; size drops to zero.
+  void Clear();
 
   // Point-in-time totals (for tests and health endpoints; the same numbers
   // are exported as search.cache.* metrics).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -108,14 +109,15 @@ void SearchEngine::AddDocument(int32_t doc_id, std::string_view text) {
 
 void SearchEngine::AddTokenized(const TokenizedDoc& doc) {
   KGLINK_CHECK(!finalized_) << "AddDocument after Finalize";
-  auto [it, inserted] =
-      id_to_index_.emplace(doc.doc_id, static_cast<int32_t>(doc_len_.size()));
+  auto [it, inserted] = id_to_index_.emplace(
+      doc.doc_id, static_cast<int32_t>(owned_doc_len_.size()));
   KGLINK_CHECK(inserted) << "duplicate doc id " << doc.doc_id;
-  int32_t index = it->second;
-  external_ids_.push_back(doc.doc_id);
-  doc_len_.push_back(doc.length);
+  (void)it;
+  owned_external_ids_.push_back(doc.doc_id);
+  owned_doc_len_.push_back(doc.length);
   for (const auto& [term, freq] : doc.term_freqs) {
-    postings_[term].push_back({index, freq});
+    postings_[term].push_back(
+        {static_cast<int32_t>(owned_doc_len_.size()) - 1, freq});
   }
 }
 
@@ -123,50 +125,189 @@ void SearchEngine::Finalize() {
   KGLINK_CHECK(!finalized_);
   finalized_ = true;
   int64_t total = 0;
-  for (int32_t len : doc_len_) total += len;
-  avg_doc_len_ = doc_len_.empty()
+  for (int32_t len : owned_doc_len_) total += len;
+  avg_doc_len_ = owned_doc_len_.empty()
                      ? 1.0
                      : static_cast<double>(total) /
-                           static_cast<double>(doc_len_.size());
+                           static_cast<double>(owned_doc_len_.size());
   if (avg_doc_len_ <= 0) avg_doc_len_ = 1.0;
 
   // Precompute each document's Eq. 1 length norm k1*(1 - b + b*len/avgdl):
   // the only per-document factor of the BM25 denominator.
-  doc_norm_.resize(doc_len_.size());
-  for (size_t i = 0; i < doc_len_.size(); ++i) {
-    double len = static_cast<double>(doc_len_[i]);
-    doc_norm_[i] = params_.k1 * (1.0 - params_.b +
-                                 params_.b * len / avg_doc_len_);
+  owned_doc_norm_.resize(owned_doc_len_.size());
+  for (size_t i = 0; i < owned_doc_len_.size(); ++i) {
+    double len = static_cast<double>(owned_doc_len_[i]);
+    owned_doc_norm_[i] = params_.k1 * (1.0 - params_.b +
+                                       params_.b * len / avg_doc_len_);
   }
 
   // Compact the per-term posting vectors into one contiguous array with
-  // per-term slices, and precompute each term's Eq. 2 IDF. Postings within
-  // a slice keep their build order, which is ascending doc_index (documents
-  // are added one at a time), so Score/ExplainScore can binary-search.
-  int64_t total_postings = 0;
-  for (const auto& [term, plist] : postings_) {
-    total_postings += static_cast<int64_t>(plist.size());
+  // per-term entries, and precompute each term's Eq. 2 IDF. Terms are laid
+  // out in lexicographic order so the frozen tables — and any snapshot
+  // written from them — are deterministic regardless of hash-map iteration
+  // order. Postings within a slice keep their build order, which is
+  // ascending doc_index (documents are added one at a time), so
+  // Score/ExplainScore can binary-search.
+  std::vector<const std::pair<const std::string, std::vector<Posting>>*>
+      sorted;
+  sorted.reserve(postings_.size());
+  for (const auto& kv : postings_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  size_t blob_size = 0;
+  size_t total_postings = 0;
+  for (const auto* kv : sorted) {
+    blob_size += kv->first.size();
+    total_postings += kv->second.size();
   }
-  flat_postings_.reserve(static_cast<size_t>(total_postings));
-  terms_.reserve(postings_.size());
-  double num_docs = static_cast<double>(doc_len_.size());
-  for (auto& [term, plist] : postings_) {
-    TermSlice slice;
-    slice.begin = static_cast<int64_t>(flat_postings_.size());
-    slice.count = static_cast<int32_t>(plist.size());
+  owned_term_blob_ = std::make_unique<char[]>(blob_size > 0 ? blob_size : 1);
+  owned_terms_.reserve(sorted.size());
+  owned_postings_.reserve(total_postings);
+  double num_docs = static_cast<double>(owned_doc_len_.size());
+  uint64_t blob_offset = 0;
+  for (const auto* kv : sorted) {
+    const std::string& term = kv->first;
+    const std::vector<Posting>& plist = kv->second;
+    TermEntry entry;
+    entry.blob_offset = blob_offset;
+    entry.term_len = static_cast<uint32_t>(term.size());
+    entry.posting_begin = static_cast<int64_t>(owned_postings_.size());
+    entry.posting_count = static_cast<uint32_t>(plist.size());
     double n = static_cast<double>(plist.size());
     // Paper Eq. 2: ln((N - n + 0.5) / (n + 0.5) + 1).
-    slice.idf = std::log((num_docs - n + 0.5) / (n + 0.5) + 1.0);
-    flat_postings_.insert(flat_postings_.end(), plist.begin(), plist.end());
-    terms_.emplace(term, slice);
+    entry.idf = std::log((num_docs - n + 0.5) / (n + 0.5) + 1.0);
+    std::memcpy(owned_term_blob_.get() + blob_offset, term.data(),
+                term.size());
+    blob_offset += term.size();
+    owned_postings_.insert(owned_postings_.end(), plist.begin(), plist.end());
+    owned_terms_.push_back(entry);
   }
   postings_.clear();
+
+  FrozenIndexView view;
+  view.params = params_;
+  view.avg_doc_len = avg_doc_len_;
+  view.num_docs = owned_doc_len_.size();
+  view.doc_len = owned_doc_len_.data();
+  view.doc_norm = owned_doc_norm_.data();
+  view.external_ids = owned_external_ids_.data();
+  view.num_terms = owned_terms_.size();
+  view.terms = owned_terms_.data();
+  view.term_blob = owned_term_blob_.get();
+  view.term_blob_size = blob_size;
+  view.num_postings = owned_postings_.size();
+  view.postings = owned_postings_.data();
+  BindFrozenTables(view);
 }
 
-const SearchEngine::TermSlice* SearchEngine::FindTerm(
-    std::string_view term) const {
-  auto it = terms_.find(term);  // transparent: no string copy
-  return it == terms_.end() ? nullptr : &it->second;
+FrozenIndexView SearchEngine::View() const {
+  KGLINK_CHECK(finalized_) << "View() before Finalize";
+  FrozenIndexView view;
+  view.params = params_;
+  view.avg_doc_len = avg_doc_len_;
+  view.num_docs = num_docs_;
+  view.doc_len = doc_len_;
+  view.doc_norm = doc_norm_;
+  view.external_ids = external_ids_;
+  view.num_terms = num_terms_;
+  view.terms = term_entries_;
+  view.term_blob = term_blob_;
+  view.term_blob_size = term_blob_size_;
+  view.num_postings = num_postings_;
+  view.postings = flat_postings_;
+  return view;
+}
+
+SearchEngine SearchEngine::FromFrozenView(const FrozenIndexView& view) {
+  SearchEngine engine(view.params);
+  engine.finalized_ = true;
+  engine.borrowed_ = true;
+  engine.avg_doc_len_ = view.avg_doc_len;
+  engine.BindFrozenTables(view);
+  return engine;
+}
+
+void SearchEngine::BindFrozenTables(const FrozenIndexView& view) {
+  num_docs_ = view.num_docs;
+  doc_len_ = view.doc_len;
+  doc_norm_ = view.doc_norm;
+  external_ids_ = view.external_ids;
+  num_terms_ = view.num_terms;
+  term_entries_ = view.terms;
+  term_blob_ = view.term_blob;
+  term_blob_size_ = view.term_blob_size;
+  num_postings_ = view.num_postings;
+  flat_postings_ = view.postings;
+
+  // Detect the sorted layouts Finalize always produces (terms are laid
+  // out lexicographically; IndexKnowledgeGraph adds docs in ascending id
+  // order). When present, lookups binary-search the frozen tables in
+  // place and the two hash indexes are skipped entirely — this is most of
+  // the cost of constructing an engine from a snapshot. The O(n) scans
+  // allocate nothing; an unsorted view (hand-built, or docs added in
+  // arbitrary id order) falls back to the maps.
+  terms_lex_sorted_ = true;
+  for (uint64_t i = 1; i < num_terms_; ++i) {
+    if (TermText(term_entries_[i - 1]) >= TermText(term_entries_[i])) {
+      terms_lex_sorted_ = false;
+      break;
+    }
+  }
+  external_ids_sorted_ = true;
+  for (uint64_t i = 1; i < num_docs_; ++i) {
+    if (external_ids_[i - 1] >= external_ids_[i]) {
+      external_ids_sorted_ = false;
+      break;
+    }
+  }
+  terms_.clear();
+  if (!terms_lex_sorted_) {
+    terms_.reserve(num_terms_);
+    for (uint64_t i = 0; i < num_terms_; ++i) {
+      terms_.emplace(TermText(term_entries_[i]), static_cast<uint32_t>(i));
+    }
+  }
+  id_to_index_.clear();
+  if (!external_ids_sorted_) {
+    id_to_index_.reserve(num_docs_);
+    for (uint64_t i = 0; i < num_docs_; ++i) {
+      id_to_index_.emplace(external_ids_[i], static_cast<int32_t>(i));
+    }
+  }
+}
+
+const TermEntry* SearchEngine::FindTerm(std::string_view term) const {
+  if (terms_lex_sorted_) {
+    uint64_t lo = 0;
+    uint64_t hi = num_terms_;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (TermText(term_entries_[mid]) < term) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < num_terms_ && TermText(term_entries_[lo]) == term) {
+      return &term_entries_[lo];
+    }
+    return nullptr;
+  }
+  auto it = terms_.find(term);  // string_view keys: no copy
+  return it == terms_.end() ? nullptr : &term_entries_[it->second];
+}
+
+int32_t SearchEngine::DocIndexOf(int32_t doc_id) const {
+  if (external_ids_sorted_) {
+    const int32_t* end = external_ids_ + num_docs_;
+    const int32_t* it = std::lower_bound(external_ids_, end, doc_id);
+    KGLINK_CHECK(it != end && *it == doc_id) << "unknown doc id " << doc_id;
+    return static_cast<int32_t>(it - external_ids_);
+  }
+  auto it = id_to_index_.find(doc_id);
+  KGLINK_CHECK(it != id_to_index_.end()) << "unknown doc id " << doc_id;
+  return it->second;
 }
 
 double SearchEngine::PostingScore(double idf, const Posting& p) const {
@@ -178,9 +319,9 @@ double SearchEngine::PostingScore(double idf, const Posting& p) const {
 
 double SearchEngine::Idf(std::string_view term) const {
   KGLINK_CHECK(finalized_);
-  const TermSlice* slice = FindTerm(term);
-  if (slice != nullptr) return slice->idf;
-  double total = static_cast<double>(doc_len_.size());
+  const TermEntry* entry = FindTerm(term);
+  if (entry != nullptr) return entry->idf;
+  double total = static_cast<double>(num_docs_);
   // Unseen term: n(w) = 0 in Eq. 2.
   return std::log((total + 0.5) / 0.5 + 1.0);
 }
@@ -198,12 +339,12 @@ std::vector<SearchResult> SearchEngine::TopK(std::string_view query, int k,
   // Per-request stage accounting is exact (not sampled): a request that
   // carries telemetry has opted into the two clock reads.
   KGLINK_STAGE_TIMER(rc, obs::Stage::kTopK);
-  if (k <= 0 || doc_len_.empty()) return {};
+  if (k <= 0 || num_docs_ == 0) return {};
   bool bounded = rc != nullptr && !rc->Unbounded();
   if (bounded && rc->Expired()) return {};
 
   TopKScratch& scratch = TopKScratch::Get();
-  scratch.Begin(doc_len_.size());
+  scratch.Begin(num_docs_);
   bool expired_mid_query = false;
   // Tokenize in place (no per-term allocation) and accumulate into the
   // stamped dense array.
@@ -214,12 +355,12 @@ std::vector<SearchResult> SearchEngine::TopK(std::string_view query, int k,
       expired_mid_query = true;
       return false;
     }
-    const TermSlice* slice = FindTerm(term);
-    if (slice == nullptr) return true;
-    const Posting* postings = flat_postings_.data() + slice->begin;
-    for (int32_t i = 0; i < slice->count; ++i) {
+    const TermEntry* entry = FindTerm(term);
+    if (entry == nullptr) return true;
+    const Posting* postings = flat_postings_ + entry->posting_begin;
+    for (uint32_t i = 0; i < entry->posting_count; ++i) {
       const Posting& p = postings[i];
-      double contribution = PostingScore(slice->idf, p);
+      double contribution = PostingScore(entry->idf, p);
       size_t d = static_cast<size_t>(p.doc_index);
       if (scratch.stamp[d] == scratch.cur) {
         scratch.score[d] += contribution;
@@ -263,20 +404,18 @@ std::vector<SearchResult> SearchEngine::TopK(std::string_view query, int k,
 
 double SearchEngine::Score(std::string_view query, int32_t doc_id) const {
   KGLINK_CHECK(finalized_);
-  auto idx_it = id_to_index_.find(doc_id);
-  KGLINK_CHECK(idx_it != id_to_index_.end()) << "unknown doc id " << doc_id;
-  int32_t index = idx_it->second;
+  int32_t index = DocIndexOf(doc_id);
   double score = 0.0;
   for (const auto& term : SplitWords(query)) {
-    const TermSlice* slice = FindTerm(term);
-    if (slice == nullptr) continue;
-    auto begin = flat_postings_.begin() + slice->begin;
-    auto end = begin + slice->count;
-    auto pit = std::lower_bound(
+    const TermEntry* entry = FindTerm(term);
+    if (entry == nullptr) continue;
+    const Posting* begin = flat_postings_ + entry->posting_begin;
+    const Posting* end = begin + entry->posting_count;
+    const Posting* pit = std::lower_bound(
         begin, end, index,
         [](const Posting& p, int32_t v) { return p.doc_index < v; });
     if (pit == end || pit->doc_index != index) continue;
-    score += PostingScore(slice->idf, *pit);
+    score += PostingScore(entry->idf, *pit);
   }
   return score;
 }
@@ -284,20 +423,18 @@ double SearchEngine::Score(std::string_view query, int32_t doc_id) const {
 std::vector<TermScore> SearchEngine::ExplainScore(std::string_view query,
                                                   int32_t doc_id) const {
   KGLINK_CHECK(finalized_);
-  auto idx_it = id_to_index_.find(doc_id);
-  KGLINK_CHECK(idx_it != id_to_index_.end()) << "unknown doc id " << doc_id;
-  int32_t index = idx_it->second;
+  int32_t index = DocIndexOf(doc_id);
   std::vector<TermScore> out;
   for (const auto& term : SplitWords(query)) {
-    const TermSlice* slice = FindTerm(term);
-    if (slice == nullptr) continue;
-    auto begin = flat_postings_.begin() + slice->begin;
-    auto end = begin + slice->count;
-    auto pit = std::lower_bound(
+    const TermEntry* entry = FindTerm(term);
+    if (entry == nullptr) continue;
+    const Posting* begin = flat_postings_ + entry->posting_begin;
+    const Posting* end = begin + entry->posting_count;
+    const Posting* pit = std::lower_bound(
         begin, end, index,
         [](const Posting& p, int32_t v) { return p.doc_index < v; });
     if (pit == end || pit->doc_index != index) continue;
-    double contribution = PostingScore(slice->idf, *pit);
+    double contribution = PostingScore(entry->idf, *pit);
     // Fold repeated query terms into one entry (Score sums per occurrence).
     bool merged = false;
     for (TermScore& ts : out) {
@@ -308,7 +445,7 @@ std::vector<TermScore> SearchEngine::ExplainScore(std::string_view query,
       }
     }
     if (!merged) {
-      out.push_back({term, slice->idf, pit->term_freq, contribution});
+      out.push_back({term, entry->idf, pit->term_freq, contribution});
     }
   }
   return out;

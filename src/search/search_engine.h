@@ -10,10 +10,21 @@
 // ExplainScore all read the same frozen tables, so the three stay
 // bit-identical with each other — and with the retained naive scorer in
 // reference_scorer.h, which tests pin them against.
+//
+// Frozen storage comes in two flavours with one query path:
+//  - owned: Finalize() compacts into heap arrays the engine owns;
+//  - borrowed: FromFrozenView() points the same table pointers at an
+//    external read-only mapping (the mmap'd snapshot store), copying
+//    nothing on the hot path. Only the two small hash indexes (term ->
+//    entry, doc id -> dense index) are rebuilt at load; their keys are
+//    string_views into the mapping.
+// Both flavours produce bit-identical TopK/Score/ExplainScore results; the
+// snapshot parity tests pin that.
 #ifndef KGLINK_SEARCH_SEARCH_ENGINE_H_
 #define KGLINK_SEARCH_SEARCH_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -35,6 +46,47 @@ struct Bm25Params {
 struct SearchResult {
   int32_t doc_id;
   double score;
+};
+
+// One posting of the frozen flat index. Trivially copyable with no
+// padding, so posting arrays can be serialized and mmap'd byte-for-byte.
+struct Posting {
+  int32_t doc_index;  // dense internal index
+  int32_t term_freq;
+};
+static_assert(sizeof(Posting) == 8 && alignof(Posting) == 4,
+              "Posting must be a packed POD for snapshot serialization");
+
+// Frozen per-term record: where the term's bytes live in the term blob,
+// where its postings live in the flat posting array, and its precomputed
+// Eq. 2 IDF. Laid out padding-free (8-byte members first) so term tables
+// serialize and mmap byte-for-byte.
+struct TermEntry {
+  uint64_t blob_offset = 0;   // into the term blob
+  int64_t posting_begin = 0;  // into the flat posting array
+  double idf = 0.0;           // Eq. 2
+  uint32_t term_len = 0;
+  uint32_t posting_count = 0;
+};
+static_assert(sizeof(TermEntry) == 32,
+              "TermEntry must be a packed POD for snapshot serialization");
+
+// Borrowed view of a frozen index: raw pointers into memory owned by
+// someone else (a finalized engine, or a read-only snapshot mapping that
+// must outlive any engine constructed from the view).
+struct FrozenIndexView {
+  Bm25Params params;
+  double avg_doc_len = 1.0;
+  uint64_t num_docs = 0;
+  const int32_t* doc_len = nullptr;       // [num_docs]
+  const double* doc_norm = nullptr;       // [num_docs]
+  const int32_t* external_ids = nullptr;  // [num_docs] dense -> doc_id
+  uint64_t num_terms = 0;
+  const TermEntry* terms = nullptr;  // [num_terms], blob-offset ascending
+  const char* term_blob = nullptr;   // concatenated sorted term bytes
+  uint64_t term_blob_size = 0;
+  uint64_t num_postings = 0;
+  const Posting* postings = nullptr;  // [num_postings], term-major
 };
 
 // Per-term breakdown of one document's BM25 score — the Eq. 1 summand for
@@ -66,6 +118,14 @@ class SearchEngine {
  public:
   explicit SearchEngine(Bm25Params params = {});
 
+  // Move-only: the frozen tables are reached through raw pointers (owned
+  // heap arrays or a borrowed mapping) that stay valid across moves but
+  // would dangle across a naive copy.
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+  SearchEngine(SearchEngine&&) = default;
+  SearchEngine& operator=(SearchEngine&&) = default;
+
   // Adds a document. doc_id is caller-defined (entity id); duplicates are a
   // programming error. Call before Finalize().
   void AddDocument(int32_t doc_id, std::string_view text);
@@ -76,9 +136,26 @@ class SearchEngine {
   void AddTokenized(const TokenizedDoc& doc);
 
   // Freezes the index: compacts the posting lists into one contiguous
-  // array, and precomputes IDF per term and the BM25 length norm per
-  // document. Must be called once before queries.
+  // array (terms in lexicographic order, so the layout — and any snapshot
+  // written from it — is deterministic), and precomputes IDF per term and
+  // the BM25 length norm per document. Must be called once before queries.
   void Finalize();
+
+  // Borrowed view over this engine's frozen tables, suitable for snapshot
+  // serialization. Valid only while the engine is alive and unmoved.
+  // Requires finalized().
+  FrozenIndexView View() const;
+
+  // Constructs a queryable engine that *borrows* every frozen table from
+  // `view` — no posting/norm/blob copies; only the term and doc-id hash
+  // indexes are rebuilt (their keys are views into `view`'s memory). The
+  // memory behind `view` must outlive the returned engine. The caller is
+  // responsible for having bounds-checked the view (the snapshot loader
+  // validates sections before handing views out).
+  static SearchEngine FromFrozenView(const FrozenIndexView& view);
+
+  // True when the frozen tables live in external memory (FromFrozenView).
+  bool borrowed() const { return borrowed_; }
 
   // Top-k documents by BM25 score for a free-text query. Ties broken by
   // doc id for determinism. Documents with zero overlap are not returned.
@@ -109,26 +186,12 @@ class SearchEngine {
   // are maximally discriminative, they just never match any document.
   double Idf(std::string_view term) const;
 
-  int64_t num_documents() const { return static_cast<int64_t>(doc_len_.size()); }
+  int64_t num_documents() const { return static_cast<int64_t>(num_docs_); }
   double average_doc_length() const { return avg_doc_len_; }
   bool finalized() const { return finalized_; }
   const Bm25Params& params() const { return params_; }
 
  private:
-  struct Posting {
-    int32_t doc_index;  // dense internal index
-    int32_t term_freq;
-  };
-
-  // Flat-index slice of one term's postings after Finalize(): a
-  // [begin, begin+count) window into flat_postings_ plus the term's
-  // precomputed Eq. 2 IDF.
-  struct TermSlice {
-    int64_t begin = 0;
-    int32_t count = 0;
-    double idf = 0.0;
-  };
-
   // Heterogeneous hashing so FindTerm(string_view) never copies the term.
   struct TermHash {
     using is_transparent = void;
@@ -137,25 +200,65 @@ class SearchEngine {
     }
   };
 
-  // Locates a term in the frozen index; nullptr when unseen.
-  const TermSlice* FindTerm(std::string_view term) const;
+  // Points the query-path table pointers at the owned arrays and builds
+  // the term / doc-id hash indexes. Shared by Finalize and FromFrozenView.
+  void BindFrozenTables(const FrozenIndexView& view);
+
+  // Locates a term in the frozen index; nullptr when unseen. Uses binary
+  // search over the (lexicographically laid out) term table when
+  // BindFrozenTables detected that ordering, else the hash map.
+  const TermEntry* FindTerm(std::string_view term) const;
+  // External doc id -> dense index; a checked error for unknown ids.
+  // Binary search over external_ids_ when ascending, else the hash map.
+  int32_t DocIndexOf(int32_t doc_id) const;
   // Eq. 1 contribution of one posting against doc_norm_[doc_index].
   double PostingScore(double idf, const Posting& p) const;
+  // The term's bytes inside the frozen blob.
+  std::string_view TermText(const TermEntry& entry) const {
+    return {term_blob_ + entry.blob_offset, entry.term_len};
+  }
 
   Bm25Params params_;
   bool finalized_ = false;
+  bool borrowed_ = false;
   // Build-time postings; cleared by Finalize() after compaction.
   std::unordered_map<std::string, std::vector<Posting>> postings_;
-  std::vector<int32_t> doc_len_;        // in terms
-  std::vector<int32_t> external_ids_;   // dense index -> doc_id
-  std::unordered_map<int32_t, int32_t> id_to_index_;
   double avg_doc_len_ = 0.0;
 
-  // Frozen flat index (valid once finalized_):
-  std::unordered_map<std::string, TermSlice, TermHash, std::equal_to<>>
+  // Owned frozen tables (valid once finalized in owned mode; empty in
+  // borrowed mode). The term blob is a unique_ptr<char[]>, not a string,
+  // so the map's string_view keys survive moves (no SSO relocation).
+  std::vector<int32_t> owned_doc_len_;
+  std::vector<double> owned_doc_norm_;
+  std::vector<int32_t> owned_external_ids_;
+  std::vector<TermEntry> owned_terms_;
+  std::unique_ptr<char[]> owned_term_blob_;
+  std::vector<Posting> owned_postings_;
+
+  // The query path reads only these; they point at the owned arrays above
+  // or at a borrowed snapshot mapping. Stable across moves either way.
+  uint64_t num_docs_ = 0;
+  const int32_t* doc_len_ = nullptr;
+  const double* doc_norm_ = nullptr;
+  const int32_t* external_ids_ = nullptr;
+  uint64_t num_terms_ = 0;
+  const TermEntry* term_entries_ = nullptr;
+  const char* term_blob_ = nullptr;
+  uint64_t term_blob_size_ = 0;
+  uint64_t num_postings_ = 0;
+  const Posting* flat_postings_ = nullptr;
+
+  // Fallback lookup indexes: term bytes -> entry index, external doc id ->
+  // dense index (keys view the frozen term blob). BindFrozenTables leaves
+  // them EMPTY when it detects the sorted layouts Finalize produces —
+  // lookups then binary-search the frozen tables in place, which makes
+  // constructing an engine from a snapshot allocation-free outside the
+  // build path. id_to_index_ is also the build-time duplicate-id check.
+  bool terms_lex_sorted_ = false;
+  bool external_ids_sorted_ = false;
+  std::unordered_map<std::string_view, uint32_t, TermHash, std::equal_to<>>
       terms_;
-  std::vector<Posting> flat_postings_;  // all terms' postings, term-major
-  std::vector<double> doc_norm_;        // k1*(1 - b + b*len/avgdl) per doc
+  std::unordered_map<int32_t, int32_t> id_to_index_;
 };
 
 // Indexes every KG entity: document text = label + aliases. Finalized.

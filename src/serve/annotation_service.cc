@@ -99,6 +99,8 @@ std::future<AnnotationResult> AnnotationService::Submit(
 
   bool enqueued = false;
   bool open = false;
+  bool paused = false;
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The stream key is assigned to every submission — accepted or not —
@@ -106,11 +108,20 @@ std::future<AnnotationResult> AnnotationService::Submit(
     // the caller's submit sequence no matter what admission decides.
     req.rc.stream_key = next_stream_key_++;
     open = accepting_;
+    paused = paused_;
     if (open && static_cast<int>(queue_.size()) < options_.max_queue) {
       queue_.push_back(std::move(req));
       ServeMetrics::Get().queue_depth.Set(
           static_cast<double>(queue_.size()));
       enqueued = true;
+    } else if (open && !paused && !req.rc.Expired()) {
+      // Queue full: shed. The degraded run calls into the annotator, so
+      // it joins the quiesce-tracked inflight count from inside the lock
+      // — a snapshot reload that sees inflight == 0 under mu_ knows no
+      // shed run is active or can start before the swap finishes.
+      shed = true;
+      ++inflight_;
+      ServeMetrics::Get().inflight.Set(static_cast<double>(inflight_));
     }
   }
   if (enqueued) {
@@ -118,20 +129,25 @@ std::future<AnnotationResult> AnnotationService::Submit(
     return future;
   }
 
-  // Admission refused. A closed service or a spent deadline means even the
-  // cheap path is pointless: refuse outright. Otherwise shed load by
-  // running the degraded PLM-only path right here in the caller's thread —
-  // the queue and workers never see the request.
+  // Admission refused. A closed service, a mid-reload pause, or a spent
+  // deadline means even the cheap path is pointless: refuse outright.
+  // Otherwise shed load by running the degraded PLM-only path right here
+  // in the caller's thread — the queue and workers never see the request.
   AnnotationResult result;
-  if (!open) {
+  if (shed) {
+    result = RunShedInline(table, req.rc);
+    FinishInflight();
+  } else if (!open) {
     result.status = RequestStatus::kOverloaded;
     result.error = Status::Unavailable("annotation service is shut down");
-  } else if (req.rc.Expired()) {
+  } else if (paused) {
+    result.status = RequestStatus::kOverloaded;
+    result.error =
+        Status::Unavailable("queue full during snapshot reload");
+  } else {
     result.status = RequestStatus::kOverloaded;
     result.error =
         Status::Unavailable("queue full and request deadline already spent");
-  } else {
-    result = RunShedInline(table, req.rc);
   }
   CountCompletion(result.status);
   req.promise.set_value(std::move(result));
@@ -165,21 +181,96 @@ void AnnotationService::WorkerLoop() {
     Request req;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      // paused_ holds dispatch during a snapshot reload's swap window;
+      // stopping_ overrides it so shutdown always drains (the reload's
+      // Rebind runs under mu_, so a draining pop can never interleave
+      // with the pointer swap itself).
+      cv_.wait(lock,
+               [&] { return stopping_ || (!paused_ && !queue_.empty()); });
       if (queue_.empty()) return;  // stopping_ and fully drained
       req = std::move(queue_.front());
       queue_.pop_front();
       ServeMetrics::Get().queue_depth.Set(
           static_cast<double>(queue_.size()));
+      // Counted before mu_ is released: a reload quiescing under mu_
+      // either still sees this request in the queue or already sees it
+      // inflight — never in between.
+      ++inflight_;
+      ServeMetrics::Get().inflight.Set(static_cast<double>(inflight_));
     }
-    ServeMetrics::Get().inflight.Set(static_cast<double>(
-        inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
     AnnotationResult result = RunRequest(req);
-    ServeMetrics::Get().inflight.Set(static_cast<double>(
-        inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    FinishInflight();
     CountCompletion(result.status);
     req.promise.set_value(std::move(result));
   }
+}
+
+void AnnotationService::FinishInflight() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  ServeMetrics::Get().inflight.Set(static_cast<double>(inflight_));
+  if (inflight_ == 0) quiesce_cv_.notify_all();
+}
+
+void AnnotationService::AttachSnapshotStore(store::SnapshotStore* store) {
+  KGLINK_CHECK(store != nullptr);
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_store_ = store;
+  }
+  std::shared_ptr<const store::LoadedSnapshot> gen = store->current();
+  if (gen != nullptr) AdoptGeneration(std::move(gen));
+}
+
+Status AnnotationService::ReloadSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  if (snapshot_store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ReloadSnapshot without an attached snapshot store");
+  }
+  auto loaded = snapshot_store_->Load(path);
+  if (!loaded.ok()) {
+    // Rollback is implicit: nothing was swapped, the previous generation
+    // keeps serving. The store has already applied the quarantine policy.
+    std::lock_guard<std::mutex> lock(mu_);
+    last_reload_error_ = loaded.status().ToString();
+    return loaded.status();
+  }
+  AdoptGeneration(std::move(loaded).value());
+  return Status::Ok();
+}
+
+void AnnotationService::AdoptGeneration(
+    std::shared_ptr<const store::LoadedSnapshot> gen) {
+  const uint64_t generation = gen->generation;
+  const uint64_t sequence = gen->sequence;
+  std::shared_ptr<const store::LoadedSnapshot> retired;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = true;
+    quiesce_cv_.wait(lock, [&] { return inflight_ == 0; });
+    // Quiesced: no request is inside the annotator and none can enter
+    // while mu_ is held (workers and the shed path both take the inflight
+    // count under mu_ first). Swap the evidence sources.
+    annotator_->Rebind(&gen->kg, &gen->engine);
+    retired = std::move(serving_snapshot_);
+    serving_snapshot_ = std::move(gen);
+    last_reload_error_.clear();
+    paused_ = false;
+  }
+  cv_.notify_all();
+  KGLINK_LOG(kInfo, "serve.snapshot.swap")
+      .With("generation", static_cast<int64_t>(generation))
+      .With("sequence", static_cast<int64_t>(sequence));
+  // `retired` — the previous generation and its mapping — is released
+  // here, outside mu_, once this (its last) reference drops.
+}
+
+std::shared_ptr<const store::LoadedSnapshot>
+AnnotationService::serving_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serving_snapshot_;
 }
 
 AnnotationResult AnnotationService::RunRequest(Request& req) {
@@ -294,18 +385,33 @@ int AnnotationService::queue_depth() const {
 std::string AnnotationService::HealthJson() const {
   bool accepting;
   size_t depth;
+  int inflight;
+  bool attached;
+  bool reloading;
+  uint64_t generation = 0;
+  uint64_t sequence = 0;
+  std::string source;
+  std::string last_error;
   {
     std::lock_guard<std::mutex> lock(mu_);
     accepting = accepting_;
     depth = queue_.size();
+    inflight = inflight_;
+    attached = snapshot_store_ != nullptr;
+    reloading = paused_;
+    if (serving_snapshot_ != nullptr) {
+      generation = serving_snapshot_->generation;
+      sequence = serving_snapshot_->sequence;
+      source = serving_snapshot_->source_path;
+    }
+    last_error = last_reload_error_;
   }
   std::string out = "{\"accepting\": ";
   out += accepting ? "true" : "false";
   out += ", \"threads\": " + std::to_string(options_.num_threads);
   out += ", \"queue_depth\": " + std::to_string(depth);
   out += ", \"max_queue\": " + std::to_string(options_.max_queue);
-  out += ", \"inflight\": " +
-         std::to_string(inflight_.load(std::memory_order_relaxed));
+  out += ", \"inflight\": " + std::to_string(inflight);
   out += ", \"completed\": {";
   for (int i = 0; i < kNumRequestStatuses; ++i) {
     if (i > 0) out += ", ";
@@ -315,6 +421,32 @@ std::string AnnotationService::HealthJson() const {
   out += "}";
   out += ", \"window\": " + latency_window_->SnapshotJson();
   out += ", \"slo\": " + slo_->SnapshotJson();
+  if (attached) {
+    // Load/failure/quarantine totals come from the store's process-wide
+    // counters; generation/sequence/source describe the generation this
+    // service is actually serving from (0/"" until the first adopt).
+    auto& reg = obs::MetricsRegistry::Global();
+    out += ", \"snapshot\": {\"attached\": true";
+    out += ", \"generation\": " + std::to_string(generation);
+    out += ", \"sequence\": " + std::to_string(sequence);
+    out += ", \"source\": \"" + obs::JsonEscape(source) + "\"";
+    out += std::string(", \"reloading\": ") + (reloading ? "true" : "false");
+    out += ", \"loads\": " +
+           std::to_string(reg.GetCounter("store.snapshot.loads").value());
+    out += ", \"load_failures\": " +
+           std::to_string(
+               reg.GetCounter("store.snapshot.load_failures").value());
+    out += ", \"quarantined\": " +
+           std::to_string(
+               reg.GetCounter("store.snapshot.quarantined").value());
+    out += ", \"version_skew\": " +
+           std::to_string(
+               reg.GetCounter("store.snapshot.version_skew").value());
+    if (!last_error.empty()) {
+      out += ", \"last_error\": \"" + obs::JsonEscape(last_error) + "\"";
+    }
+    out += "}";
+  }
   if (const search::CellLinkCache* cache = annotator_->cell_cache()) {
     out += ", \"cell_cache\": {\"capacity\": " +
            std::to_string(cache->capacity()) +

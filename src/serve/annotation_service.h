@@ -53,6 +53,7 @@
 #include "obs/request_telemetry.h"
 #include "obs/rolling_window.h"
 #include "robust/circuit_breaker.h"
+#include "store/snapshot_store.h"
 #include "table/table.h"
 #include "util/deadline.h"
 #include "util/status.h"
@@ -142,16 +143,46 @@ class AnnotationService {
   // joins them. Idempotent; called by the destructor.
   void Shutdown();
 
+  // ---- Snapshot serving (RCU-style hot reload) -------------------------
+  //
+  // The service can serve the annotator's KG/engine out of a refcounted
+  // snapshot generation (store::LoadedSnapshot). AttachSnapshotStore
+  // borrows the store (must outlive the service) and, if the store already
+  // holds a good generation, adopts it immediately. ReloadSnapshot loads
+  // `path` into a *new* generation and swaps it in between requests:
+  //
+  //     serving gen G ── Load(path) ──► ok? ──► pause dispatch
+  //         │                │                  wait inflight == 0
+  //         │                └─ fail ──► G keeps serving (rollback);
+  //         │                            corruption quarantined by the
+  //         │                            store, error returned
+  //         └──────────────────────────► Rebind annotator onto G+1,
+  //                                      resume dispatch, release G
+  //
+  // The swap window touches no request: workers pause between items, the
+  // quiesce wait covers shed-inline runs too, and queued requests simply
+  // wait out the (microseconds-scale) rebind. On load failure nothing is
+  // swapped — the previous generation keeps serving and the error lands in
+  // HealthJson's snapshot.last_error.
+  void AttachSnapshotStore(store::SnapshotStore* store);
+  Status ReloadSnapshot(const std::string& path);
+
+  // Generation currently being served from, or null (built in memory, not
+  // snapshot-backed).
+  std::shared_ptr<const store::LoadedSnapshot> serving_snapshot() const;
+
   // {"accepting":…, "threads":…, "queue_depth":…, "max_queue":…,
   //  "inflight":…, "completed":{status:count,…},
   //  "window":{window_s,count,mean_us,p50_us,p99_us,p999_us},
   //  "slo":{target_us,objective,burning,short:{…},long:{…}},
+  //  "snapshot":{attached,generation,sequence,source,reloading,
+  //              loads,load_failures,quarantined,version_skew[,last_error]},
   //  "cell_cache":{capacity,size,hits,misses,evictions},
   //  "breakers":{site:state,…}}
   // "window"/"slo" cover the sliding windows configured in ServiceOptions
-  // (not cumulative-since-start). cell_cache appears only when the
-  // annotator's cell-link cache is enabled; breaker states only while
-  // breakers are enabled.
+  // (not cumulative-since-start). snapshot appears only after
+  // AttachSnapshotStore; cell_cache only when the annotator's cell-link
+  // cache is enabled; breaker states only while breakers are enabled.
   std::string HealthJson() const;
 
   // Total requests that finished with `status` (includes shed/overloaded
@@ -174,6 +205,13 @@ class AnnotationService {
   // The shed path: degraded PLM-only annotation in the calling thread.
   AnnotationResult RunShedInline(const table::Table& table,
                                  const RequestContext& rc);
+  // Decrements the quiesce-tracked inflight count (taken under mu_ before
+  // any annotator call — worker or shed-inline — starts) and wakes a
+  // reload waiting for the pool to drain.
+  void FinishInflight();
+  // The swap itself: pause dispatch, wait inflight == 0, Rebind, resume.
+  // Caller holds reload_mu_.
+  void AdoptGeneration(std::shared_ptr<const store::LoadedSnapshot> gen);
   void CountCompletion(RequestStatus status);
   // Feeds the rolling latency window + SLO monitor and, when the global
   // FlightRecorder is armed and triggers, emits this request's stage
@@ -193,9 +231,25 @@ class AnnotationService {
   uint64_t next_stream_key_ = 0;  // assigned under mu_ in submission order
   bool accepting_ = false;
   bool stopping_ = false;
+  // Reload quiesce state, all under mu_. `inflight_` counts requests
+  // currently inside the annotator (worker runs and shed-inline runs); it
+  // is incremented before mu_ is released to start the work, so a reload
+  // that holds mu_ and sees inflight_ == 0 knows no annotator call is in
+  // flight or can start. `paused_` gates worker dispatch during the swap.
+  int inflight_ = 0;
+  bool paused_ = false;
+  std::condition_variable quiesce_cv_;  // signalled when inflight_ hits 0
+
+  // Serializes AttachSnapshotStore/ReloadSnapshot against each other
+  // (never held while annotating; acquired before mu_).
+  std::mutex reload_mu_;
+  store::SnapshotStore* snapshot_store_ = nullptr;  // borrowed, may be null
+  // Under mu_: the generation the annotator is bound to, and the last
+  // failed reload's error (cleared by a successful swap).
+  std::shared_ptr<const store::LoadedSnapshot> serving_snapshot_;
+  std::string last_reload_error_;
 
   std::vector<std::thread> workers_;
-  std::atomic<int> inflight_{0};
   std::array<std::atomic<int64_t>, kNumRequestStatuses> completed_{};
 };
 

@@ -1,0 +1,69 @@
+#include "store/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "robust/fault_injector.h"
+
+namespace kglink::store {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  // "io.mmap" fault: the mapping itself fails (ENOMEM, EACCES, a vanished
+  // file). Callers treat this as transient I/O trouble, not corruption.
+  if (robust::MaybeInject(robust::FaultSite::kIoMmap)) {
+    return Status::IoError("injected io.mmap fault: " + path);
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("open failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::IoError("fstat failed: " + path + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IoError("empty file: " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping survives the descriptor; close unconditionally.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IoError("mmap failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  MappedFile file;
+  file.data_ = static_cast<const char*>(addr);
+  file.size_ = size;
+  return file;
+}
+
+}  // namespace kglink::store

@@ -1,0 +1,45 @@
+// Read-only memory mapping with RAII unmap. The snapshot loader keeps one
+// of these alive for as long as any frozen SearchEngine / KnowledgeGraph
+// borrows its bytes; N processes opening the same snapshot share the page
+// cache, which is the point of the store.
+#ifndef KGLINK_STORE_MAPPED_FILE_H_
+#define KGLINK_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace kglink::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  // Maps `path` read-only. Fails with kIoError on open/stat/mmap failure
+  // (including the injected "io.mmap" fault) and on an empty file — an
+  // empty snapshot is indistinguishable from an interrupted create, and
+  // mmap of length 0 is an error anyway.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view bytes() const { return {data_, size_}; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace kglink::store
+
+#endif  // KGLINK_STORE_MAPPED_FILE_H_

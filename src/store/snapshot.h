@@ -1,0 +1,105 @@
+// Read side of the snapshot store: maps a snapshot file read-only,
+// validates it (eagerly at Open, or lazily per section group on first
+// use), and hands out frozen SearchEngine / KnowledgeGraph views that
+// borrow the mapping in place — the postings, norms, term blob, edge and
+// neighbour arrays are never copied; only the hash indexes and entity
+// string metadata are materialized.
+//
+// Validation is defense in depth: header magic/version/size, a CRC over
+// the header + section table, per-section CRC32s, structural bounds checks
+// on every offset/index the borrowed views will dereference, and a
+// whole-file CRC in eager mode. Any mismatch surfaces as kCorruption (or
+// kVersionSkew for a file written by a newer binary) — never a crash —
+// so the caller can quarantine and fall back to rebuild.
+#ifndef KGLINK_STORE_SNAPSHOT_H_
+#define KGLINK_STORE_SNAPSHOT_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "search/search_engine.h"
+#include "store/mapped_file.h"
+#include "store/snapshot_format.h"
+#include "util/status.h"
+
+namespace kglink::store {
+
+enum class ValidateMode {
+  // Open() verifies the whole-file CRC (one pass over every byte,
+  // covering all section payloads) plus all structural bounds. Per-section
+  // CRCs re-run only to name the failing section when the file CRC
+  // mismatches. O(file) once, then first use is free.
+  kEager,
+  // Open() verifies only the header, section table and trailing magic
+  // (O(header)); each section group is CRC- and bounds-checked the first
+  // time MakeEngine()/MakeKg() touches it. The whole-file CRC is skipped
+  // (the per-section CRCs cover every byte the views can reach).
+  kLazy,
+};
+
+struct LoadOptions {
+  ValidateMode validate = ValidateMode::kEager;
+};
+
+// Dotted name for error messages and quarantine logs, e.g. "kg.edges".
+const char* SectionName(SectionId id);
+
+class Snapshot {
+ public:
+  // Maps and validates per `options`. Errors:
+  //   kIoError     — open/mmap failure (includes injected io.mmap and
+  //                  store.load faults); the file may be fine.
+  //   kVersionSkew — written by a newer format than this binary.
+  //   kCorruption  — bad magic/CRC/bounds; quarantine candidate.
+  static StatusOr<std::unique_ptr<Snapshot>> Open(
+      const std::string& path, const LoadOptions& options = {});
+
+  uint64_t generation() const { return header_.generation; }
+  uint32_t format_version() const { return header_.format_version; }
+  const std::string& path() const { return path_; }
+
+  // Frozen views borrowing the mapping; this Snapshot must outlive them.
+  // In lazy mode the first call validates the sections it reads and may
+  // return kCorruption. Safe to call concurrently with each other (the
+  // first-use validation memo is mutex-guarded per group) — the store
+  // overlaps the two to halve cold-start view construction.
+  StatusOr<search::SearchEngine> MakeEngine();
+  StatusOr<kg::KnowledgeGraph> MakeKg();
+
+ private:
+  Snapshot() = default;
+
+  const char* SectionData(const SectionEntry& e) const {
+    return file_.data() + e.offset;
+  }
+  // Entry for `id`, or kCorruption if the file lacks that section.
+  StatusOr<const SectionEntry*> Find(SectionId id) const;
+  // CRC32 of the section payload vs the table's stored value. A no-op
+  // once the whole-file CRC has been verified (it covers every payload
+  // byte), so eager loads checksum the file exactly once.
+  Status CheckCrc(const SectionEntry& e) const;
+  // Group validators: CRC + structural checks over every section the
+  // corresponding view dereferences. Memoized.
+  Status ValidateSearch();
+  Status ValidateKg();
+
+  std::string path_;
+  MappedFile file_;
+  SnapshotHeader header_;
+  std::vector<SectionEntry> table_;
+  bool file_crc_verified_ = false;
+  // One memo + mutex per section group so concurrent MakeEngine/MakeKg
+  // never race and never serialize against each other's validation.
+  std::mutex search_valid_mu_;
+  std::mutex kg_valid_mu_;
+  std::optional<Status> search_valid_;
+  std::optional<Status> kg_valid_;
+};
+
+}  // namespace kglink::store
+
+#endif  // KGLINK_STORE_SNAPSHOT_H_

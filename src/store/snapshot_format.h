@@ -1,0 +1,145 @@
+// On-disk layout of the KGLink snapshot: one relocatable, mmap-able file
+// holding the frozen flat BM25 index and the KG topology, following the
+// checkpoint-v2 integrity discipline (magic + version + CRC32) extended to
+// a section-structured format so a loader can validate lazily and borrow
+// large arrays in place.
+//
+//   ┌────────────────────────────────────────────────────────┐ offset 0
+//   │ SnapshotHeader  (magic 'KGSN', version, file size,     │
+//   │                  generation, section count)            │
+//   ├────────────────────────────────────────────────────────┤
+//   │ SectionEntry[section_count]  (id, crc32, offset, size) │
+//   ├────────────────────────────────────────────────────────┤
+//   │ u32 header_crc  — CRC32 over everything above          │
+//   ├─ zero pad to 8 ────────────────────────────────────────┤
+//   │ section payloads, each 8-byte aligned, zero-padded     │
+//   ├────────────────────────────────────────────────────────┤ file_size-8
+//   │ u32 file_crc  — CRC32 over bytes [0, file_size - 8)    │
+//   │ u32 trailing magic 'NSGK'                              │
+//   └────────────────────────────────────────────────────────┘ file_size
+//
+// Every multi-byte field is host-endian (the file is a same-machine /
+// same-fleet artifact, like the checkpoints); all offsets are from the
+// start of the file, so the mapping is position-independent. All on-disk
+// record structs are padding-free PODs with static_asserts pinning their
+// layout — the loader reinterprets mapped bytes in place.
+#ifndef KGLINK_STORE_SNAPSHOT_FORMAT_H_
+#define KGLINK_STORE_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+
+namespace kglink::store {
+
+inline constexpr uint32_t kSnapshotMagic = 0x4e53474bu;          // "KGSN"
+inline constexpr uint32_t kSnapshotTrailingMagic = 0x4b47534eu;  // "NSGK"
+// v2: added the sorted qid/label index sections (kKgQidIndex,
+// kKgLabelIndex) and KgMeta.num_qid_entries, so frozen graphs binary-search
+// borrowed arrays instead of building hash maps at load.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint64_t kSectionAlign = 8;
+inline constexpr uint64_t kFooterBytes = 8;  // u32 file crc + u32 magic
+
+// Section catalog. Ids are stable on disk; append new sections, never
+// renumber. The loader rejects duplicate or unknown ids.
+enum class SectionId : uint32_t {
+  kSearchMeta = 1,         // SearchMeta
+  kSearchDocLens = 2,      // int32[num_docs]
+  kSearchDocNorms = 3,     // double[num_docs]
+  kSearchDocIds = 4,       // int32[num_docs], dense index -> external id
+  kSearchTermEntries = 5,  // search::TermEntry[num_terms]
+  kSearchTermBlob = 6,     // char[term_blob_size], sorted concatenated terms
+  kSearchPostings = 7,     // search::Posting[num_postings]
+  kKgMeta = 8,             // KgMeta
+  kKgStrings = 9,          // char[string_blob_size]
+  kKgEntities = 10,        // EntityRecord[num_entities]
+  kKgAliases = 11,         // StringRef[num_aliases]
+  kKgPredicates = 12,      // StringRef[num_predicates]
+  kKgEdgeOffsets = 13,     // uint64[num_entities + 1]
+  kKgEdges = 14,           // kg::Edge[num_edges] (12-byte records)
+  kKgNeighborOffsets = 15, // uint64[num_entities + 1]
+  kKgNeighbors = 16,       // kg::EntityId[num_neighbors], sorted per entity
+  // Sorted lookup indexes, borrowed in place by the frozen graph so a load
+  // materializes no hash maps. kKgQidIndex lists the entities with a
+  // non-empty qid, sorted by qid (strictly — duplicates are corruption);
+  // kKgLabelIndex lists every entity, sorted by (label, id).
+  kKgQidIndex = 17,        // kg::EntityId[num_qid_entries]
+  kKgLabelIndex = 18,      // kg::EntityId[num_entities]
+};
+inline constexpr uint32_t kNumSections = 18;
+
+struct SnapshotHeader {
+  uint32_t magic = kSnapshotMagic;
+  uint32_t format_version = kSnapshotFormatVersion;
+  uint64_t file_size = 0;   // total bytes including the footer
+  uint64_t generation = 0;  // writer-assigned, surfaced in HealthJson
+  uint32_t section_count = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(SnapshotHeader) == 32, "snapshot header layout is ABI");
+
+struct SectionEntry {
+  uint32_t id = 0;
+  uint32_t crc32 = 0;   // CRC32 of the section payload (excluding padding)
+  uint64_t offset = 0;  // from file start; 8-byte aligned
+  uint64_t size = 0;    // payload bytes (padding not included)
+};
+static_assert(sizeof(SectionEntry) == 24, "section entry layout is ABI");
+
+// kSearchMeta payload: scalar state of the frozen BM25 index. Array
+// lengths here are cross-checked against the section table at load.
+struct SearchMeta {
+  uint64_t num_docs = 0;
+  uint64_t num_terms = 0;
+  uint64_t num_postings = 0;
+  uint64_t term_blob_size = 0;
+  double k1 = 0.0;
+  double b = 0.0;
+  double avg_doc_len = 0.0;
+};
+static_assert(sizeof(SearchMeta) == 56, "search meta layout is ABI");
+
+// kKgMeta payload.
+struct KgMeta {
+  uint64_t num_entities = 0;
+  uint64_t num_predicates = 0;
+  uint64_t num_aliases = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_neighbors = 0;
+  uint64_t string_blob_size = 0;
+  int64_t num_triples = 0;
+  uint64_t num_qid_entries = 0;  // entities with a non-empty qid
+};
+static_assert(sizeof(KgMeta) == 64, "kg meta layout is ABI");
+
+// A byte range inside kKgStrings.
+struct StringRef {
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(StringRef) == 16, "string ref layout is ABI");
+
+// Entity flag bits (Entity::is_type / is_person / is_date).
+inline constexpr uint32_t kEntityFlagType = 1u << 0;
+inline constexpr uint32_t kEntityFlagPerson = 1u << 1;
+inline constexpr uint32_t kEntityFlagDate = 1u << 2;
+
+// kKgEntities record: string fields point into kKgStrings; aliases are a
+// contiguous run of StringRefs in kKgAliases.
+struct EntityRecord {
+  uint64_t qid_offset = 0;
+  uint64_t label_offset = 0;
+  uint64_t desc_offset = 0;
+  uint64_t alias_begin = 0;  // index into kKgAliases
+  uint32_t qid_length = 0;
+  uint32_t label_length = 0;
+  uint32_t desc_length = 0;
+  uint32_t alias_count = 0;
+  uint32_t flags = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(EntityRecord) == 56, "entity record layout is ABI");
+
+}  // namespace kglink::store
+
+#endif  // KGLINK_STORE_SNAPSHOT_FORMAT_H_

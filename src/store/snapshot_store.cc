@@ -1,0 +1,124 @@
+#include "store/snapshot_store.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace kglink::store {
+
+namespace {
+
+struct StoreMetrics {
+  obs::Counter& loads;
+  obs::Counter& load_failures;
+  obs::Counter& quarantined;
+  obs::Counter& version_skew;
+  obs::Gauge& generation;
+  obs::Gauge& sequence;
+
+  static StoreMetrics& Get() {
+    static StoreMetrics& m = *[] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new StoreMetrics{
+          reg.GetCounter("store.snapshot.loads"),
+          reg.GetCounter("store.snapshot.load_failures"),
+          reg.GetCounter("store.snapshot.quarantined"),
+          reg.GetCounter("store.snapshot.version_skew"),
+          reg.GetGauge("store.snapshot.generation"),
+          reg.GetGauge("store.snapshot.sequence")};
+    }();
+    return m;
+  }
+};
+
+// Renames `path` out of the load path, preserving the bytes for
+// forensics. Never overwrites an earlier quarantined file.
+void QuarantineFile(const std::string& path, const Status& why) {
+  std::string target = path + ".corrupt";
+  for (int i = 1; ::access(target.c_str(), F_OK) == 0 && i < 100; ++i) {
+    target = path + ".corrupt." + std::to_string(i);
+  }
+  if (::rename(path.c_str(), target.c_str()) == 0) {
+    std::fprintf(stderr, "kglink: quarantined corrupt snapshot %s -> %s (%s)\n",
+                 path.c_str(), target.c_str(), why.ToString().c_str());
+  } else {
+    // The file may already be gone (e.g. another process quarantined it);
+    // the load failure is still reported either way.
+    std::fprintf(stderr, "kglink: failed to quarantine snapshot %s (%s)\n",
+                 path.c_str(), why.ToString().c_str());
+  }
+  StoreMetrics::Get().quarantined.Add();
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(LoadOptions options) : options_(options) {}
+
+StatusOr<std::shared_ptr<const LoadedSnapshot>> SnapshotStore::Load(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreMetrics::Get().loads.Add();
+
+  auto fail = [&path](Status status) -> Status {
+    StoreMetrics::Get().load_failures.Add();
+    switch (status.code()) {
+      case StatusCode::kCorruption:
+        QuarantineFile(path, status);
+        break;
+      case StatusCode::kVersionSkew:
+        // Not corrupt — written by a newer binary. Leave the file alone.
+        StoreMetrics::Get().version_skew.Add();
+        break;
+      default:
+        break;  // transient I/O (incl. injected faults): retryable, keep file
+    }
+    return status;
+  };
+
+  auto opened = Snapshot::Open(path, options_);
+  if (!opened.ok()) return fail(opened.status());
+  std::unique_ptr<Snapshot> snapshot = std::move(opened).value();
+
+  // In lazy mode these perform the deferred section validation and are
+  // where corruption surfaces. The two views touch disjoint section
+  // groups, so on multi-core hosts they build in parallel — MakeKg's
+  // entity materialization and MakeEngine's term index overlap instead
+  // of stacking. (hardware_concurrency() == 0 means unknown; spawn.)
+  std::optional<StatusOr<search::SearchEngine>> engine;
+  std::optional<StatusOr<kg::KnowledgeGraph>> kg;
+  if (std::thread::hardware_concurrency() != 1) {
+    std::thread engine_thread(
+        [&engine, &snapshot] { engine.emplace(snapshot->MakeEngine()); });
+    kg.emplace(snapshot->MakeKg());
+    engine_thread.join();
+  } else {
+    engine.emplace(snapshot->MakeEngine());
+    kg.emplace(snapshot->MakeKg());
+  }
+  if (!engine->ok()) return fail(engine->status());
+  if (!kg->ok()) return fail(kg->status());
+
+  auto loaded = std::make_shared<LoadedSnapshot>();
+  loaded->generation = snapshot->generation();
+  loaded->snapshot = std::move(snapshot);
+  loaded->kg = std::move(*kg).value();
+  loaded->engine = std::move(*engine).value();
+  loaded->source_path = path;
+  loaded->sequence = ++sequence_;
+  current_ = loaded;
+  StoreMetrics::Get().generation.Set(static_cast<double>(loaded->generation));
+  StoreMetrics::Get().sequence.Set(static_cast<double>(loaded->sequence));
+  return std::shared_ptr<const LoadedSnapshot>(loaded);
+}
+
+std::shared_ptr<const LoadedSnapshot> SnapshotStore::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+}  // namespace kglink::store

@@ -1,0 +1,77 @@
+// SnapshotStore: the serving-facing face of the snapshot subsystem. It
+// loads snapshot files into refcounted, immutable generations
+// (mapping + frozen KG + frozen engine bundled so borrowers can never
+// outlive the bytes they borrow), applies the quarantine policy on
+// corruption, and keeps the latest good generation for RCU-style hot
+// reload: serve::AnnotationService holds a shared_ptr to the generation
+// it is serving from, a reload loads the new file into a fresh
+// generation, and the old one stays alive (and mapped) until its last
+// holder drops it.
+//
+// Quarantine policy — only *corruption* quarantines:
+//   kCorruption  → the file is renamed to `<path>.corrupt` (or
+//                  `.corrupt.N` if taken), store.snapshot.quarantined is
+//                  incremented, and the failing section is logged. The
+//                  bad bytes are preserved for forensics and can never be
+//                  picked up by a future load.
+//   kVersionSkew → the file is fine, this binary is old. Not quarantined
+//                  (a newer binary will want it); store.snapshot.
+//                  version_skew is incremented.
+//   kIoError     → transient (includes injected io.mmap / store.load
+//                  faults). Not quarantined; the caller falls back to
+//                  rebuild and may retry the snapshot later.
+#ifndef KGLINK_STORE_SNAPSHOT_STORE_H_
+#define KGLINK_STORE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "kg/knowledge_graph.h"
+#include "search/search_engine.h"
+#include "store/snapshot.h"
+
+namespace kglink::store {
+
+// One immutable loaded generation. Declaration order is a destruction
+// contract: `kg` and `engine` borrow `snapshot`'s mapping, and members
+// destruct in reverse order, so the borrowers die before the mapping.
+struct LoadedSnapshot {
+  std::unique_ptr<Snapshot> snapshot;
+  kg::KnowledgeGraph kg;
+  search::SearchEngine engine;
+  std::string source_path;
+  uint64_t generation = 0;  // writer-assigned stamp from the file header
+  uint64_t sequence = 0;    // store-local load ordinal (1, 2, ...)
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(LoadOptions options = {});
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // Loads `path` into a new generation and publishes it as current().
+  // On failure current() is untouched (the previous good generation keeps
+  // serving) and the error is returned after the quarantine policy above
+  // has been applied. Thread-safe; loads are serialized.
+  StatusOr<std::shared_ptr<const LoadedSnapshot>> Load(
+      const std::string& path);
+
+  // Latest good generation, or null if no load has succeeded yet.
+  std::shared_ptr<const LoadedSnapshot> current() const;
+
+  const LoadOptions& options() const { return options_; }
+
+ private:
+  LoadOptions options_;
+  mutable std::mutex mu_;
+  uint64_t sequence_ = 0;
+  std::shared_ptr<const LoadedSnapshot> current_;
+};
+
+}  // namespace kglink::store
+
+#endif  // KGLINK_STORE_SNAPSHOT_STORE_H_

@@ -1,0 +1,40 @@
+// Serializes a finalized SearchEngine + KnowledgeGraph into one snapshot
+// file (see snapshot_format.h) and publishes it atomically: the bytes are
+// staged at `<path>.tmp`, fsync'd, renamed over `path`, and the directory
+// is fsync'd — a crash (or kill -9) at any byte offset leaves either the
+// old snapshot or the new one, never a torn file under the final name.
+#ifndef KGLINK_STORE_SNAPSHOT_WRITER_H_
+#define KGLINK_STORE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kg/knowledge_graph.h"
+#include "search/search_engine.h"
+#include "store/snapshot_format.h"
+#include "util/status.h"
+
+namespace kglink::store {
+
+struct WriterOptions {
+  // Writer-assigned generation stamp, surfaced by serving HealthJson.
+  uint64_t generation = 1;
+  // Format version stamped into the header. Overriding this (tests only)
+  // produces a CRC-valid file that exercises version-skew handling.
+  uint32_t format_version = kSnapshotFormatVersion;
+};
+
+// Writes the snapshot. `engine` must be finalized; `kg` may be owned or
+// itself frozen (re-snapshotting a loaded graph round-trips). The "io.write"
+// fault site simulates a torn write: a truncated temp file is left behind
+// and any previous snapshot at `path` stays untouched.
+//
+// The output is deterministic: equal (kg, engine, options) produce
+// byte-identical files, so CI can compare snapshots with cmp.
+Status WriteSnapshot(const std::string& path, const kg::KnowledgeGraph& kg,
+                     const search::SearchEngine& engine,
+                     const WriterOptions& options = {});
+
+}  // namespace kglink::store
+
+#endif  // KGLINK_STORE_SNAPSHOT_WRITER_H_

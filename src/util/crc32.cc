@@ -1,35 +1,65 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace kglink {
 
 namespace {
 
-// 256-entry table for the reflected polynomial 0xEDB88320, generated once
-// at first use.
-const std::array<uint32_t, 256>& Crc32Table() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
+// Slicing-by-8 tables for the reflected polynomial 0xEDB88320, generated
+// once at first use. t[0] is the classic bytewise table; t[j][b] is the
+// CRC of byte b followed by j zero bytes, which lets the hot loop fold
+// eight input bytes per iteration instead of one.
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+const Crc32Tables& GetTables() {
+  static const Crc32Tables tables = [] {
+    Crc32Tables ts{};
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      ts.t[0][i] = c;
     }
-    return t;
+    for (int j = 1; j < 8; ++j) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        ts.t[j][i] = (ts.t[j - 1][i] >> 8) ^ ts.t[0][ts.t[j - 1][i] & 0xFFu];
+      }
+    }
+    return ts;
   }();
-  return table;
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32(std::string_view data, uint32_t seed) {
-  const auto& table = Crc32Table();
+  const auto& t = GetTables().t;
   uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (unsigned char byte : data) {
-    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The eight-byte step reads two u32 words, which bakes in byte order;
+  // big-endian builds fall through to the bytewise loop below.
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, sizeof(lo));
+    std::memcpy(&hi, p + 4, sizeof(hi));
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (; n > 0; --n) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

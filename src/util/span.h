@@ -1,0 +1,41 @@
+// A minimal read-only contiguous view (std::span<const T> without the
+// C++20 header's ceremony). Used wherever a container may live either in
+// owned heap memory or inside a read-only mmap'd snapshot: the accessor
+// returns a Span and the caller cannot tell (and must not care) which.
+#ifndef KGLINK_UTIL_SPAN_H_
+#define KGLINK_UTIL_SPAN_H_
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace kglink {
+
+template <typename T>
+class Span {
+ public:
+  Span() : data_(nullptr), size_(0) {}
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  const T& operator[](size_t i) const {
+    KGLINK_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+ private:
+  const T* data_;
+  size_t size_;
+};
+
+}  // namespace kglink
+
+#endif  // KGLINK_UTIL_SPAN_H_

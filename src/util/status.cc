@@ -24,6 +24,8 @@ const char* CodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kVersionSkew:
+      return "VERSION_SKEW";
   }
   return "UNKNOWN";
 }

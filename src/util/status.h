@@ -22,7 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kDeadlineExceeded,
-  kUnavailable,  // transiently refused (overload shed, open breaker)
+  kUnavailable,   // transiently refused (overload shed, open breaker)
+  kVersionSkew,   // artifact written by a newer format than this binary
 };
 
 // A success-or-error result. Cheap to copy on the OK path.
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status VersionSkew(std::string msg) {
+    return Status(StatusCode::kVersionSkew, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

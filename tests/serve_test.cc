@@ -20,6 +20,9 @@
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
 #include "serve/annotation_service.h"
+#include "store/snapshot_store.h"
+#include "store/snapshot_writer.h"
+#include "util/csv.h"
 #include "util/deadline.h"
 
 namespace kglink::serve {
@@ -66,6 +69,28 @@ class ServeTest : public ::testing::Test {
 
   static const table::Table& TestTable(size_t i) {
     return split_->test.tables[i % split_->test.tables.size()].table;
+  }
+
+  // The suite-wide annotator is shared across tests, and a snapshot reload
+  // rebinds it to views borrowed from a test-local SnapshotStore. Declare
+  // this guard *before* the store and service so it destructs last and
+  // points the annotator back at the suite-owned KG/engine after the
+  // borrowed generations are gone.
+  struct RebindGuard {
+    ~RebindGuard() { annotator_->Rebind(&world_->kg, engine_); }
+  };
+
+  // Writes a snapshot of the suite world with the given generation stamp
+  // to a test-unique path and returns the path.
+  static std::string WriteWorldSnapshot(uint64_t generation) {
+    std::string path =
+        ::testing::TempDir() + "serve_test_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        "_gen" + std::to_string(generation);
+    store::WriterOptions wo;
+    wo.generation = generation;
+    EXPECT_TRUE(store::WriteSnapshot(path, world_->kg, *engine_, wo).ok());
+    return path;
   }
 
   static data::World* world_;
@@ -436,6 +461,131 @@ TEST_F(ServeTest, RepeatedHardFailuresTripTheSearchBreaker) {
                 .GetCounter("robust.breaker.search.topk.short_circuits")
                 .value(),
             short_circuits_before);
+}
+
+// --- Snapshot hot reload -------------------------------------------------
+
+TEST_F(ServeTest, SnapshotReloadSwapsGenerationsWithIdenticalPredictions) {
+  std::vector<std::vector<int>> baseline;
+  for (int i = 0; i < 4; ++i) {
+    baseline.push_back(annotator_->PredictTable(TestTable(static_cast<size_t>(i))));
+  }
+
+  RebindGuard guard;
+  store::SnapshotStore store;
+  ServiceOptions so;
+  so.num_threads = 2;
+  so.max_queue = 16;
+  AnnotationService service(annotator_, so);
+  service.AttachSnapshotStore(&store);
+  EXPECT_EQ(service.serving_snapshot(), nullptr);  // nothing loaded yet
+
+  ASSERT_TRUE(service.ReloadSnapshot(WriteWorldSnapshot(7)).ok());
+  auto serving = service.serving_snapshot();
+  ASSERT_NE(serving, nullptr);
+  EXPECT_EQ(serving->generation, 7u);
+  for (int i = 0; i < 4; ++i) {
+    AnnotationResult r = service.Submit(TestTable(static_cast<size_t>(i))).get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.predictions, baseline[static_cast<size_t>(i)])
+        << "snapshot-backed prediction diverged, table " << i;
+  }
+
+  // Second reload swaps generations again; the retired generation dies
+  // only after the service lets go of it.
+  std::weak_ptr<const store::LoadedSnapshot> retired = serving;
+  serving.reset();
+  ASSERT_TRUE(service.ReloadSnapshot(WriteWorldSnapshot(8)).ok());
+  ASSERT_NE(service.serving_snapshot(), nullptr);
+  EXPECT_EQ(service.serving_snapshot()->generation, 8u);
+  EXPECT_TRUE(retired.expired());
+  for (int i = 0; i < 4; ++i) {
+    AnnotationResult r = service.Submit(TestTable(static_cast<size_t>(i))).get();
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_EQ(r.predictions, baseline[static_cast<size_t>(i)]);
+  }
+
+  std::string health = service.HealthJson();
+  EXPECT_NE(health.find("\"snapshot\": {\"attached\": true"),
+            std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"generation\": 8"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"reloading\": false"), std::string::npos) << health;
+  service.Shutdown();
+}
+
+TEST_F(ServeTest, CorruptReloadRollsBackAndKeepsServing) {
+  RebindGuard guard;
+  store::SnapshotStore store;
+  ServiceOptions so;
+  so.num_threads = 1;
+  AnnotationService service(annotator_, so);
+  service.AttachSnapshotStore(&store);
+  ASSERT_TRUE(service.ReloadSnapshot(WriteWorldSnapshot(3)).ok());
+  std::vector<int> before = service.Submit(TestTable(0)).get().predictions;
+
+  // A corrupt candidate: good bytes with one flipped in the middle.
+  std::string bad_path = WriteWorldSnapshot(4);
+  auto bytes = ReadFile(bad_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = *bytes;
+  corrupt[corrupt.size() / 2] = static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x01);
+  ASSERT_TRUE(WriteFile(bad_path, corrupt).ok());
+
+  Status s = service.ReloadSnapshot(bad_path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  // Rollback: the previous generation keeps serving, bit for bit.
+  ASSERT_NE(service.serving_snapshot(), nullptr);
+  EXPECT_EQ(service.serving_snapshot()->generation, 3u);
+  AnnotationResult r = service.Submit(TestTable(0)).get();
+  EXPECT_EQ(r.status, RequestStatus::kOk);
+  EXPECT_EQ(r.predictions, before);
+  // The corrupt file was quarantined out of the load path...
+  EXPECT_FALSE(ReadFile(bad_path).ok());
+  EXPECT_TRUE(ReadFile(bad_path + ".corrupt").ok());
+  // ...and the failure is surfaced for operators.
+  std::string health = service.HealthJson();
+  EXPECT_NE(health.find("\"last_error\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"generation\": 3"), std::string::npos) << health;
+  service.Shutdown();
+}
+
+TEST_F(ServeTest, ReloadWithRequestsInFlightResolvesEveryFuture) {
+  // Every retrieval sleeps 2ms, so requests are reliably mid-annotator
+  // when the reload quiesces; the swap must wait for them, and every
+  // future — submitted before, during and after — must still resolve.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0:2000", 3)
+                  .ok());
+  RebindGuard guard;
+  store::SnapshotStore store;
+  ServiceOptions so;
+  so.num_threads = 2;
+  so.max_queue = 32;
+  AnnotationService service(annotator_, so);
+  service.AttachSnapshotStore(&store);
+  ASSERT_TRUE(service.ReloadSnapshot(WriteWorldSnapshot(1)).ok());
+
+  std::vector<std::future<AnnotationResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit(TestTable(static_cast<size_t>(i))));
+  }
+  ASSERT_TRUE(service.ReloadSnapshot(WriteWorldSnapshot(2)).ok());
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit(TestTable(static_cast<size_t>(i))));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    AnnotationResult r = futures[i].get();
+    ASSERT_TRUE(r.status == RequestStatus::kOk ||
+                r.status == RequestStatus::kShed)
+        << "request " << i << ": " << RequestStatusName(r.status);
+    EXPECT_EQ(r.predictions.size(),
+              static_cast<size_t>(TestTable(i % 6).num_cols()));
+  }
+  ASSERT_NE(service.serving_snapshot(), nullptr);
+  EXPECT_EQ(service.serving_snapshot()->generation, 2u);
+  service.Shutdown();
 }
 
 }  // namespace
