@@ -5,9 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/heap_profiler.h"
 #include "obs/json_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -28,6 +30,34 @@ std::string& TracePath() {
 std::string& MetricsPath() {
   static std::string& path = *new std::string();
   return path;
+}
+std::string& ProfilePrefix() {
+  static std::string& path = *new std::string();
+  return path;
+}
+
+void ExportProfileAtExit() {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Stop();
+  const std::string collapsed = ProfilePrefix() + ".collapsed";
+  const std::string speedscope = ProfilePrefix() + ".speedscope.json";
+  Status s = profiler.WriteCollapsed(collapsed);
+  if (s.ok()) s = profiler.WriteSpeedscope(speedscope);
+  if (!s.ok()) {
+    KGLINK_LOG(kWarn, "bench.profile_export_failed")
+        .With("prefix", ProfilePrefix())
+        .With("status", s.ToString());
+    return;
+  }
+  if (obs::HeapProfiler::Global().enabled()) {
+    (void)obs::HeapProfiler::Global().WriteCollapsed(ProfilePrefix() +
+                                                     ".heap.collapsed");
+  }
+  std::fprintf(stderr, "profile: %lld samples -> %s, %s\n",
+               static_cast<long long>(profiler.samples()), collapsed.c_str(),
+               speedscope.c_str());
+  std::string summary = profiler.SummaryText();
+  if (!summary.empty()) std::fputs(summary.c_str(), stderr);
 }
 
 void ExportObservabilityAtExit() {
@@ -156,6 +186,37 @@ void InitObservabilityFromEnv() {
     if (!TracePath().empty()) obs::TraceRecorder::Global().Start();
     if (!TracePath().empty() || !MetricsPath().empty()) {
       std::atexit(ExportObservabilityAtExit);
+    }
+    const char* heap = std::getenv("KGLINK_HEAP_PROFILE");
+    if (heap != nullptr && heap[0] != '\0' && std::atoi(heap) != 0) {
+      if (obs::kHeapProfilerCompiledIn) {
+        obs::HeapProfiler::Global().Enable({});
+      } else {
+        std::fprintf(stderr,
+                     "KGLINK_HEAP_PROFILE set but this build has no heap "
+                     "profiler (configure -DKGLINK_ENABLE_HEAP_PROFILER=ON)\n");
+      }
+    }
+    const char* profile = std::getenv("KGLINK_PROFILE");
+    if (profile != nullptr && profile[0] != '\0') {
+      if (!obs::kProfilerCompiledIn) {
+        std::fprintf(stderr,
+                     "KGLINK_PROFILE set but this build has no profiler "
+                     "(configure -DKGLINK_ENABLE_PROFILER=ON)\n");
+      } else {
+        ProfilePrefix() = profile;
+        obs::ProfilerOptions opts;
+        const char* hz = std::getenv("KGLINK_PROFILE_HZ");
+        if (hz != nullptr && hz[0] != '\0') opts.hz = std::atoi(hz);
+        Status s = obs::Profiler::Global().Start(opts);
+        if (!s.ok()) {
+          std::fprintf(stderr, "profiler start failed: %s\n",
+                       s.ToString().c_str());
+          ProfilePrefix().clear();
+        } else {
+          std::atexit(ExportProfileAtExit);
+        }
+      }
     }
     return true;
   }();

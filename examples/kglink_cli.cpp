@@ -26,8 +26,10 @@
 #include "eval/explain_report.h"
 #include "eval/metrics.h"
 #include "obs/flight_recorder.h"
+#include "obs/heap_profiler.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/provenance.h"
 #include "obs/statsz.h"
 #include "obs/trace.h"
@@ -55,6 +57,9 @@ struct Args {
   std::string explain_dir;   // --explain=DIR: provenance JSONL + report
   std::string statsz_path;   // --statsz=FILE: periodic status-page JSON
   std::string slow_log_path; // --slow-log=FILE: flight-recorder JSONL
+  std::string profile_prefix;  // --profile=PREFIX: sampling profiler export
+  int profile_hz = 997;        // --profile-hz N: sampling frequency
+  bool heap_profile = false;   // --heap-profile: heap attribution
   int64_t statsz_interval_ms = 1000;  // --statsz-interval-ms N
   int64_t slo_ms = 0;        // --slo-ms N: served latency SLO target
   int64_t slow_ms = 0;       // --slow-ms N: flight-record threshold
@@ -129,6 +134,14 @@ int Usage() {
       "                  (stage breakdown as one JSON line, in-memory ring)\n"
       "  --slow-every N  also flight-record every Nth served request\n"
       "  --slow-log=FILE dump the flight-recorder ring as JSONL at exit\n"
+      "  --profile=PREFIX  run the in-process sampling profiler for the\n"
+      "                  whole command; writes PREFIX.collapsed (flamegraph\n"
+      "                  .pl input) and PREFIX.speedscope.json at exit.\n"
+      "                  Served eval also prints a hot-frame summary\n"
+      "  --profile-hz N  sampling frequency (default 997)\n"
+      "  --heap-profile  attribute allocations to profile frames; writes\n"
+      "                  PREFIX.heap.collapsed (needs a build configured\n"
+      "                  with -DKGLINK_ENABLE_HEAP_PROFILER=ON)\n"
       "\n"
       "snapshots (crash-safe mmap store for the KG + BM25 index):\n"
       "  --save-snapshot=FILE     write the world's KG + finalized index as\n"
@@ -267,6 +280,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->slow_log_path = v;
+    } else if (a.rfind("--profile=", 0) == 0) {
+      args->profile_prefix = a.substr(std::strlen("--profile="));
+      if (args->profile_prefix.empty()) return false;
+    } else if (a == "--profile") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->profile_prefix = v;
+    } else if (a == "--profile-hz") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->profile_hz = std::atoi(v);
+      if (args->profile_hz < 1) return false;
+    } else if (a == "--heap-profile") {
+      args->heap_profile = true;
     } else if (a.rfind("--faults=", 0) == 0) {
       args->faults = a.substr(std::strlen("--faults="));
       if (args->faults.empty()) return false;
@@ -549,6 +576,10 @@ int ServedEval(const Args& args, WorldSource& src,
                   static_cast<long long>(n));
     }
   }
+  if (obs::Profiler::Global().running()) {
+    // Hot-frame summary for the serving run (export happens at exit).
+    std::fputs(obs::Profiler::Global().SummaryText().c_str(), stdout);
+  }
   return 0;
 }
 
@@ -717,6 +748,35 @@ int ExportObservability(const Args& args, int command_rc) {
                   args.slow_log_path.c_str());
     }
   }
+  if (!args.profile_prefix.empty() && obs::kProfilerCompiledIn) {
+    obs::Profiler& profiler = obs::Profiler::Global();
+    profiler.Stop();
+    const std::string collapsed = args.profile_prefix + ".collapsed";
+    const std::string speedscope =
+        args.profile_prefix + ".speedscope.json";
+    Status s = profiler.WriteCollapsed(collapsed);
+    if (s.ok()) s = profiler.WriteSpeedscope(speedscope);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write profile: %s\n",
+                   s.ToString().c_str());
+      if (command_rc == 0) command_rc = 1;
+    } else {
+      std::printf("profile: %lld samples @ %d Hz -> %s, %s\n",
+                  static_cast<long long>(profiler.samples()),
+                  args.profile_hz, collapsed.c_str(), speedscope.c_str());
+    }
+    if (obs::HeapProfiler::Global().enabled()) {
+      const std::string heap = args.profile_prefix + ".heap.collapsed";
+      Status hs = obs::HeapProfiler::Global().WriteCollapsed(heap);
+      if (!hs.ok()) {
+        std::fprintf(stderr, "cannot write heap profile: %s\n",
+                     hs.ToString().c_str());
+        if (command_rc == 0) command_rc = 1;
+      } else {
+        std::printf("heap profile: -> %s\n", heap.c_str());
+      }
+    }
+  }
   return command_rc;
 }
 
@@ -760,6 +820,31 @@ int main(int argc, char** argv) {
     fr.threshold_us = args.slow_ms * 1000;
     fr.sample_every_n = static_cast<uint32_t>(args.slow_every);
     obs::FlightRecorder::Global().Configure(fr);
+  }
+  if (args.heap_profile) {
+    if (obs::kHeapProfilerCompiledIn) {
+      obs::HeapProfiler::Global().Enable({});
+    } else {
+      std::fprintf(stderr,
+                   "warning: built with KGLINK_ENABLE_HEAP_PROFILER=OFF; "
+                   "--heap-profile will record nothing\n");
+    }
+  }
+  if (!args.profile_prefix.empty()) {
+    if (!obs::kProfilerCompiledIn) {
+      std::fprintf(stderr,
+                   "warning: built with KGLINK_ENABLE_PROFILER=OFF; "
+                   "--profile will record nothing\n");
+    } else {
+      obs::ProfilerOptions popts;
+      popts.hz = args.profile_hz;
+      Status s = obs::Profiler::Global().Start(popts);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cannot start profiler: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+    }
   }
   if (!args.explain_dir.empty()) {
     std::error_code ec;

@@ -19,10 +19,18 @@ The unit decides which direction is worse:
   - anything else (e.g. "count", "share"): informational only, never
     flagged
 
+Metrics present only in the candidate ("new") or only in the baseline
+("missing") are reported but never fail the run — only regressions exit 1
+— so adding instrumentation does not break comparisons against older
+baselines.
+
 --include SUBSTR (repeatable) restricts the comparison to metrics whose
 bench or metric name contains any given substring — used by the CI
 obs-overhead gate to pin just the hot-path benches against the committed
 baselines with a tighter threshold.
+
+--json FILE additionally writes a machine-readable summary of all five
+categories ('-' for stdout).
 
 Stdlib only; no third-party dependencies.
 """
@@ -63,6 +71,19 @@ def compare(baseline, candidate, threshold, include=None):
     improvements = []
     infos = []
     missing = []
+    new = []
+    # Candidate-only metrics (a bench grew a new counter, or a new bench
+    # appeared) are reported but never fail the run — otherwise adding any
+    # instrumentation would break comparisons against older baselines.
+    for bench, cand_metrics in sorted(candidate.items()):
+        base_metrics = baseline.get(bench, {})
+        for name, (value, unit) in sorted(cand_metrics.items()):
+            if include and not any(s in name or s in bench for s in include):
+                continue
+            if name not in base_metrics:
+                new.append(
+                    f"{bench}/{name}: {value:g} {unit} (not in baseline)"
+                )
     for bench, base_metrics in sorted(baseline.items()):
         cand_metrics = candidate.get(bench)
         if cand_metrics is None:
@@ -102,7 +123,7 @@ def compare(baseline, candidate, threshold, include=None):
                 improvements.append(line)
             else:
                 infos.append(line)
-    return regressions, improvements, infos, missing
+    return regressions, improvements, infos, missing, new
 
 
 def main():
@@ -126,11 +147,17 @@ def main():
         help="only compare metrics whose bench or metric name contains "
         "SUBSTR (repeatable); default: compare everything",
     )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write a machine-readable summary (use '-' for stdout)",
+    )
     args = parser.parse_args()
 
     baseline = load_benches(args.baseline)
     candidate = load_benches(args.candidate)
-    regressions, improvements, infos, missing = compare(
+    regressions, improvements, infos, missing, new = compare(
         baseline, candidate, args.threshold, args.include
     )
 
@@ -139,11 +166,29 @@ def main():
         ("improvements", improvements),
         ("within threshold / informational", infos),
         ("missing", missing),
+        ("new (not in baseline)", new),
     ):
         if lines:
             print(f"== {title} ({len(lines)}) ==")
             for line in lines:
                 print(f"  {line}")
+
+    if args.json:
+        summary = {
+            "threshold_pct": args.threshold,
+            "regressions": regressions,
+            "improvements": improvements,
+            "informational": infos,
+            "missing": missing,
+            "new": new,
+            "ok": not regressions,
+        }
+        text = json.dumps(summary, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
 
     if regressions:
         print(

@@ -79,9 +79,10 @@ Status SaveTensors(const std::string& path,
                static_cast<std::streamsize>(payload.size() / 2));
     return Status::IoError("injected torn write: " + path);
   }
-  // WriteFile is atomic (temp + rename): a crash mid-save never replaces a
-  // good checkpoint with a partial one.
-  return WriteFile(path, payload);
+  // Durable atomic publish (temp + fsync + rename): a crash mid-save
+  // never replaces a good checkpoint with a partial one, even across
+  // power loss.
+  return WriteFileDurable(path, payload);
 }
 
 Status LoadTensors(const std::string& path, std::vector<NamedParam>* params) {

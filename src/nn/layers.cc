@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/profiler.h"
+
 namespace kglink::nn {
 
 namespace {
@@ -36,6 +38,7 @@ LayerNormLayer::LayerNormLayer(int dim, std::string name)
       beta_(Tensor::Zeros({1, dim}, /*requires_grad=*/true)) {}
 
 Tensor LayerNormLayer::Forward(const Tensor& x) const {
+  KGLINK_PROFILE_FRAME("layernorm");
   return LayerNorm(x, gamma_, beta_);
 }
 
@@ -58,20 +61,29 @@ MultiHeadAttention::MultiHeadAttention(int dim, int num_heads, Rng& rng,
 }
 
 Tensor MultiHeadAttention::Forward(const Tensor& x) const {
-  Tensor q = q_.Forward(x);
-  Tensor k = k_.Forward(x);
-  Tensor v = v_.Forward(x);
+  KGLINK_PROFILE_FRAME("attn");
+  Tensor q, k, v;
+  {
+    KGLINK_PROFILE_FRAME("attn.qkv");
+    q = q_.Forward(x);
+    k = k_.Forward(x);
+    v = v_.Forward(x);
+  }
   float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   std::vector<Tensor> heads;
   heads.reserve(num_heads_);
-  for (int h = 0; h < num_heads_; ++h) {
-    Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
-    Tensor kh = SliceCols(k, h * head_dim_, head_dim_);
-    Tensor vh = SliceCols(v, h * head_dim_, head_dim_);
-    Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);  // [L, L]
-    Tensor attn = Softmax(scores);
-    heads.push_back(MatMul(attn, vh));  // [L, head_dim]
+  {
+    KGLINK_PROFILE_FRAME("attn.scores");
+    for (int h = 0; h < num_heads_; ++h) {
+      Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
+      Tensor kh = SliceCols(k, h * head_dim_, head_dim_);
+      Tensor vh = SliceCols(v, h * head_dim_, head_dim_);
+      Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);  // [L, L]
+      Tensor attn = Softmax(scores);
+      heads.push_back(MatMul(attn, vh));  // [L, head_dim]
+    }
   }
+  KGLINK_PROFILE_FRAME("attn.proj");
   return o_.Forward(ConcatCols(heads));
 }
 
@@ -87,6 +99,7 @@ void MultiHeadAttention::CollectParams(std::vector<NamedParam>* out) const {
 TransformerLayer::TransformerLayer(int dim, int num_heads, int ffn_dim,
                                    float dropout, Rng& rng, std::string name)
     : dropout_(dropout),
+      profile_name_(KGLINK_PROFILE_INTERN(name)),
       attn_(dim, num_heads, rng, name + ".attn"),
       ln1_(dim, name + ".ln1"),
       ln2_(dim, name + ".ln2"),
@@ -95,9 +108,14 @@ TransformerLayer::TransformerLayer(int dim, int num_heads, int ffn_dim,
 
 Tensor TransformerLayer::Forward(const Tensor& x, Rng& rng,
                                  bool training) const {
+  KGLINK_PROFILE_FRAME(profile_name_);
   Tensor a = attn_.Forward(ln1_.Forward(x));
   Tensor h = Add(x, Dropout(a, dropout_, rng, training));
-  Tensor f = ff2_.Forward(Gelu(ff1_.Forward(ln2_.Forward(h))));
+  Tensor f;
+  {
+    KGLINK_PROFILE_FRAME("ffn");
+    f = ff2_.Forward(Gelu(ff1_.Forward(ln2_.Forward(h))));
+  }
   return Add(h, Dropout(f, dropout_, rng, training));
 }
 
@@ -141,16 +159,21 @@ Tensor TransformerEncoder::Forward(const std::vector<int>& token_ids,
   KGLINK_CHECK(!token_ids.empty());
   KGLINK_CHECK_LE(static_cast<int>(token_ids.size()), config_.max_seq_len)
       << "sequence longer than max_seq_len";
-  std::vector<int> pos(token_ids.size());
-  for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
-  Tensor h = Add(EmbeddingLookup(tok_emb_, token_ids),
-                 EmbeddingLookup(pos_emb_, pos));
-  if (!segment_ids.empty()) {
-    KGLINK_CHECK_EQ(segment_ids.size(), token_ids.size());
-    h = Add(h, EmbeddingLookup(seg_emb_, segment_ids));
+  KGLINK_PROFILE_FRAME("encoder.forward");
+  Tensor h;
+  {
+    KGLINK_PROFILE_FRAME("encoder.embedding");
+    std::vector<int> pos(token_ids.size());
+    for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
+    h = Add(EmbeddingLookup(tok_emb_, token_ids),
+            EmbeddingLookup(pos_emb_, pos));
+    if (!segment_ids.empty()) {
+      KGLINK_CHECK_EQ(segment_ids.size(), token_ids.size());
+      h = Add(h, EmbeddingLookup(seg_emb_, segment_ids));
+    }
+    h = emb_ln_.Forward(h);
+    h = Dropout(h, config_.dropout, rng, training);
   }
-  h = emb_ln_.Forward(h);
-  h = Dropout(h, config_.dropout, rng, training);
   for (const auto& layer : layers_) h = layer.Forward(h, rng, training);
   return final_ln_.Forward(h);
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/profiler.h"
+
 namespace kglink::nn {
 
 AdamW::AdamW(std::vector<NamedParam> params, AdamWOptions options)
@@ -22,6 +24,7 @@ AdamW::AdamW(std::vector<NamedParam> params, AdamWOptions options)
 }
 
 void AdamW::Step(float lr) {
+  KGLINK_PROFILE_FRAME("optim.step");
   ++step_;
   float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
   float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
@@ -45,10 +48,12 @@ void AdamW::Step(float lr) {
 }
 
 void AdamW::ZeroGrad() {
+  KGLINK_PROFILE_FRAME("optim.zero_grad");
   for (auto& p : params_) p.tensor.ZeroGrad();
 }
 
 float AdamW::ClipGradNorm(float max_norm) {
+  KGLINK_PROFILE_FRAME("optim.clip_grad_norm");
   double total = 0.0;
   for (auto& p : params_) {
     for (float g : p.tensor.grad()) total += static_cast<double>(g) * g;

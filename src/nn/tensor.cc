@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/profiler.h"
+
 namespace kglink::nn {
 
 namespace {
@@ -163,6 +165,7 @@ std::string Tensor::ShapeString() const {
 }
 
 void Tensor::Backward() const {
+  KGLINK_PROFILE_FRAME("backward");
   KGLINK_CHECK(defined());
   KGLINK_CHECK_EQ(numel(), 1) << "Backward() requires a scalar root";
   KGLINK_CHECK(requires_grad());

@@ -77,7 +77,9 @@ std::string FlightRecorder::Jsonl() const {
 }
 
 Status FlightRecorder::WriteJsonl(const std::string& path) const {
-  return WriteFile(path, Jsonl());
+  // Durable publish: the slow-request log is a post-incident artifact, so
+  // a crash right after the dump must not leave it torn.
+  return WriteFileDurable(path, Jsonl());
 }
 
 FlightRecorderOptions FlightRecorder::options() const {

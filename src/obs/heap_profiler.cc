@@ -1,0 +1,378 @@
+#include "obs/heap_profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "obs/json_util.h"
+#include "obs/profiler.h"
+#include "util/csv.h"
+
+namespace kglink::obs {
+
+namespace {
+
+// Process totals, fed by per-thread flushes. Plain relaxed atomics: the
+// numbers are monotonic counters, not synchronization.
+std::atomic<bool> g_enabled{false};
+std::atomic<uint32_t> g_sample_every{64};
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<uint64_t> g_free_count{0};
+std::atomic<uint64_t> g_free_bytes{0};
+
+struct SiteMap {
+  std::mutex mu;
+  HeapProfilerOptions opts;
+  std::map<std::vector<const char*>, std::pair<uint64_t, uint64_t>> sites;
+};
+
+SiteMap& GlobalSites() {
+  static SiteMap& s = *new SiteMap();
+  return s;
+}
+
+// Per-thread buffered counters; POD so they stay usable during thread
+// teardown (frees from other threads' destructors land here too).
+struct ThreadCounters {
+  uint64_t alloc_count = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t free_count = 0;
+  uint64_t free_bytes = 0;
+  uint32_t pending = 0;
+  uint32_t sample_countdown = 1;
+};
+thread_local ThreadCounters t_counters;
+// Re-entrancy guard: the site map's own allocations must not recurse
+// into accounting.
+thread_local bool t_in_hook = false;
+
+constexpr uint32_t kFlushEvery = 256;
+
+void FlushCounters() {
+  ThreadCounters& tc = t_counters;
+  if (tc.alloc_count) {
+    g_alloc_count.fetch_add(tc.alloc_count, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(tc.alloc_bytes, std::memory_order_relaxed);
+  }
+  if (tc.free_count) {
+    g_free_count.fetch_add(tc.free_count, std::memory_order_relaxed);
+    g_free_bytes.fetch_add(tc.free_bytes, std::memory_order_relaxed);
+  }
+  tc.alloc_count = tc.alloc_bytes = tc.free_count = tc.free_bytes = 0;
+  tc.pending = 0;
+}
+
+struct CountersOwner {
+  ~CountersOwner() { FlushCounters(); }
+};
+thread_local CountersOwner t_counters_owner;
+
+struct HookGuard {
+  HookGuard() : entered(!t_in_hook) {
+    if (entered) t_in_hook = true;
+  }
+  ~HookGuard() {
+    if (entered) t_in_hook = false;
+  }
+  bool entered;
+};
+
+const char* const kNoFrame = "(no-frame)";
+const char* const kOverflowFrame = "(heap.overflow)";
+
+void ChargeSite(size_t bytes, uint32_t scale) {
+  const char* buf[kMaxProfileDepth];
+  uint32_t depth = profiler_internal::CaptureOwnStack(buf);
+  std::vector<const char*> key;
+  if (depth == 0) {
+    key.assign(1, kNoFrame);
+  } else {
+    key.assign(buf, buf + depth);
+  }
+  SiteMap& sm = GlobalSites();
+  std::lock_guard<std::mutex> lock(sm.mu);
+  auto it = sm.sites.find(key);
+  if (it == sm.sites.end()) {
+    if (sm.sites.size() >= sm.opts.max_sites) {
+      key.assign(1, kOverflowFrame);
+      it = sm.sites.find(key);
+    }
+    if (it == sm.sites.end()) {
+      it = sm.sites.emplace(std::move(key), std::make_pair(0, 0)).first;
+    }
+  }
+  it->second.first += static_cast<uint64_t>(bytes) * scale;
+  it->second.second += scale;
+}
+
+}  // namespace
+
+HeapProfiler& HeapProfiler::Global() {
+  static HeapProfiler instance;  // stateless facade; no allocation
+  return instance;
+}
+
+void HeapProfiler::Enable(const HeapProfilerOptions& options) {
+  if (!kHeapProfilerCompiledIn) return;
+  SiteMap& sm = GlobalSites();
+  {
+    std::lock_guard<std::mutex> lock(sm.mu);
+    sm.opts = options;
+    if (sm.opts.sample_every == 0) sm.opts.sample_every = 1;
+    if (sm.opts.max_sites == 0) sm.opts.max_sites = 1;
+    g_sample_every.store(sm.opts.sample_every, std::memory_order_relaxed);
+  }
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void HeapProfiler::Disable() {
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool HeapProfiler::enabled() const {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+HeapProfilerOptions HeapProfiler::options() const {
+  SiteMap& sm = GlobalSites();
+  std::lock_guard<std::mutex> lock(sm.mu);
+  return sm.opts;
+}
+
+HeapTotals HeapProfiler::totals() const {
+  HeapTotals t;
+  t.alloc_count = g_alloc_count.load(std::memory_order_relaxed);
+  t.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  t.free_count = g_free_count.load(std::memory_order_relaxed);
+  t.free_bytes = g_free_bytes.load(std::memory_order_relaxed);
+  return t;
+}
+
+void HeapProfiler::FlushCurrentThread() {
+  HookGuard guard;
+  FlushCounters();
+}
+
+std::vector<HeapSite> HeapProfiler::Sites() const {
+  std::vector<HeapSite> out;
+  {
+    HookGuard guard;  // the copies below allocate
+    SiteMap& sm = GlobalSites();
+    std::lock_guard<std::mutex> lock(sm.mu);
+    out.reserve(sm.sites.size());
+    for (const auto& [frames, stat] : sm.sites) {
+      out.push_back({frames, stat.first, stat.second});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const HeapSite& a, const HeapSite& b) {
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    return a.frames < b.frames;
+  });
+  return out;
+}
+
+std::string HeapProfiler::CollapsedAllocBytes() const {
+  std::map<std::string, uint64_t> lines;
+  for (const HeapSite& site : Sites()) {
+    std::string key;
+    for (size_t i = 0; i < site.frames.size(); ++i) {
+      if (i > 0) key.push_back(';');
+      key.append(site.frames[i]);
+    }
+    lines[key] += site.bytes;
+  }
+  std::string out;
+  for (const auto& [stack, bytes] : lines) {
+    out += stack;
+    out.push_back(' ');
+    out += std::to_string(bytes);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status HeapProfiler::WriteCollapsed(const std::string& path) const {
+  return WriteFile(path, CollapsedAllocBytes());
+}
+
+std::string HeapProfiler::StatusJson() const {
+  HeapTotals t = totals();
+  size_t sites = 0;
+  uint32_t sample_every = 0;
+  {
+    SiteMap& sm = GlobalSites();
+    std::lock_guard<std::mutex> lock(sm.mu);
+    sites = sm.sites.size();
+    sample_every = sm.opts.sample_every;
+  }
+  std::string out = "{";
+  out += "\"compiled_in\": ";
+  out += kHeapProfilerCompiledIn ? "true" : "false";
+  out += ", \"enabled\": ";
+  out += enabled() ? "true" : "false";
+  out += ", \"sample_every\": " + std::to_string(sample_every);
+  out += ", \"alloc_count\": " + std::to_string(t.alloc_count);
+  out += ", \"alloc_bytes\": " + std::to_string(t.alloc_bytes);
+  out += ", \"free_count\": " + std::to_string(t.free_count);
+  out += ", \"free_bytes\": " + std::to_string(t.free_bytes);
+  out += ", \"live_bytes\": " + std::to_string(t.live_bytes());
+  out += ", \"sites\": " + std::to_string(sites);
+  out += "}";
+  return out;
+}
+
+void HeapProfiler::ResetForTest() {
+  HookGuard guard;
+  FlushCounters();
+  SiteMap& sm = GlobalSites();
+  std::lock_guard<std::mutex> lock(sm.mu);
+  sm.sites.clear();
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+  g_free_count.store(0, std::memory_order_relaxed);
+  g_free_bytes.store(0, std::memory_order_relaxed);
+}
+
+void HeapProfiler::OnAlloc(size_t bytes) {
+  HookGuard guard;
+  if (!guard.entered) return;
+  (void)&t_counters_owner;  // odr-use: pins the thread-exit flush
+  ThreadCounters& tc = t_counters;
+  ++tc.alloc_count;
+  tc.alloc_bytes += bytes;
+  if (++tc.pending >= kFlushEvery) FlushCounters();
+  if (--tc.sample_countdown == 0) {
+    uint32_t every = g_sample_every.load(std::memory_order_relaxed);
+    if (every == 0) every = 1;
+    tc.sample_countdown = every;
+    ChargeSite(bytes, every);
+  }
+}
+
+void HeapProfiler::OnFree(size_t bytes) {
+  HookGuard guard;
+  if (!guard.entered) return;
+  ThreadCounters& tc = t_counters;
+  ++tc.free_count;
+  tc.free_bytes += bytes;
+  if (++tc.pending >= kFlushEvery) FlushCounters();
+}
+
+}  // namespace kglink::obs
+
+#if defined(KGLINK_HEAP_PROFILER_ENABLED)
+
+// Global operator new/delete interposition. Every variant funnels into
+// malloc/posix_memalign + free so allocation and deallocation always
+// agree, with byte accounting via malloc_usable_size (the allocator's
+// real cost, not the request size).
+
+namespace {
+
+inline size_t UsableSize(void* p) {
+#if defined(__GLIBC__)
+  return ::malloc_usable_size(p);
+#else
+  return 0;
+#endif
+}
+
+inline bool HeapHooksOn() {
+  return kglink::obs::HeapProfiler::Global().enabled();
+}
+
+inline void AccountAlloc(void* p) {
+  if (p != nullptr && HeapHooksOn()) {
+    kglink::obs::HeapProfiler::Global().OnAlloc(UsableSize(p));
+  }
+}
+
+void* AllocPlain(std::size_t size) noexcept {
+  void* p = std::malloc(size ? size : 1);
+  AccountAlloc(p);
+  return p;
+}
+
+void* AllocAligned(std::size_t size, std::size_t align) noexcept {
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (::posix_memalign(&p, align, size ? size : 1) != 0) return nullptr;
+  AccountAlloc(p);
+  return p;
+}
+
+template <typename AllocFn>
+void* AllocOrThrow(std::size_t size, AllocFn alloc) {
+  for (;;) {
+    if (void* p = alloc(size)) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void FreePtr(void* p) noexcept {
+  if (p == nullptr) return;
+  if (HeapHooksOn()) {
+    kglink::obs::HeapProfiler::Global().OnFree(UsableSize(p));
+  }
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return AllocOrThrow(size, AllocPlain); }
+void* operator new[](std::size_t size) {
+  return AllocOrThrow(size, AllocPlain);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return AllocPlain(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return AllocPlain(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return AllocOrThrow(size, [align](std::size_t n) {
+    return AllocAligned(n, static_cast<std::size_t>(align));
+  });
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return AllocOrThrow(size, [align](std::size_t n) {
+    return AllocAligned(n, static_cast<std::size_t>(align));
+  });
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return AllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return AllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { FreePtr(p); }
+void operator delete[](void* p) noexcept { FreePtr(p); }
+void operator delete(void* p, std::size_t) noexcept { FreePtr(p); }
+void operator delete[](void* p, std::size_t) noexcept { FreePtr(p); }
+void operator delete(void* p, std::align_val_t) noexcept { FreePtr(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { FreePtr(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  FreePtr(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  FreePtr(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { FreePtr(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  FreePtr(p);
+}
+
+#endif  // KGLINK_HEAP_PROFILER_ENABLED

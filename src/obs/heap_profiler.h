@@ -1,0 +1,94 @@
+// Heap/memory attribution, compiled in with -DKGLINK_ENABLE_HEAP_PROFILER=ON
+// (default OFF — it replaces the global operator new/delete, which also
+// rules out combining it with ASan/TSan builds; CMake rejects that mix).
+//
+// When compiled in AND runtime-enabled, every operator new/delete charges
+// byte and allocation counts to per-thread counters (flushed to process
+// totals every few hundred events), and every Nth allocation additionally
+// charges its size × N to the calling thread's current profile-frame
+// stack (see obs/profiler.h) — sampled call-site accounting in the
+// tcmalloc heap-profile tradition. With sample_every == 1 the per-site
+// numbers are exact, which is what the deterministic allocation tests
+// pin.
+//
+// When compiled out, the class still exists so status surfaces can report
+// {"compiled_in": false}; Enable() is a no-op and no hook ever runs.
+#ifndef KGLINK_OBS_HEAP_PROFILER_H_
+#define KGLINK_OBS_HEAP_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kglink::obs {
+
+#if defined(KGLINK_HEAP_PROFILER_ENABLED)
+inline constexpr bool kHeapProfilerCompiledIn = true;
+#else
+inline constexpr bool kHeapProfilerCompiledIn = false;
+#endif
+
+struct HeapProfilerOptions {
+  // Charge every Nth allocation (per thread) to its call-site stack,
+  // scaled by N. 1 = exact accounting.
+  uint32_t sample_every = 64;
+  // Distinct call-site stacks tracked before further sites fold into a
+  // single "(heap.overflow)" bucket.
+  size_t max_sites = 4096;
+};
+
+struct HeapTotals {
+  uint64_t alloc_count = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t free_count = 0;
+  uint64_t free_bytes = 0;
+  int64_t live_bytes() const {
+    return static_cast<int64_t>(alloc_bytes) -
+           static_cast<int64_t>(free_bytes);
+  }
+};
+
+struct HeapSite {
+  std::vector<const char*> frames;  // profile stack, bottom→top
+  uint64_t bytes = 0;               // scaled by sample_every
+  uint64_t count = 0;               // scaled by sample_every
+};
+
+class HeapProfiler {
+ public:
+  static HeapProfiler& Global();
+
+  // No-ops when not compiled in (status stays disabled so callers can
+  // warn instead of silently reporting zeros).
+  void Enable(const HeapProfilerOptions& options = {});
+  void Disable();
+  bool enabled() const;
+  HeapProfilerOptions options() const;
+
+  // Process totals from flushed per-thread counters. Call
+  // FlushCurrentThread() first for an exact view of this thread's work.
+  HeapTotals totals() const;
+  void FlushCurrentThread();
+
+  // Call-site accounting, sorted by bytes descending (ties by stack).
+  std::vector<HeapSite> Sites() const;
+  // Collapsed-stack text weighted by allocated bytes ("a;b;c <bytes>").
+  std::string CollapsedAllocBytes() const;
+  Status WriteCollapsed(const std::string& path) const;
+
+  std::string StatusJson() const;
+
+  // Clears sites and flushed totals. Other threads' unflushed counters
+  // survive a reset; single-threaded tests flush first.
+  void ResetForTest();
+
+  // Hooks for the interposed operator new/delete (heap_profiler.cc).
+  void OnAlloc(size_t bytes);
+  void OnFree(size_t bytes);
+};
+
+}  // namespace kglink::obs
+
+#endif  // KGLINK_OBS_HEAP_PROFILER_H_

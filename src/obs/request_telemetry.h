@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/profiler.h"
 #include "util/deadline.h"
 
 namespace kglink::obs {
@@ -83,11 +84,16 @@ struct RequestTelemetry {
 
 // RAII stage timer keyed off the context's telemetry pointer: no-ops (one
 // null test, no clock read) when the request carries no telemetry. Use via
-// KGLINK_STAGE_TIMER so telemetry-disabled builds compile it out.
+// KGLINK_STAGE_TIMER so telemetry-disabled builds compile it out. The
+// timer doubles as the profiler's stage frame: while the sampling
+// profiler is armed, the scope appears on the thread's profile stack
+// under the stage's name (even for requests with no telemetry attached).
 class ScopedStageTimer {
  public:
   ScopedStageTimer(const RequestContext* rc, Stage stage)
-      : telemetry_(rc != nullptr ? rc->telemetry : nullptr), stage_(stage) {
+      : telemetry_(rc != nullptr ? rc->telemetry : nullptr),
+        stage_(stage),
+        profile_frame_(StageName(stage)) {
     if (telemetry_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedStageTimer() {
@@ -106,6 +112,7 @@ class ScopedStageTimer {
  private:
   RequestTelemetry* telemetry_;
   Stage stage_;
+  [[no_unique_address]] ProfileFrame profile_frame_;
   std::chrono::steady_clock::time_point start_{};
 };
 
@@ -127,6 +134,12 @@ class ScopedStageTimer {
       (rc)->telemetry->field += static_cast<uint64_t>(delta);          \
     }                                                                  \
   } while (0)
+#elif defined(KGLINK_PROFILER_ENABLED)
+// Telemetry compiled out but the profiler is in: stage scopes still show
+// up as profile frames (rc is deliberately unused).
+#define KGLINK_STAGE_TIMER(rc, stage) \
+  KGLINK_PROFILE_FRAME(::kglink::obs::StageName(stage))
+#define KGLINK_TELEMETRY_COUNT(rc, field, delta) ((void)0)
 #else
 #define KGLINK_STAGE_TIMER(rc, stage) ((void)0)
 #define KGLINK_TELEMETRY_COUNT(rc, field, delta) ((void)0)

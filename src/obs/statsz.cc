@@ -4,6 +4,7 @@
 
 #include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/csv.h"
 
 namespace kglink::obs {
@@ -51,6 +52,8 @@ std::string StatszDumper::ComposeJson() {
                         .count();
   std::string out = "{\"seq\": " + std::to_string(seq);
   out += ", \"uptime_s\": " + JsonNumber(uptime_s);
+  // Refreshes the process.mem.* gauges before the metrics snapshot below.
+  out += ", \"profile\": " + Profiler::Global().StatusJson();
   out += ", \"metrics\": " + MetricsRegistry::Global().SnapshotJson();
   for (const auto& [key, fn] : sections) {
     out += ", \"" + JsonEscape(key) + "\": " + fn();
@@ -59,7 +62,11 @@ std::string StatszDumper::ComposeJson() {
   return out;
 }
 
-Status StatszDumper::WriteOnce() { return WriteFile(path_, ComposeJson()); }
+Status StatszDumper::WriteOnce() {
+  // Durable publish (temp + fsync + rename): the statsz file is what an
+  // operator reads after a crash, so it must never be torn.
+  return WriteFileDurable(path_, ComposeJson());
+}
 
 void StatszDumper::Start() {
   std::lock_guard<std::mutex> lock(mu_);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/json_util.h"
+#include "obs/profiler.h"
 #include "util/csv.h"
 
 namespace kglink::obs {
@@ -64,6 +65,11 @@ Status TraceRecorder::WriteChromeJson(const std::string& path) const {
 }
 
 ScopedSpan::ScopedSpan(std::string_view name) {
+#if defined(KGLINK_PROFILER_ENABLED)
+  if (ProfilerArmed()) {
+    profile_pushed_ = profiler_internal::PushFrame(InternFrameName(name));
+  }
+#endif
   TraceRecorder& recorder = TraceRecorder::Global();
   if (!recorder.enabled()) return;
   active_ = true;
@@ -73,6 +79,9 @@ ScopedSpan::ScopedSpan(std::string_view name) {
 }
 
 ScopedSpan::~ScopedSpan() {
+#if defined(KGLINK_PROFILER_ENABLED)
+  if (profile_pushed_) profiler_internal::PopFrame();
+#endif
   if (!active_) return;
   --g_span_depth;
   // Record the end even if Stop() raced in between, so every 'B' has a

@@ -92,6 +92,9 @@ class ScopedSpan {
   std::string name_;
   int depth_ = 0;
   bool active_ = false;
+  // While the sampling profiler is armed, the span's name is also pushed
+  // as a profile frame (interned on first use); see obs/profiler.h.
+  bool profile_pushed_ = false;
 };
 
 // Sampling mask for SampledLatencyTimer: (1 << shift) - 1, so one in every

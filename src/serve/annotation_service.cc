@@ -6,6 +6,7 @@
 #include "obs/json_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "search/cell_link_cache.h"
 
 namespace kglink::serve {
@@ -392,6 +393,7 @@ std::string AnnotationService::HealthJson() const {
   uint64_t sequence = 0;
   std::string source;
   std::string last_error;
+  std::shared_ptr<const store::LoadedSnapshot> serving;
   {
     std::lock_guard<std::mutex> lock(mu_);
     accepting = accepting_;
@@ -403,8 +405,21 @@ std::string AnnotationService::HealthJson() const {
       generation = serving_snapshot_->generation;
       sequence = serving_snapshot_->sequence;
       source = serving_snapshot_->source_path;
+      serving = serving_snapshot_;
     }
     last_error = last_reload_error_;
+  }
+  // Residency is an O(pages) mincore scan — run it outside mu_, on the
+  // shared_ptr copied above, and refresh the gauges on every render so
+  // cold-page behavior after --reload-snapshot is visible.
+  store::MappedResidency residency;
+  if (serving != nullptr && serving->snapshot != nullptr) {
+    residency = serving->snapshot->Residency();
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetGauge("store.snapshot.mapped_bytes")
+        .Set(static_cast<double>(residency.mapped_bytes));
+    reg.GetGauge("store.snapshot.resident_bytes")
+        .Set(static_cast<double>(residency.resident_bytes));
   }
   std::string out = "{\"accepting\": ";
   out += accepting ? "true" : "false";
@@ -442,6 +457,11 @@ std::string AnnotationService::HealthJson() const {
     out += ", \"version_skew\": " +
            std::to_string(
                reg.GetCounter("store.snapshot.version_skew").value());
+    if (serving != nullptr) {
+      out += ", \"mapped_bytes\": " + std::to_string(residency.mapped_bytes);
+      out +=
+          ", \"resident_bytes\": " + std::to_string(residency.resident_bytes);
+    }
     if (!last_error.empty()) {
       out += ", \"last_error\": \"" + obs::JsonEscape(last_error) + "\"";
     }
@@ -455,6 +475,8 @@ std::string AnnotationService::HealthJson() const {
            ", \"misses\": " + std::to_string(cache->misses()) +
            ", \"evictions\": " + std::to_string(cache->evictions()) + "}";
   }
+  // Profiler run state + heap/process memory; refreshes process.mem.*.
+  out += ", \"profile\": " + obs::Profiler::Global().StatusJson();
   if (robust::BreakerRegistry::Enabled()) {
     out += ", \"breakers\": {";
     for (int i = 0; i < robust::kNumFaultSites; ++i) {

@@ -176,13 +176,18 @@ class AnnotationService {
   //  "window":{window_s,count,mean_us,p50_us,p99_us,p999_us},
   //  "slo":{target_us,objective,burning,short:{…},long:{…}},
   //  "snapshot":{attached,generation,sequence,source,reloading,
-  //              loads,load_failures,quarantined,version_skew[,last_error]},
+  //              loads,load_failures,quarantined,version_skew
+  //              [,mapped_bytes,resident_bytes][,last_error]},
   //  "cell_cache":{capacity,size,hits,misses,evictions},
+  //  "profile":{compiled_in,running,hz,ticks,samples,…,heap:{…},
+  //             process:{rss_bytes,peak_rss_bytes,arena_bytes}},
   //  "breakers":{site:state,…}}
   // "window"/"slo" cover the sliding windows configured in ServiceOptions
   // (not cumulative-since-start). snapshot appears only after
-  // AttachSnapshotStore; cell_cache only when the annotator's cell-link
-  // cache is enabled; breaker states only while breakers are enabled.
+  // AttachSnapshotStore (mapped/resident bytes once a generation is
+  // adopted — a mincore scan refreshed per render, -1 where unsupported);
+  // cell_cache only when the annotator's cell-link cache is enabled;
+  // breaker states only while breakers are enabled.
   std::string HealthJson() const;
 
   // Total requests that finished with `status` (includes shed/overloaded

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "robust/fault_injector.h"
 
@@ -28,6 +29,36 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   other.data_ = nullptr;
   other.size_ = 0;
   return *this;
+}
+
+MappedResidency MappedFile::Residency() const {
+  MappedResidency r;
+  if (!valid()) return r;
+  r.mapped_bytes = static_cast<int64_t>(size_);
+#if defined(__linux__) || defined(__APPLE__)
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t pages = (size_ + page - 1) / page;
+  // Apple declares the vector as char*, Linux as unsigned char*.
+#if defined(__APPLE__)
+  std::vector<char> vec(pages);
+#else
+  std::vector<unsigned char> vec(pages);
+#endif
+  void* addr = const_cast<char*>(data_);
+  if (::mincore(addr, size_, vec.data()) != 0) {
+    return r;  // resident_bytes stays -1
+  }
+  int64_t resident = 0;
+  for (size_t i = 0; i < pages; ++i) {
+    if (vec[i] & 1) {
+      size_t span = (i + 1 == pages && size_ % page != 0) ? size_ % page
+                                                          : page;
+      resident += static_cast<int64_t>(span);
+    }
+  }
+  r.resident_bytes = resident;
+#endif
+  return r;
 }
 
 StatusOr<MappedFile> MappedFile::Open(const std::string& path) {

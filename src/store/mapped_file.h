@@ -14,6 +14,14 @@
 
 namespace kglink::store {
 
+// Page-residency readings for a mapping. `resident_bytes` is -1 on
+// platforms without mincore(); `mapped_bytes` is 0 for an invalid
+// mapping.
+struct MappedResidency {
+  int64_t mapped_bytes = 0;
+  int64_t resident_bytes = -1;
+};
+
 class MappedFile {
  public:
   MappedFile() = default;
@@ -34,6 +42,12 @@ class MappedFile {
   size_t size() const { return size_; }
   std::string_view bytes() const { return {data_, size_}; }
   bool valid() const { return data_ != nullptr; }
+
+  // Scans the mapping with mincore() and reports how many of its pages
+  // are currently resident — mmap cold-page behavior after a snapshot
+  // reload, surfaced as store.snapshot.{mapped,resident}_bytes gauges.
+  // O(pages) per call; intended for health/statsz renders, not hot paths.
+  MappedResidency Residency() const;
 
  private:
   const char* data_ = nullptr;

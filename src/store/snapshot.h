@@ -62,6 +62,10 @@ class Snapshot {
   uint32_t format_version() const { return header_.format_version; }
   const std::string& path() const { return path_; }
 
+  // Page residency of the underlying mapping (mincore scan; see
+  // MappedFile::Residency). resident_bytes is -1 where unsupported.
+  MappedResidency Residency() const { return file_.Residency(); }
+
   // Frozen views borrowing the mapping; this Snapshot must outlive them.
   // In lazy mode the first call validates the sections it reads and may
   // return kCorruption. Safe to call concurrently with each other (the

@@ -12,6 +12,7 @@
 
 #include "robust/fault_injector.h"
 #include "util/crc32.h"
+#include "util/csv.h"
 
 namespace kglink::store {
 
@@ -49,66 +50,6 @@ StringRef AddString(std::string& blob, const std::string& s) {
   ref.length = static_cast<uint32_t>(s.size());
   blob.append(s);
   return ref;
-}
-
-// Durable write-then-rename publish. Returns kIoError on any syscall
-// failure; the destination is replaced only after the temp file's bytes
-// have reached the disk.
-Status PublishAtomically(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0644);
-  if (fd < 0) {
-    return Status::IoError("open failed: " + tmp + ": " +
-                           std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status s = Status::IoError("write failed: " + tmp + ": " +
-                                 std::strerror(errno));
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return s;
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    Status s = Status::IoError("fsync failed: " + tmp + ": " +
-                               std::strerror(errno));
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return s;
-  }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    return Status::IoError("close failed: " + tmp + ": " +
-                           std::strerror(errno));
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status s = Status::IoError("rename failed: " + path + ": " +
-                               std::strerror(errno));
-    ::unlink(tmp.c_str());
-    return s;
-  }
-  // fsync the directory so the rename itself survives power loss.
-  std::string dir;
-  size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) {
-    dir = ".";
-  } else if (slash == 0) {
-    dir = "/";
-  } else {
-    dir = path.substr(0, slash);
-  }
-  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd >= 0) {
-    ::fsync(dfd);  // best-effort: the data fsync above is the hard gate
-    ::close(dfd);
-  }
-  return Status::Ok();
 }
 
 }  // namespace
@@ -318,7 +259,10 @@ Status WriteSnapshot(const std::string& path, const kg::KnowledgeGraph& kg,
     }
     return Status::IoError("injected torn write: " + path);
   }
-  return PublishAtomically(path, out);
+  // Durable publish: temp + fsync + rename + directory fsync. The
+  // destination is replaced only after the temp file's bytes have
+  // reached the disk.
+  return WriteFileDurable(path, out);
 }
 
 }  // namespace kglink::store

@@ -1,6 +1,12 @@
 #include "util/csv.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -121,6 +127,64 @@ Status WriteFile(const std::string& path, std::string_view content) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IoError("open failed: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IoError("write failed: " + tmp + ": " +
+                                 std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = Status::IoError("fsync failed: " + tmp + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("close failed: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::IoError("rename failed: " + path + ": " +
+                               std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  // fsync the directory so the rename itself survives power loss.
+  std::string dir;
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path.substr(0, slash);
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best-effort: the data fsync above is the hard gate
+    ::close(dfd);
   }
   return Status::Ok();
 }

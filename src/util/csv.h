@@ -31,6 +31,14 @@ StatusOr<std::string> ReadFile(const std::string& path);
 // a failed or interrupted write never replaces or tears existing content.
 Status WriteFile(const std::string& path, std::string_view content);
 
+// Durable variant of WriteFile: temp + fsync + rename + directory fsync,
+// so the published file survives power loss as well as process crashes.
+// Snapshot publication, checkpoint saves, periodic statsz dumps and the
+// flight-recorder slow-log all publish through this path; plain WriteFile
+// remains for artifacts where torn-after-power-loss is acceptable (bulk
+// corpus CSVs, one-shot trace/metrics exports).
+Status WriteFileDurable(const std::string& path, std::string_view content);
+
 }  // namespace kglink
 
 #endif  // KGLINK_UTIL_CSV_H_

@@ -19,7 +19,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-std::string TempDir(const char* name) {
+std::string TempDir(const std::string& name) {
   std::string dir = (fs::temp_directory_path() / name).string();
   fs::remove_all(dir);
   fs::create_directories(dir);
@@ -131,7 +131,12 @@ std::vector<nn::NamedParam> MakeParams() {
 class CheckpointCorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = TempDir("kglink_adv_ckpt");
+    // Unique per test case: ctest runs each case as its own process, so a
+    // shared fixture dir would let one case's SetUp remove_all() race a
+    // sibling's in-flight save.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = TempDir(std::string("kglink_adv_ckpt_") + info->name());
     path_ = dir_ + "/model.ckpt";
   }
   void TearDown() override {
