@@ -36,6 +36,7 @@
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
 #include "serve/annotation_service.h"
+#include "serve/loadgen.h"
 #include "store/snapshot_store.h"
 #include "store/snapshot_writer.h"
 #include "table/corpus_io.h"
@@ -85,6 +86,18 @@ struct Args {
   int64_t deadline_ms = 0;  // --deadline-ms N: per-request deadline
   int max_queue = 64;     // --max-queue N: admission-control bound
   int cell_cache = 4096;  // --cell-cache N: cell-link cache entries (0=off)
+  // Overload control (served eval / load eval).
+  std::string admission = "static";  // --admission=codel|static
+  bool brownout = false;             // --brownout: degradation ladder on
+  double retry_budget = 0.0;  // --retry-budget N: retry tokens/s (0=off)
+  // Load-eval (eval with --load-rate > 0): open-loop arrivals against the
+  // service instead of one submission per test table.
+  double load_rate = 0.0;          // --load-rate R: offered arrivals/s
+  double load_duration_s = 5.0;    // --load-duration-s S
+  double load_zipf = 1.1;          // --load-zipf S: popularity skew
+  int64_t load_burst_on_ms = 0;    // --load-burst-on-ms N
+  int64_t load_burst_off_ms = 0;   // --load-burst-off-ms N
+  uint64_t load_seed = 1;          // --load-seed N
 };
 
 int Usage() {
@@ -108,6 +121,29 @@ int Usage() {
       "  --slo-ms N       served-latency SLO target; HealthJson/--statsz\n"
       "                   report sliding-window compliance and burn rate\n"
       "                   against it (default 100)\n"
+      "\n"
+      "overload control (served eval / load eval):\n"
+      "  --admission=MODE static (queue-full bound only, default) or codel\n"
+      "                   (CoDel: shed on sustained queue sojourn above\n"
+      "                   target — the hard bound still applies)\n"
+      "  --brownout       enable the degradation ladder full -> cache-only\n"
+      "                   linking -> PLM-only -> refuse, stepped by the SLO\n"
+      "                   burn rate with hysteresis; results carry the tier\n"
+      "                   in degrade_reason (\"brownout:...\")\n"
+      "  --retry-budget N process-wide retry token budget (tokens/s, burst\n"
+      "                   2N; 0 = off). An exhausted budget degrades the\n"
+      "                   operation instead of retrying\n"
+      "\n"
+      "load eval (eval --load-rate R, requires --threads/--model):\n"
+      "  --load-rate R         open-loop offered arrivals/s over the test\n"
+      "                        tables (0 = normal served eval)\n"
+      "  --load-duration-s S   offered window (default 5)\n"
+      "  --load-zipf S         zipfian table-popularity exponent (default\n"
+      "                        1.1; 0 = uniform)\n"
+      "  --load-burst-on-ms N  on/off bursty arrivals: on-window (0 =\n"
+      "                        steady)\n"
+      "  --load-burst-off-ms N off-window\n"
+      "  --load-seed N         arrival-schedule seed (default 1)\n"
       "\n"
       "retrieval (train / eval / annotate):\n"
       "  --cell-cache N   cell-link cache capacity in entries (default\n"
@@ -225,6 +261,84 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!v) return false;
       args->cell_cache = std::atoi(v);
       if (args->cell_cache < 0) return false;
+    } else if (a.rfind("--admission=", 0) == 0 || a == "--admission") {
+      const char* v;
+      std::string held;
+      if (a == "--admission") {
+        v = next();
+        if (!v) return false;
+      } else {
+        held = a.substr(std::strlen("--admission="));
+        v = held.c_str();
+      }
+      args->admission = v;
+      if (!serve::AdmissionModeFromName(args->admission).has_value()) {
+        std::fprintf(stderr,
+                     "kglink_cli: --admission must be 'static' or 'codel', "
+                     "got '%s'\n",
+                     args->admission.c_str());
+        return false;
+      }
+    } else if (a == "--brownout") {
+      args->brownout = true;
+    } else if (a == "--retry-budget") {
+      const char* v = next();
+      if (!v) return false;
+      args->retry_budget = std::atof(v);
+      if (args->retry_budget < 0) return false;
+    } else if (a.rfind("--retry-budget=", 0) == 0) {
+      args->retry_budget = std::atof(a.c_str() + std::strlen("--retry-budget="));
+      if (args->retry_budget < 0) return false;
+    } else if (a == "--load-rate") {
+      const char* v = next();
+      if (!v) return false;
+      args->load_rate = std::atof(v);
+      if (args->load_rate < 0) return false;
+    } else if (a.rfind("--load-rate=", 0) == 0) {
+      args->load_rate = std::atof(a.c_str() + std::strlen("--load-rate="));
+      if (args->load_rate < 0) return false;
+    } else if (a == "--load-duration-s") {
+      const char* v = next();
+      if (!v) return false;
+      args->load_duration_s = std::atof(v);
+      if (args->load_duration_s <= 0) return false;
+    } else if (a.rfind("--load-duration-s=", 0) == 0) {
+      args->load_duration_s =
+          std::atof(a.c_str() + std::strlen("--load-duration-s="));
+      if (args->load_duration_s <= 0) return false;
+    } else if (a == "--load-zipf") {
+      const char* v = next();
+      if (!v) return false;
+      args->load_zipf = std::atof(v);
+      if (args->load_zipf < 0) return false;
+    } else if (a.rfind("--load-zipf=", 0) == 0) {
+      args->load_zipf = std::atof(a.c_str() + std::strlen("--load-zipf="));
+      if (args->load_zipf < 0) return false;
+    } else if (a == "--load-burst-on-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->load_burst_on_ms = std::atoll(v);
+      if (args->load_burst_on_ms < 0) return false;
+    } else if (a.rfind("--load-burst-on-ms=", 0) == 0) {
+      args->load_burst_on_ms =
+          std::atoll(a.c_str() + std::strlen("--load-burst-on-ms="));
+      if (args->load_burst_on_ms < 0) return false;
+    } else if (a == "--load-burst-off-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->load_burst_off_ms = std::atoll(v);
+      if (args->load_burst_off_ms < 0) return false;
+    } else if (a.rfind("--load-burst-off-ms=", 0) == 0) {
+      args->load_burst_off_ms =
+          std::atoll(a.c_str() + std::strlen("--load-burst-off-ms="));
+      if (args->load_burst_off_ms < 0) return false;
+    } else if (a == "--load-seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->load_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (a.rfind("--load-seed=", 0) == 0) {
+      args->load_seed = static_cast<uint64_t>(
+          std::atoll(a.c_str() + std::strlen("--load-seed=")));
     } else if (a.rfind("--trace=", 0) == 0) {
       args->trace_path = a.substr(std::strlen("--trace="));
       if (args->trace_path.empty()) return false;
@@ -498,14 +612,26 @@ int Train(const Args& args) {
 // submitted as concurrent requests with the CLI's deadline, and columns
 // from degraded/shed responses still count toward accuracy (they carry the
 // PLM-only predictions). Prints the per-status breakdown next to accuracy.
-int ServedEval(const Args& args, WorldSource& src,
-               core::KgLinkAnnotator& annotator, const table::Corpus& test) {
+// ServiceOptions shared by the served-eval and load-eval paths, including
+// the overload-control posture. ValidatedServiceOptions (applied by the
+// service constructor) clamps anything nonsensical with a logged warning.
+serve::ServiceOptions ServiceOptionsFromArgs(const Args& args) {
   serve::ServiceOptions sopts;
   sopts.num_threads = args.threads;
   sopts.max_queue = args.max_queue;
   sopts.default_deadline_us = args.deadline_ms * 1000;
   if (args.slo_ms > 0) sopts.slo_target_us = args.slo_ms * 1000;
-  serve::AnnotationService service(&annotator, sopts);
+  sopts.admission =
+      serve::AdmissionModeFromName(args.admission).value_or(
+          serve::AdmissionMode::kStatic);
+  sopts.brownout.enabled = args.brownout;
+  sopts.retry_budget_per_second = args.retry_budget;
+  return sopts;
+}
+
+int ServedEval(const Args& args, WorldSource& src,
+               core::KgLinkAnnotator& annotator, const table::Corpus& test) {
+  serve::AnnotationService service(&annotator, ServiceOptionsFromArgs(args));
   if (src.store != nullptr) service.AttachSnapshotStore(src.store.get());
   if (g_statsz != nullptr) {
     g_statsz->AddSection("serve",
@@ -576,10 +702,55 @@ int ServedEval(const Args& args, WorldSource& src,
                   static_cast<long long>(n));
     }
   }
+  if (args.brownout) {
+    for (int t = 0; t < serve::kNumBrownoutTiers; ++t) {
+      auto tier = static_cast<serve::BrownoutTier>(t);
+      int64_t n = service.tier_completed(tier);
+      if (n > 0) {
+        std::printf("  tier %-10s %lld\n", serve::BrownoutTierName(tier),
+                    static_cast<long long>(n));
+      }
+    }
+  }
   if (obs::Profiler::Global().running()) {
     // Hot-frame summary for the serving run (export happens at exit).
     std::fputs(obs::Profiler::Global().SummaryText().c_str(), stdout);
   }
+  return 0;
+}
+
+// eval --load-rate R: open-loop offered load over the test tables instead
+// of one submission each — the CLI entry point to the load harness (the
+// full gated version lives in bench/bench_load.cc). Prints the LoadReport
+// JSON; accuracy is not computed (arrivals repeat zipf-picked tables).
+int LoadEval(const Args& args, WorldSource& src,
+             core::KgLinkAnnotator& annotator, const table::Corpus& test) {
+  serve::AnnotationService service(&annotator, ServiceOptionsFromArgs(args));
+  if (src.store != nullptr) service.AttachSnapshotStore(src.store.get());
+  if (g_statsz != nullptr) {
+    g_statsz->AddSection("serve",
+                         [&service] { return service.HealthJson(); });
+  }
+  std::vector<const table::Table*> tables;
+  tables.reserve(test.tables.size());
+  for (const auto& lt : test.tables) tables.push_back(&lt.table);
+
+  serve::LoadgenOptions lg;
+  lg.rate_per_second = args.load_rate;
+  lg.duration_us = static_cast<int64_t>(args.load_duration_s * 1e6);
+  lg.zipf_s = args.load_zipf;
+  lg.burst_on_us = args.load_burst_on_ms * 1000;
+  lg.burst_off_us = args.load_burst_off_ms * 1000;
+  lg.deadline_us = args.deadline_ms * 1000;
+  lg.seed = args.load_seed;
+  serve::LoadReport report = serve::RunOpenLoop(service, tables, lg);
+  std::printf("load report: %s\n", report.Json().c_str());
+
+  if (g_statsz != nullptr) {
+    std::string final_health = service.HealthJson();
+    g_statsz->AddSection("serve", [final_health] { return final_health; });
+  }
+  service.Shutdown();
   return 0;
 }
 
@@ -600,7 +771,12 @@ int Eval(const Args& args) {
     std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  if (args.threads > 1 || args.deadline_ms > 0) {
+  if (args.load_rate > 0) {
+    return LoadEval(args, src, annotator, *test);
+  }
+  if (args.threads > 1 || args.deadline_ms > 0 || args.brownout ||
+      args.retry_budget > 0 ||
+      args.admission != "static") {
     return ServedEval(args, src, annotator, *test);
   }
   eval::Metrics m = annotator.Evaluate(*test);

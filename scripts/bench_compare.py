@@ -22,7 +22,17 @@ The unit decides which direction is worse:
 Metrics present only in the candidate ("new") or only in the baseline
 ("missing") are reported but never fail the run — only regressions exit 1
 — so adding instrumentation does not break comparisons against older
-baselines.
+baselines. --require-metric NAME (repeatable) upgrades specific metrics
+to mandatory: the run fails if NAME is absent from the candidate, so a
+gate metric silently disappearing cannot pass as "missing, informational".
+
+BENCH_load.json (bench_load, the overload/chaos harness) follows these
+conventions: load.goodput_vs_peak is a ratio (higher is better — this is
+the machine-portable gate metric, overload goodput relative to the same
+machine's no-fault peak), load.*_per_second are items_per_second,
+load.p*_latency are seconds, and the shed/refusal/tier mixes are "share"
+(informational: tier_share.full rising is good, refused_share rising is
+bad, so no single direction applies).
 
 --include SUBSTR (repeatable) restricts the comparison to metrics whose
 bench or metric name contains any given substring — used by the CI
@@ -148,6 +158,16 @@ def main():
         "SUBSTR (repeatable); default: compare everything",
     )
     parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        dest="require_metric",
+        help="fail (exit 1) unless a metric with this exact name is "
+        "present in the candidate (repeatable) — protects gate metrics "
+        "from silently vanishing",
+    )
+    parser.add_argument(
         "--json",
         metavar="FILE",
         default=None,
@@ -160,6 +180,12 @@ def main():
     regressions, improvements, infos, missing, new = compare(
         baseline, candidate, args.threshold, args.include
     )
+
+    for name in args.require_metric or []:
+        if not any(name in metrics for metrics in candidate.values()):
+            regressions.append(
+                f"{name}: required metric absent from candidate"
+            )
 
     for title, lines in (
         ("regressions", regressions),

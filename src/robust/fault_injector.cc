@@ -39,6 +39,12 @@ obs::Counter& TotalTripCounter() {
   return c;
 }
 
+obs::Counter& LatencyTruncationCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "robust.faults.latency_truncated");
+  return c;
+}
+
 // Activates env-configured faults before any fault point runs, so
 // KGLINK_FAULTS works for binaries (benches, CLI) that never call
 // Configure explicitly.
@@ -132,7 +138,27 @@ Status FaultInjector::ConfigureFromSpec(std::string_view spec,
 
 void FaultInjector::Disable() { Configure({}, seed_); }
 
-bool FaultInjector::ShouldFail(FaultSite site) {
+void FaultInjector::SleepLatency(int64_t latency_us,
+                                 const RequestContext* request) {
+  int64_t sleep_us = latency_us;
+  if (request != nullptr && !request->Unbounded()) {
+    // Deadline-aware: an injected slow call may not sleep past its own
+    // request's expiry — a chaos run must never pin a worker for longer
+    // than the request it is hurting could have lived.
+    int64_t remaining = request->deadline.RemainingMicros();
+    if (request->cancel.Cancelled()) remaining = 0;
+    if (remaining < sleep_us) {
+      sleep_us = remaining > 0 ? remaining : 0;
+      latency_truncations_.fetch_add(1, std::memory_order_relaxed);
+      LatencyTruncationCounter().Add();
+    }
+  }
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+}
+
+bool FaultInjector::ShouldFail(FaultSite site, const RequestContext* request) {
   FaultRule rule;
   bool trip = false;
   {
@@ -148,13 +174,14 @@ bool FaultInjector::ShouldFail(FaultSite site) {
   TotalTripCounter().Add();
   if (rule.latency_us > 0) {
     // Latency fault: the operation is slow, not broken.
-    std::this_thread::sleep_for(std::chrono::microseconds(rule.latency_us));
+    SleepLatency(rule.latency_us, request);
     return false;
   }
   return true;
 }
 
-bool FaultInjector::ShouldFailWithRng(FaultSite site, Rng& rng) {
+bool FaultInjector::ShouldFailWithRng(FaultSite site, Rng& rng,
+                                      const RequestContext* request) {
   FaultRule rule = RuleFor(site);
   if (rule.probability <= 0.0) return false;
   if (!rng.Bernoulli(rule.probability)) return false;
@@ -165,10 +192,14 @@ bool FaultInjector::ShouldFailWithRng(FaultSite site, Rng& rng) {
   SiteTripCounter(site).Add();
   TotalTripCounter().Add();
   if (rule.latency_us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(rule.latency_us));
+    SleepLatency(rule.latency_us, request);
     return false;
   }
   return true;
+}
+
+int64_t FaultInjector::latency_truncations() const {
+  return latency_truncations_.load(std::memory_order_relaxed);
 }
 
 FaultRule FaultInjector::RuleFor(FaultSite site) const {

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string_view>
 
+#include "util/deadline.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -82,9 +83,13 @@ class FaultInjector {
   void Disable();
 
   // Slow path: rolls the site's RNG against its rule. For latency rules a
-  // trip sleeps and returns false (the operation proceeds). Never call
-  // directly from production code — use MaybeInject.
-  bool ShouldFail(FaultSite site);
+  // trip sleeps and returns false (the operation proceeds). With a non-null
+  // `request`, the injected sleep is capped at the request's remaining
+  // deadline budget — a fault can never sleep a worker past its own
+  // request's expiry — and each capped sleep counts in the
+  // "robust.faults.latency_truncated" metric. Never call directly from
+  // production code — use MaybeInject.
+  bool ShouldFail(FaultSite site, const RequestContext* request = nullptr);
 
   // Like ShouldFail, but draws from `rng` — a caller-owned stream — instead
   // of the site's shared global stream. The serving path gives every
@@ -93,7 +98,11 @@ class FaultInjector {
   // matter how worker threads interleave; the shared streams above stay
   // schedule-dependent under concurrency by construction. No draw happens
   // when the site has no active rule, which is stable for a fixed config.
-  bool ShouldFailWithRng(FaultSite site, Rng& rng);
+  bool ShouldFailWithRng(FaultSite site, Rng& rng,
+                         const RequestContext* request = nullptr);
+
+  // Injected latency sleeps that were cut short by a request deadline.
+  int64_t latency_truncations() const;
 
   // Copy of the site's active rule (zero probability when none).
   FaultRule RuleFor(FaultSite site) const;
@@ -114,19 +123,26 @@ class FaultInjector {
     int64_t trips = 0;
   };
 
+  // Sleeps a tripped latency rule, capped at the request's remaining
+  // deadline budget when one is supplied.
+  void SleepLatency(int64_t latency_us, const RequestContext* request);
+
   static std::atomic<bool> enabled_;
 
   mutable std::mutex mu_;
   uint64_t seed_ = 0;
   std::array<SiteState, kNumFaultSites> sites_;
   Rng jitter_rng_{0};
+  std::atomic<int64_t> latency_truncations_{0};
 };
 
 // The fault point used by production code: false (no fault) unless faults
-// are enabled AND the site's rule trips this call.
-inline bool MaybeInject(FaultSite site) {
+// are enabled AND the site's rule trips this call. `request` (optional)
+// makes an injected latency sleep deadline-aware.
+inline bool MaybeInject(FaultSite site,
+                        const RequestContext* request = nullptr) {
   if (!FaultInjector::Enabled()) return false;
-  return FaultInjector::Global().ShouldFail(site);
+  return FaultInjector::Global().ShouldFail(site, request);
 }
 
 }  // namespace kglink::robust

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/request_telemetry.h"
 #include "robust/circuit_breaker.h"
+#include "robust/retry_budget.h"
 
 namespace kglink::robust {
 
@@ -69,6 +70,10 @@ bool BackoffBlocked(const RequestContext* request, int64_t backoff_us) {
   return request->deadline.RemainingMicros() <= backoff_us;
 }
 
+bool RetryAllowed() {
+  return !RetryBudget::Enabled() || RetryBudget::Global().TryAcquire();
+}
+
 }  // namespace internal
 
 TableOpContext::TableOpContext(const RetryPolicy& policy,
@@ -104,7 +109,8 @@ bool TableOpContext::DeadlineExpired() {
 
 bool TableOpContext::RollFault(FaultSite site) {
   if (request_ != nullptr) {
-    return FaultInjector::Global().ShouldFailWithRng(site, fault_rng_);
+    return FaultInjector::Global().ShouldFailWithRng(site, fault_rng_,
+                                                     request_);
   }
   return FaultInjector::Global().ShouldFail(site);
 }
@@ -172,6 +178,15 @@ bool TableOpContext::AttemptRetryLoop(FaultSite site, bool* hard_failure) {
     if (!RollFault(site)) return true;
     if (attempt + 1 >= policy_.max_attempts) break;  // retries exhausted
     if (++retries_used_ > budget_.max_retries) {
+      Degrade("retry budget exhausted");
+      return false;
+    }
+    if (!internal::RetryAllowed()) {
+      // The process-wide budget is spent: degrade this table instead of
+      // adding retry traffic to a correlated fault burst. Reported as a
+      // hard failure so the site's breaker sees the pressure too — the
+      // operation did fail at least once to get here.
+      *hard_failure = true;
       Degrade("retry budget exhausted");
       return false;
     }

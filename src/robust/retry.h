@@ -21,6 +21,11 @@
 // circuit breaker (when breakers are enabled) so a tripped site fails
 // fast instead of burning retries.
 //
+// Both retry loops additionally sit under the process-wide RetryBudget
+// (robust/retry_budget.h) when it is enabled: each backoff-retry takes one
+// token first, and an empty bucket degrades/fails the operation instead of
+// retrying — a correlated fault burst cannot amplify into a retry storm.
+//
 // WithRetry: wraps a real fallible call (Status / StatusOr returning) in
 // the same injection + retry loop, for I/O paths; deadline-aware when a
 // RequestContext is supplied.
@@ -139,6 +144,9 @@ void SleepBackoff(const RetryPolicy& policy, int attempt, int64_t backoff_us);
 // True when a `backoff_us` sleep could not complete before the request
 // deadline (or the request is already expired/cancelled).
 bool BackoffBlocked(const RequestContext* request, int64_t backoff_us);
+// Consults the process-wide RetryBudget: true when the retry may proceed
+// (budget disabled, or a token was taken). False means degrade/fail now.
+bool RetryAllowed();
 }  // namespace internal
 
 // Runs `fn` (returning Status or StatusOr<T>) under fault injection at
@@ -157,7 +165,7 @@ auto WithRetry(FaultSite site, const RetryPolicy& policy, Fn&& fn,
         std::string("request expired before ") + FaultSiteName(site)));
   }
   for (int attempt = 0;; ++attempt) {
-    if (!MaybeInject(site)) {
+    if (!MaybeInject(site, request)) {
       Result r = fn();
       if (internal::CallOk(r) || !internal::IsRetryable(r) ||
           attempt + 1 >= policy.max_attempts) {
@@ -166,6 +174,12 @@ auto WithRetry(FaultSite site, const RetryPolicy& policy, Fn&& fn,
     } else if (attempt + 1 >= policy.max_attempts) {
       return Result(Status::IoError(std::string("injected fault at ") +
                                     FaultSiteName(site)));
+    }
+    if (!internal::RetryAllowed()) {
+      // Process-wide retry budget spent: fail now rather than amplify a
+      // correlated fault burst with more retry traffic.
+      return Result(Status::Unavailable(
+          std::string("retry budget exhausted at ") + FaultSiteName(site)));
     }
     if (request != nullptr) {
       double jitter = FaultInjector::Enabled()

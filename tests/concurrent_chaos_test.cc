@@ -20,6 +20,7 @@
 #include "robust/fault_injector.h"
 #include "search/search_engine.h"
 #include "serve/annotation_service.h"
+#include "serve/loadgen.h"
 #include "util/deadline.h"
 
 namespace kglink::serve {
@@ -209,6 +210,47 @@ TEST_F(ConcurrentChaosTest, SurvivesHeavyFaultsWithBreakersEnabled) {
                 .ForSite(robust::FaultSite::kSearchTopK)
                 .trips(),
             1);
+}
+
+TEST_F(ConcurrentChaosTest, LoadgenBatchChecksumIsByteIdenticalPerSeed) {
+  // The loadgen determinism contract bench_load's --check-determinism gate
+  // relies on: two identically seeded RunBatch rounds over a 4-thread
+  // service with 10% search faults + 1% predict faults fold every result
+  // (status, tier, predictions, degrade_reason, in submission order) to
+  // the same FNV-1a checksum, while a different seed diverges. Same
+  // conditions as the gate: static admission, brownout off, breakers off,
+  // no deadlines — wall-clock expiry is the one schedule-dependent piece.
+  const char* kFaults = "search.topk:0.1,predict:0.01";
+  LoadgenOptions lo;
+  lo.seed = 42;
+  lo.zipf_s = 1.1;
+  lo.deadline_us = 0;
+  auto run = [&](uint64_t seed) {
+    EXPECT_TRUE(
+        robust::FaultInjector::Global().ConfigureFromSpec(kFaults, seed).ok());
+    ServiceOptions so;
+    so.num_threads = 4;
+    so.max_queue = static_cast<int>(tables_.size()) * 4;
+    so.enable_circuit_breakers = false;
+    AnnotationService service(annotator_, so);
+    lo.seed = seed;
+    BatchResult r = RunBatch(service, tables_, 96, lo);
+    robust::FaultInjector::Global().Disable();
+    return r;
+  };
+
+  BatchResult a = run(42);
+  BatchResult b = run(42);
+  EXPECT_EQ(a.checksum, b.checksum);
+  for (int i = 0; i < kNumRequestStatuses; ++i) {
+    EXPECT_EQ(a.by_status[static_cast<size_t>(i)],
+              b.by_status[static_cast<size_t>(i)])
+        << RequestStatusName(static_cast<RequestStatus>(i));
+  }
+  // A different seed draws a different fault/popularity schedule; if the
+  // checksum still matched, it would not be discriminating anything.
+  BatchResult c = run(43);
+  EXPECT_NE(a.checksum, c.checksum);
 }
 
 }  // namespace

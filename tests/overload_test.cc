@@ -1,0 +1,394 @@
+// Overload-control unit tests under a virtual clock: the CoDel admission
+// controller's episode/control-law behavior, the brownout ladder's
+// monotone-with-hysteresis stepping, the process retry budget (token
+// bucket + WithRetry integration), ServiceOptions validation clamps, and
+// deadline-aware latency-fault truncation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "robust/fault_injector.h"
+#include "robust/retry.h"
+#include "robust/retry_budget.h"
+#include "serve/annotation_service.h"
+#include "serve/overload.h"
+#include "util/deadline.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace kglink::serve {
+namespace {
+
+// Virtual clock: tests advance time explicitly; nothing sleeps.
+struct VClock {
+  int64_t now_us = 1'000'000;
+  obs::ClockMicrosFn fn() {
+    return [this] { return now_us; };
+  }
+};
+
+// --- CoDel admission ----------------------------------------------------
+
+TEST(CodelAdmissionTest, NoShedWhileSojournBelowTarget) {
+  VClock clock;
+  CodelOptions o;
+  o.target_us = 5'000;
+  o.interval_us = 100'000;
+  CodelAdmissionController codel(o, clock.fn());
+  for (int i = 0; i < 50; ++i) {
+    codel.OnDequeue(1'000);
+    clock.now_us += 10'000;
+    EXPECT_FALSE(codel.ShouldShed());
+  }
+  EXPECT_FALSE(codel.overloaded());
+  EXPECT_EQ(codel.sheds(), 0);
+}
+
+TEST(CodelAdmissionTest, SustainedAboveTargetEntersOverloadAfterInterval) {
+  VClock clock;
+  CodelOptions o;
+  o.target_us = 5'000;
+  o.interval_us = 100'000;
+  CodelAdmissionController codel(o, clock.fn());
+
+  // Above-target sojourns, but the interval has not elapsed yet: no shed.
+  codel.OnDequeue(10'000);
+  EXPECT_FALSE(codel.ShouldShed());
+  clock.now_us += 50'000;
+  codel.OnDequeue(12'000);
+  EXPECT_FALSE(codel.ShouldShed());
+
+  // A full interval above target: the next dequeue flips to overloaded
+  // and arrivals start shedding.
+  clock.now_us += 60'000;
+  codel.OnDequeue(15'000);
+  EXPECT_TRUE(codel.overloaded());
+  EXPECT_TRUE(codel.ShouldShed());
+  EXPECT_EQ(codel.sheds(), 1);
+
+  // The control law paces further sheds at interval/sqrt(count): the very
+  // next arrival at the same instant is not shed.
+  EXPECT_FALSE(codel.ShouldShed());
+  clock.now_us += o.interval_us;  // >= interval/sqrt(2)
+  EXPECT_TRUE(codel.ShouldShed());
+}
+
+TEST(CodelAdmissionTest, SubTargetSojournExitsTheEpisode) {
+  VClock clock;
+  CodelOptions o;
+  o.target_us = 5'000;
+  o.interval_us = 100'000;
+  CodelAdmissionController codel(o, clock.fn());
+  codel.OnDequeue(10'000);
+  clock.now_us += o.interval_us + 1;
+  codel.OnDequeue(10'000);
+  EXPECT_TRUE(codel.overloaded());
+
+  // One good dequeue ends the episode; no more shedding.
+  codel.OnDequeue(1'000);
+  EXPECT_FALSE(codel.overloaded());
+  clock.now_us += 10 * o.interval_us;
+  EXPECT_FALSE(codel.ShouldShed());
+}
+
+TEST(CodelAdmissionTest, EwmaTracksSojournAndJsonHasFields) {
+  VClock clock;
+  CodelAdmissionController codel(CodelOptions{}, clock.fn());
+  codel.OnDequeue(8'000);
+  EXPECT_EQ(codel.sojourn_ewma_us(), 8'000);
+  codel.OnDequeue(16'000);
+  EXPECT_GT(codel.sojourn_ewma_us(), 8'000);
+  EXPECT_LT(codel.sojourn_ewma_us(), 16'000);
+  std::string json = codel.SnapshotJsonFields();
+  EXPECT_NE(json.find("\"sojourn_ewma_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"sheds\""), std::string::npos);
+}
+
+TEST(CodelAdmissionTest, ModeNamesRoundTrip) {
+  EXPECT_STREQ(AdmissionModeName(AdmissionMode::kStatic), "static");
+  EXPECT_STREQ(AdmissionModeName(AdmissionMode::kCodel), "codel");
+  EXPECT_EQ(AdmissionModeFromName("codel"), AdmissionMode::kCodel);
+  EXPECT_EQ(AdmissionModeFromName("static"), AdmissionMode::kStatic);
+  EXPECT_FALSE(AdmissionModeFromName("bogus").has_value());
+}
+
+// --- Brownout ladder ----------------------------------------------------
+
+obs::SloMonitor::Snapshot BurnSnapshot(bool burning, double short_burn,
+                                       double long_burn) {
+  obs::SloMonitor::Snapshot s;
+  s.burning = burning;
+  s.short_burn_rate = short_burn;
+  s.long_burn_rate = long_burn;
+  return s;
+}
+
+TEST(BrownoutTest, DisabledControllerNeverMoves) {
+  VClock clock;
+  BrownoutOptions o;  // enabled = false
+  BrownoutController ladder(o, clock.fn());
+  for (int i = 0; i < 10; ++i) {
+    clock.now_us += 10'000'000;
+    EXPECT_EQ(ladder.Update(BurnSnapshot(true, 100.0, 100.0)),
+              BrownoutTier::kFull);
+  }
+  EXPECT_EQ(ladder.transitions(), 0);
+}
+
+TEST(BrownoutTest, StepsUpMonotonicallyOneRungPerDwell) {
+  VClock clock;
+  BrownoutOptions o;
+  o.enabled = true;
+  o.dwell_us = 1'000'000;
+  BrownoutController ladder(o, clock.fn());
+  auto burning = BurnSnapshot(true, 10.0, 10.0);
+
+  // First Update sets the dwell origin; no instant transition.
+  EXPECT_EQ(ladder.Update(burning), BrownoutTier::kFull);
+  // Within the dwell: still full, no matter how hard it burns.
+  clock.now_us += o.dwell_us / 2;
+  EXPECT_EQ(ladder.Update(burning), BrownoutTier::kFull);
+  // Each elapsed dwell climbs exactly one rung — never two.
+  clock.now_us += o.dwell_us;
+  EXPECT_EQ(ladder.Update(burning), BrownoutTier::kCacheOnly);
+  clock.now_us += o.dwell_us;
+  EXPECT_EQ(ladder.Update(burning), BrownoutTier::kPlmOnly);
+  clock.now_us += o.dwell_us;
+  EXPECT_EQ(ladder.Update(burning), BrownoutTier::kRefuse);
+  // Top of the ladder: stays there.
+  clock.now_us += o.dwell_us;
+  EXPECT_EQ(ladder.Update(burning), BrownoutTier::kRefuse);
+  EXPECT_EQ(ladder.transitions(), 3);
+}
+
+TEST(BrownoutTest, HysteresisBandHoldsBetweenThresholds) {
+  VClock clock;
+  BrownoutOptions o;
+  o.enabled = true;
+  o.step_up_burn = 2.0;
+  o.step_down_burn = 0.5;
+  o.dwell_us = 1'000'000;
+  BrownoutController ladder(o, clock.fn());
+
+  ladder.Update(BurnSnapshot(true, 10.0, 10.0));
+  clock.now_us += o.dwell_us;
+  ASSERT_EQ(ladder.Update(BurnSnapshot(true, 10.0, 10.0)),
+            BrownoutTier::kCacheOnly);
+
+  // Inside the band (not burning, but short burn above step_down): holds —
+  // neither up nor down — no matter how many dwells pass.
+  for (int i = 0; i < 5; ++i) {
+    clock.now_us += o.dwell_us;
+    EXPECT_EQ(ladder.Update(BurnSnapshot(false, 1.0, 1.0)),
+              BrownoutTier::kCacheOnly);
+  }
+
+  // Recovered below step_down: one rung down per dwell, back to full.
+  clock.now_us += o.dwell_us;
+  EXPECT_EQ(ladder.Update(BurnSnapshot(false, 0.1, 1.0)),
+            BrownoutTier::kFull);
+  clock.now_us += o.dwell_us;
+  EXPECT_EQ(ladder.Update(BurnSnapshot(false, 0.1, 0.1)),
+            BrownoutTier::kFull);
+  EXPECT_EQ(ladder.transitions(), 2);
+}
+
+TEST(BrownoutTest, TierNames) {
+  EXPECT_STREQ(BrownoutTierName(BrownoutTier::kFull), "full");
+  EXPECT_STREQ(BrownoutTierName(BrownoutTier::kCacheOnly), "cache_only");
+  EXPECT_STREQ(BrownoutTierName(BrownoutTier::kPlmOnly), "plm_only");
+  EXPECT_STREQ(BrownoutTierName(BrownoutTier::kRefuse), "refuse");
+}
+
+// --- Retry budget -------------------------------------------------------
+
+TEST(RetryBudgetTest, BucketDrainsAndRefillsOnVirtualClock) {
+  VClock clock;
+  robust::RetryBudgetOptions o;
+  o.tokens_per_second = 10.0;
+  o.burst = 3.0;
+  robust::RetryBudget::Global().Enable(o, clock.fn());
+
+  EXPECT_TRUE(robust::RetryBudget::Global().TryAcquire());
+  EXPECT_TRUE(robust::RetryBudget::Global().TryAcquire());
+  EXPECT_TRUE(robust::RetryBudget::Global().TryAcquire());
+  EXPECT_FALSE(robust::RetryBudget::Global().TryAcquire());
+  EXPECT_EQ(robust::RetryBudget::Global().granted(), 3);
+  EXPECT_EQ(robust::RetryBudget::Global().denied(), 1);
+
+  // 150ms at 10 tokens/s = 1.5 tokens back: one grant, then denial again.
+  // (Not exactly 1.0 worth — the refill product is floating point.)
+  clock.now_us += 150'000;
+  EXPECT_TRUE(robust::RetryBudget::Global().TryAcquire());
+  EXPECT_FALSE(robust::RetryBudget::Global().TryAcquire());
+
+  // Refill is capped at burst.
+  clock.now_us += 10'000'000;
+  EXPECT_DOUBLE_EQ(robust::RetryBudget::Global().fill(), 3.0);
+
+  robust::RetryBudget::Global().Disable();
+}
+
+TEST(RetryBudgetTest, ExhaustedBudgetFailsWithRetryInsteadOfRetrying) {
+  // A fault site that always trips: with budget, WithRetry retries to
+  // max_attempts; with the budget exhausted it gives up after the first
+  // attempt with kUnavailable instead of burning more attempts.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("io.read:1.0", 7)
+                  .ok());
+  VClock clock;
+  robust::RetryBudgetOptions o;
+  o.tokens_per_second = 1.0;
+  o.burst = 1.0;
+  robust::RetryBudget::Global().Enable(o, clock.fn());
+
+  robust::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 1;
+  int calls = 0;
+  auto fn = [&calls]() {
+    ++calls;
+    return Status::Ok();
+  };
+  // First run: one retry token available, then the budget denies — the
+  // result is the budget's Unavailable, not the injected IoError.
+  Status first = robust::WithRetry(robust::FaultSite::kIoRead, policy, fn);
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_NE(first.ToString().find("retry budget exhausted"),
+            std::string::npos);
+  // Second run: no tokens at all — fails before any backoff.
+  Status second = robust::WithRetry(robust::FaultSite::kIoRead, policy, fn);
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 0);  // every attempt was suppressed by the injector
+  EXPECT_GE(robust::RetryBudget::Global().denied(), 2);
+
+  robust::RetryBudget::Global().Disable();
+  robust::FaultInjector::Global().Disable();
+}
+
+TEST(RetryBudgetTest, TableContextDegradesWhenBudgetExhausted) {
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("search.topk:1.0", 7)
+                  .ok());
+  VClock clock;
+  robust::RetryBudgetOptions o;
+  o.tokens_per_second = 0.001;  // effectively no refill during the test
+  o.burst = 1.0;
+  robust::RetryBudget::Global().Enable(o, clock.fn());
+
+  robust::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 1;
+  robust::TableBudget budget;
+  budget.max_failed_ops = 0;
+  budget.max_retries = 64;
+  robust::TableOpContext ctx(policy, budget, 1);
+  // The always-tripping site forces a retry; the budget (1 token) grants
+  // one, then denies — the context degrades instead of spinning through
+  // max_attempts.
+  EXPECT_FALSE(ctx.Attempt(robust::FaultSite::kSearchTopK));
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_STREQ(ctx.degrade_reason(), "retry budget exhausted");
+
+  robust::RetryBudget::Global().Disable();
+  robust::FaultInjector::Global().Disable();
+}
+
+TEST(RetryBudgetTest, DisabledBudgetNeverGates) {
+  robust::RetryBudget::Global().Disable();
+  EXPECT_FALSE(robust::RetryBudget::Enabled());
+  std::string json = robust::RetryBudget::Global().SnapshotJson();
+  EXPECT_NE(json.find("\"enabled\": false"), std::string::npos);
+}
+
+// --- ServiceOptions validation ------------------------------------------
+
+TEST(ValidatedServiceOptionsTest, ClampsNonsenseToSaneValues) {
+  ServiceOptions o;
+  o.num_threads = 0;
+  o.max_queue = -5;
+  o.default_deadline_us = -1;
+  o.codel.target_us = 0;
+  o.codel.interval_us = -7;
+  o.retry_budget_per_second = -3.0;
+  o.retry_budget_burst = -1.0;
+  o.brownout.dwell_us = -1;
+  o.brownout.step_up_burn = 0.0;
+  ServiceOptions v = ValidatedServiceOptions(o);
+  const ServiceOptions defaults;
+  EXPECT_EQ(v.num_threads, 1);
+  EXPECT_EQ(v.max_queue, 1);
+  EXPECT_EQ(v.default_deadline_us, 0);
+  EXPECT_EQ(v.codel.target_us, defaults.codel.target_us);
+  EXPECT_GE(v.codel.interval_us, v.codel.target_us);
+  EXPECT_EQ(v.retry_budget_per_second, 0.0);
+  EXPECT_EQ(v.retry_budget_burst, 0.0);
+  EXPECT_EQ(v.brownout.dwell_us, 0);
+  EXPECT_EQ(v.brownout.step_up_burn, defaults.brownout.step_up_burn);
+}
+
+TEST(ValidatedServiceOptionsTest, InvertedHysteresisBandIsPulledUnderStepUp) {
+  ServiceOptions o;
+  o.brownout.step_up_burn = 2.0;
+  o.brownout.step_down_burn = 5.0;  // inverted: would flap
+  ServiceOptions v = ValidatedServiceOptions(o);
+  EXPECT_LT(v.brownout.step_down_burn, v.brownout.step_up_burn);
+}
+
+TEST(ValidatedServiceOptionsTest, IntervalShorterThanTargetIsRaised) {
+  ServiceOptions o;
+  o.codel.target_us = 50'000;
+  o.codel.interval_us = 10'000;
+  ServiceOptions v = ValidatedServiceOptions(o);
+  EXPECT_EQ(v.codel.interval_us, v.codel.target_us);
+}
+
+// --- Deadline-aware latency faults --------------------------------------
+
+TEST(LatencyFaultTest, InjectedSleepIsCappedAtRemainingDeadline) {
+  // A 200ms latency rule against a 2ms deadline: the sleep must be cut to
+  // the remaining budget, not run its full course.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("predict:1.0:200000", 3)
+                  .ok());
+  int64_t before = robust::FaultInjector::Global().latency_truncations();
+  RequestContext rc;
+  rc.deadline = Deadline::AfterMicros(2'000);
+  Stopwatch watch;
+  // Latency rules sleep then report no failure.
+  EXPECT_FALSE(robust::MaybeInject(robust::FaultSite::kPredict, &rc));
+  EXPECT_LT(watch.ElapsedSeconds(), 0.15);  // nowhere near 200ms
+  EXPECT_EQ(robust::FaultInjector::Global().latency_truncations(),
+            before + 1);
+  robust::FaultInjector::Global().Disable();
+}
+
+TEST(LatencyFaultTest, CancelledRequestSkipsTheSleepEntirely) {
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("predict:1.0:200000", 3)
+                  .ok());
+  RequestContext rc;
+  rc.cancel = CancellationToken::Cancellable();
+  rc.cancel.Cancel();
+  Stopwatch watch;
+  EXPECT_FALSE(robust::MaybeInject(robust::FaultSite::kPredict, &rc));
+  EXPECT_LT(watch.ElapsedSeconds(), 0.05);
+  robust::FaultInjector::Global().Disable();
+}
+
+TEST(LatencyFaultTest, UnboundedRequestSleepsTheFullRule) {
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .ConfigureFromSpec("predict:1.0:20000", 3)
+                  .ok());
+  int64_t before = robust::FaultInjector::Global().latency_truncations();
+  Stopwatch watch;
+  EXPECT_FALSE(robust::MaybeInject(robust::FaultSite::kPredict, nullptr));
+  EXPECT_GE(watch.ElapsedSeconds(), 0.015);
+  EXPECT_EQ(robust::FaultInjector::Global().latency_truncations(), before);
+  robust::FaultInjector::Global().Disable();
+}
+
+}  // namespace
+}  // namespace kglink::serve
