@@ -117,8 +117,16 @@ std::string SanitizeMetricName(const std::string& name) {
 }
 
 void WriteBenchTelemetryAtExit() {
+  const std::string git = KGLINK_GIT_DESCRIBE;
+  // A "-dirty" describe means the binary was built from uncommitted
+  // sources: such numbers are unreproducible and must never become
+  // committed baselines. The explicit flag lets bench_compare.py and CI
+  // reject them without re-parsing the describe string.
+  const bool dirty = git.size() >= 6 &&
+                     git.compare(git.size() - 6, 6, "-dirty") == 0;
   std::string json = "{\"bench\":\"" + obs::JsonEscape(BenchName()) + "\"";
-  json += ",\"git\":\"" + obs::JsonEscape(KGLINK_GIT_DESCRIBE) + "\"";
+  json += ",\"git\":\"" + obs::JsonEscape(git) + "\"";
+  json += std::string(",\"dirty\":") + (dirty ? "true" : "false");
   json += ",\"scale\":" + obs::JsonNumber(ReadScale());
   json += ",\"metrics\":[";
   const std::vector<BenchMetric>& metrics = BenchMetrics();

@@ -54,8 +54,17 @@ LOWER_IS_BETTER = {"ns", "us", "ms", "s", "seconds"}
 HIGHER_IS_BETTER = {"percent", "ratio", "items_per_second"}
 
 
+def is_dirty(doc):
+    """A telemetry file from an uncommitted tree: the explicit "dirty"
+    flag when present (bench_common.cc), else a "-dirty" git describe
+    suffix for files written before the flag existed."""
+    if "dirty" in doc:
+        return bool(doc["dirty"])
+    return str(doc.get("git", "")).endswith("-dirty")
+
+
 def load_benches(path):
-    """Returns {bench_name: {metric_name: (value, unit)}}."""
+    """Returns ({bench_name: {metric_name: (value, unit)}}, [dirty_files])."""
     if os.path.isdir(path):
         files = sorted(
             os.path.join(path, f)
@@ -67,13 +76,16 @@ def load_benches(path):
     if not files:
         sys.exit(f"error: no BENCH_*.json files under {path}")
     benches = {}
+    dirty = []
     for f in files:
         with open(f, encoding="utf-8") as fh:
             doc = json.load(fh)
+        if is_dirty(doc):
+            dirty.append(f"{f} (git {doc.get('git', '?')})")
         metrics = benches.setdefault(doc.get("bench", os.path.basename(f)), {})
         for m in doc.get("metrics", []):
             metrics[m["name"]] = (float(m["value"]), m.get("unit", ""))
-    return benches
+    return benches, dirty
 
 
 def compare(baseline, candidate, threshold, include=None):
@@ -173,10 +185,31 @@ def main():
         default=None,
         help="also write a machine-readable summary (use '-' for stdout)",
     )
+    parser.add_argument(
+        "--reject-dirty-baseline",
+        action="store_true",
+        help="fail (exit 1) when any baseline file was produced from an "
+        "uncommitted tree (git describe '-dirty' / \"dirty\": true) — "
+        "dirty baselines are unreproducible; CI uses this to keep them "
+        "out of the repo",
+    )
     args = parser.parse_args()
 
-    baseline = load_benches(args.baseline)
-    candidate = load_benches(args.candidate)
+    baseline, baseline_dirty = load_benches(args.baseline)
+    candidate, candidate_dirty = load_benches(args.candidate)
+
+    # Dirty stamps always warn; the baseline side can be upgraded to a
+    # hard failure (CI keeps unreproducible numbers out of the tree).
+    for side, dirty_files in (
+        ("baseline", baseline_dirty),
+        ("candidate", candidate_dirty),
+    ):
+        for f in dirty_files:
+            print(
+                f"warning: {side} {f} was built from a dirty tree — "
+                "its numbers are not reproducible",
+                file=sys.stderr,
+            )
     regressions, improvements, infos, missing, new = compare(
         baseline, candidate, args.threshold, args.include
     )
@@ -186,6 +219,10 @@ def main():
             regressions.append(
                 f"{name}: required metric absent from candidate"
             )
+
+    if args.reject_dirty_baseline:
+        for f in baseline_dirty:
+            regressions.append(f"dirty baseline: {f}")
 
     for title, lines in (
         ("regressions", regressions),
@@ -207,6 +244,8 @@ def main():
             "informational": infos,
             "missing": missing,
             "new": new,
+            "dirty_baseline": baseline_dirty,
+            "dirty_candidate": candidate_dirty,
             "ok": not regressions,
         }
         text = json.dumps(summary, indent=2)

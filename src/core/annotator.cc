@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <limits>
 
 #include "obs/json_util.h"
@@ -48,6 +49,24 @@ struct TrainMetrics {
     return m;
   }
 };
+
+obs::Counter& BadTokenCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("encode.bad_token_id");
+  return c;
+}
+
+// Pre-encode validation gate: a genuine out-of-range id or a tripped
+// "encode.bad_token" fault site becomes a per-request InvalidArgument.
+Status CheckEncodeTokens(const std::vector<int>& tokens, int vocab_size) {
+  Status s = KgLinkAnnotator::ValidateTokenIds(tokens, vocab_size);
+  if (s.ok() && robust::MaybeInject(robust::FaultSite::kEncodeBadToken)) {
+    s = Status::InvalidArgument(
+        "injected bad token id (fault site encode.bad_token)");
+  }
+  if (!s.ok()) BadTokenCounter().Add();
+  return s;
+}
 
 }  // namespace
 
@@ -123,10 +142,146 @@ AnnotateOutcome KgLinkAnnotator::AnnotateTable(const table::Table& t,
 
   {
     KGLINK_STAGE_TIMER(rc, obs::Stage::kEncode);
-    out.predictions = PredictProcessed(processed);
+    out.status = PredictWithStatus(processed, &out.predictions);
   }
   out.degraded = processed.degraded;
   out.degrade_reason = processed.degrade_reason;
+  return out;
+}
+
+std::vector<AnnotateOutcome> KgLinkAnnotator::AnnotateBatch(
+    const std::vector<const table::Table*>& tables,
+    const std::vector<const RequestContext*>& rcs) {
+  const size_t n = tables.size();
+  KGLINK_CHECK_EQ(rcs.size(), n) << "AnnotateBatch rcs must parallel tables";
+  std::vector<AnnotateOutcome> out(n);
+  if (model_ == nullptr) {
+    for (auto& o : out) {
+      o.status = Status::FailedPrecondition("AnnotateBatch before Fit/Load");
+    }
+    return out;
+  }
+
+  // One pre-computed encode, in the exact order EvalForward will request
+  // them for the owning request: each chunk, then that chunk's non-empty
+  // feature sequences in column order.
+  struct EncodeJob {
+    const std::vector<int>* tokens = nullptr;
+    const std::vector<int>* segments = nullptr;  // null: no segments
+    nn::Tensor hidden;
+  };
+  struct Entry {
+    linker::ProcessedTable processed;
+    std::vector<SerializedTable> chunks;
+    std::deque<std::vector<int>> feature_store;  // stable addresses
+    std::vector<EncodeJob> jobs;
+    bool encode_ready = false;
+  };
+  std::vector<Entry> entries(n);
+  const int vocab_size = model_->config().encoder.vocab_size;
+
+  // Phase 1: Part 1 + the per-request predict gate + serialization and
+  // token validation. Every failure here is scoped to its own request.
+  for (size_t i = 0; i < n; ++i) {
+    Entry& e = entries[i];
+    const RequestContext* rc = rcs[i];
+    e.processed = pipeline_.Process(*tables[i], rc);
+    robust::TableOpContext ctx(
+        pipeline_.config().retry, pipeline_.config().fault_budget,
+        robust::FaultInjector::Global().seed() ^
+            (rc != nullptr ? rc->stream_key : 0),
+        rc);
+    if (!ctx.Attempt(robust::FaultSite::kPredict)) {
+      const char* reason = ctx.degrade_reason();
+      bool expiry = std::strcmp(reason, "deadline") == 0 ||
+                    std::strcmp(reason, "cancelled") == 0;
+      if (!expiry) {
+        out[i].status = Status::Unavailable(
+            std::string("predict failed at fault site ") +
+            robust::FaultSiteName(robust::FaultSite::kPredict));
+        continue;
+      }
+      if (!e.processed.degraded) {
+        e.processed = pipeline_.ProcessDegraded(*tables[i], reason);
+      }
+    }
+
+    e.chunks = serializer_->Serialize(e.processed, LabelSlot::kMask, nullptr,
+                                      options_.use_candidate_types);
+    Status s = Status::Ok();
+    for (const SerializedTable& chunk : e.chunks) {
+      s = CheckEncodeTokens(chunk.tokens, vocab_size);
+      if (!s.ok()) break;
+      e.jobs.push_back({&chunk.tokens, &chunk.segments, {}});
+      for (const SerializedColumn& sc : chunk.columns) {
+        const linker::ColumnKgInfo& info =
+            e.processed.columns[static_cast<size_t>(sc.source_col)];
+        if (!options_.use_feature_vector || !info.has_feature) continue;
+        std::vector<int> ftokens =
+            serializer_->EncodeFeature(info.feature_sequence);
+        if (ftokens.empty()) continue;
+        s = CheckEncodeTokens(ftokens, vocab_size);
+        if (!s.ok()) break;
+        e.feature_store.push_back(std::move(ftokens));
+        e.jobs.push_back({&e.feature_store.back(), nullptr, {}});
+      }
+      if (!s.ok()) break;
+    }
+    if (!s.ok()) {
+      out[i].status = std::move(s);
+      continue;
+    }
+    e.encode_ready = true;
+  }
+
+  // Phase 2: one padded masked forward per segment-presence bucket
+  // (ForwardBatch requires every item in a batch to agree on segments).
+  for (int want_segments = 0; want_segments < 2; ++want_segments) {
+    std::vector<nn::EncoderBatchItem> items;
+    std::vector<EncodeJob*> bucket;
+    for (Entry& e : entries) {
+      if (!e.encode_ready) continue;
+      for (EncodeJob& job : e.jobs) {
+        const bool has_seg =
+            job.segments != nullptr && !job.segments->empty();
+        if (has_seg != (want_segments == 1)) continue;
+        items.push_back({job.tokens, has_seg ? job.segments : nullptr});
+        bucket.push_back(&job);
+      }
+    }
+    if (items.empty()) continue;
+    std::vector<nn::Tensor> hidden =
+        model_->EncodeBatch(items, *rng_, /*training=*/false);
+    for (size_t j = 0; j < bucket.size(); ++j) {
+      bucket[j]->hidden = hidden[j];
+    }
+  }
+
+  // Phase 3: replay each request through the normal eval path, feeding the
+  // pre-computed hidden states back in call order.
+  for (size_t i = 0; i < n; ++i) {
+    Entry& e = entries[i];
+    if (!e.encode_ready) continue;
+    size_t cursor = 0;
+    EncodeFn fn = [&e, &cursor](const std::vector<int>& toks,
+                                const std::vector<int>&) {
+      KGLINK_CHECK_LT(cursor, e.jobs.size())
+          << "batched encode replay drifted from serialization";
+      EncodeJob& job = e.jobs[cursor++];
+      KGLINK_CHECK_EQ(job.tokens->size(), toks.size())
+          << "batched encode replay drifted from serialization";
+      return job.hidden;
+    };
+    {
+      KGLINK_STAGE_TIMER(rcs[i], obs::Stage::kEncode);
+      out[i].status =
+          PredictWithStatus(e.processed, &out[i].predictions, &fn);
+    }
+    KGLINK_CHECK_EQ(cursor, e.jobs.size())
+        << "batched encode replay consumed fewer encodes than planned";
+    out[i].degraded = e.processed.degraded;
+    out[i].degrade_reason = e.processed.degrade_reason;
+  }
   return out;
 }
 
@@ -166,11 +321,90 @@ void KgLinkAnnotator::BuildVocabulary(
   vocab_ = nn::Vocabulary::Build(corpus_texts, options_.max_vocab);
 }
 
+Status KgLinkAnnotator::EvalForward(
+    const PreparedTable& prepared, std::vector<int>* predictions,
+    std::vector<std::vector<float>>* logits_out, const EncodeFn* encode) {
+  if (predictions != nullptr) {
+    predictions->assign(prepared.processed.columns.size(), 0);
+  }
+  if (logits_out != nullptr) {
+    logits_out->assign(prepared.processed.columns.size(), {});
+  }
+  const int vocab_size = model_->config().encoder.vocab_size;
+  const int dim = model_->config().encoder.dim;
+
+  std::vector<SerializedTable> msk_chunks = serializer_->Serialize(
+      prepared.processed, LabelSlot::kMask, nullptr,
+      options_.use_candidate_types);
+  for (const SerializedTable& chunk : msk_chunks) {
+    nn::Tensor hidden;
+    if (encode != nullptr) {
+      hidden = (*encode)(chunk.tokens, chunk.segments);
+    } else {
+      KGLINK_RETURN_IF_ERROR(CheckEncodeTokens(chunk.tokens, vocab_size));
+      hidden = model_->Encode(chunk.tokens, chunk.segments, *rng_,
+                              /*training=*/false);
+    }
+
+    std::vector<nn::Tensor> composed;
+    composed.reserve(chunk.columns.size());
+    for (const SerializedColumn& sc : chunk.columns) {
+      // The encoder truncates over-length sequences instead of aborting;
+      // a [CLS] that fell off the end clamps to the last surviving row so
+      // the request still answers (with degraded quality for that column).
+      int cls_pos = std::min(sc.cls_pos, hidden.rows() - 1);
+      nn::Tensor cls_vec = nn::Rows(hidden, {cls_pos});
+      const linker::ColumnKgInfo& info =
+          prepared.processed.columns[static_cast<size_t>(sc.source_col)];
+      std::vector<int> feature_tokens;
+      if (options_.use_feature_vector && info.has_feature) {
+        feature_tokens = serializer_->EncodeFeature(info.feature_sequence);
+      }
+      nn::Tensor fv;
+      if (feature_tokens.empty()) {
+        fv = nn::Tensor::Zeros({1, dim});
+      } else if (encode != nullptr) {
+        fv = nn::MeanRows((*encode)(feature_tokens, {}));
+      } else {
+        KGLINK_RETURN_IF_ERROR(CheckEncodeTokens(feature_tokens, vocab_size));
+        fv = model_->FeatureVector(feature_tokens, *rng_, /*training=*/false);
+      }
+      composed.push_back(model_->Compose(cls_vec, fv));
+    }
+    nn::Tensor logits = model_->Classify(nn::ConcatRows(composed));
+
+    if (predictions != nullptr) {
+      const auto& data = logits.data();
+      int num_labels = logits.cols();
+      for (size_t j = 0; j < chunk.columns.size(); ++j) {
+        const float* row = data.data() + j * static_cast<size_t>(num_labels);
+        int best = 0;
+        for (int l = 1; l < num_labels; ++l) {
+          if (row[l] > row[best]) best = l;
+        }
+        size_t source_col = static_cast<size_t>(chunk.columns[j].source_col);
+        (*predictions)[source_col] = best;
+        if (logits_out != nullptr) {
+          (*logits_out)[source_col].assign(row, row + num_labels);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 double KgLinkAnnotator::ForwardTable(
     const PreparedTable& prepared, bool training, float loss_scale,
     std::vector<int>* predictions,
     std::vector<std::vector<float>>* logits_out) {
-  const bool mask_task = training && options_.use_mask_task;
+  if (!training) {
+    // Eval callers without a status channel (the train-loop validation and
+    // the legacy Predict* API) keep the zero predictions on failure.
+    Status ignored = EvalForward(prepared, predictions, logits_out);
+    (void)ignored;
+    return 0.0;
+  }
+  const bool mask_task = options_.use_mask_task;
   if (predictions != nullptr) {
     predictions->assign(prepared.processed.columns.size(), 0);
   }
@@ -179,8 +413,7 @@ double KgLinkAnnotator::ForwardTable(
   }
 
   std::vector<SerializedTable> msk_chunks = serializer_->Serialize(
-      prepared.processed, LabelSlot::kMask,
-      training ? &prepared.label_texts : nullptr,
+      prepared.processed, LabelSlot::kMask, &prepared.label_texts,
       options_.use_candidate_types);
   std::vector<SerializedTable> gt_chunks;
   if (mask_task) {
@@ -200,7 +433,11 @@ double KgLinkAnnotator::ForwardTable(
     std::vector<nn::Tensor> composed;
     composed.reserve(chunk.columns.size());
     for (const SerializedColumn& sc : chunk.columns) {
-      nn::Tensor cls_vec = nn::Rows(hidden, {sc.cls_pos});
+      // Mirror the eval path: the encoder truncates over-length sequences,
+      // so a [CLS] past the truncated length clamps to the last surviving
+      // row instead of aborting the training step.
+      int cls_pos = std::min(sc.cls_pos, hidden.rows() - 1);
+      nn::Tensor cls_vec = nn::Rows(hidden, {cls_pos});
       const linker::ColumnKgInfo& info =
           prepared.processed.columns[static_cast<size_t>(sc.source_col)];
       std::vector<int> feature_tokens;
@@ -230,8 +467,6 @@ double KgLinkAnnotator::ForwardTable(
       }
     }
 
-    if (!training) continue;
-
     // ----- classification loss over labeled columns -----
     std::vector<int> labeled_rows;
     std::vector<int> labels;
@@ -258,17 +493,33 @@ double KgLinkAnnotator::ForwardTable(
         int label = prepared.labels[static_cast<size_t>(
             chunk.columns[j].source_col)];
         if (label == table::kUnlabeled) continue;
-        for (int p : chunk.columns[j].label_positions) msk_pos.push_back(p);
-        for (int p : gt_chunk.columns[j].label_positions) gt_pos.push_back(p);
+        // Label positions are paired token-for-token between the masked and
+        // ground-truth serializations; a pair where either side fell off a
+        // truncated encoding has no hidden state to distill, so it is
+        // dropped (rather than aborting in Rows).
+        const auto& mp = chunk.columns[j].label_positions;
+        const auto& gp = gt_chunk.columns[j].label_positions;
+        size_t pairs = std::min(mp.size(), gp.size());
+        for (size_t t = 0; t < pairs; ++t) {
+          if (mp[t] >= hidden.rows() || gp[t] >= gt_hidden.rows()) continue;
+          msk_pos.push_back(mp[t]);
+          gt_pos.push_back(gp[t]);
+        }
       }
       KGLINK_CHECK_EQ(msk_pos.size(), gt_pos.size());
-      nn::Tensor msk_logits =
-          model_->ProjectToVocab(nn::Rows(hidden, msk_pos));
-      nn::Tensor gt_logits =
-          model_->ProjectToVocab(nn::Rows(gt_hidden, gt_pos));
-      nn::Tensor dmlm =
-          nn::DmlmLoss(msk_logits, gt_logits, options_.dmlm_temperature);
-      total = model_->uncertainty_loss().Combine(dmlm, ce);
+      if (msk_pos.empty()) {
+        // Every label token was truncated away: nothing to distill on this
+        // chunk, fall back to the classification loss alone.
+        total = ce;
+      } else {
+        nn::Tensor msk_logits =
+            model_->ProjectToVocab(nn::Rows(hidden, msk_pos));
+        nn::Tensor gt_logits =
+            model_->ProjectToVocab(nn::Rows(gt_hidden, gt_pos));
+        nn::Tensor dmlm =
+            nn::DmlmLoss(msk_logits, gt_logits, options_.dmlm_temperature);
+        total = model_->uncertainty_loss().Combine(dmlm, ce);
+      }
     } else {
       total = ce;
     }
@@ -505,21 +756,42 @@ std::vector<int> KgLinkAnnotator::PredictTable(const table::Table& t) {
 
 std::vector<int> KgLinkAnnotator::PredictProcessed(
     const linker::ProcessedTable& pt) {
+  std::vector<int> predictions;
+  // Legacy status-less API: a failed encode leaves the zero predictions.
+  Status ignored = PredictWithStatus(pt, &predictions);
+  (void)ignored;
+  return predictions;
+}
+
+Status KgLinkAnnotator::PredictWithStatus(const linker::ProcessedTable& pt,
+                                          std::vector<int>* predictions,
+                                          const EncodeFn* encode) {
   KGLINK_CHECK(model_ != nullptr) << "PredictTable before Fit/Load";
   PreparedTable prepared;
   prepared.processed = pt;
   prepared.labels.assign(pt.columns.size(), table::kUnlabeled);
   prepared.label_texts.assign(pt.columns.size(), "");
-  std::vector<int> predictions;
   obs::ProvenanceRecorder& recorder = obs::ProvenanceRecorder::Global();
   if (recorder.enabled()) {
     std::vector<std::vector<float>> logits;
-    ForwardTable(prepared, /*training=*/false, 0.0f, &predictions, &logits);
-    EmitProvenance(pt, logits, predictions);
-  } else {
-    ForwardTable(prepared, /*training=*/false, 0.0f, &predictions);
+    Status s = EvalForward(prepared, predictions, &logits, encode);
+    if (s.ok()) EmitProvenance(pt, logits, *predictions);
+    return s;
   }
-  return predictions;
+  return EvalForward(prepared, predictions, nullptr, encode);
+}
+
+Status KgLinkAnnotator::ValidateTokenIds(const std::vector<int>& tokens,
+                                         int vocab_size) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] < 0 || tokens[i] >= vocab_size) {
+      return Status::InvalidArgument(
+          "token id " + std::to_string(tokens[i]) + " at position " +
+          std::to_string(i) + " outside vocabulary [0, " +
+          std::to_string(vocab_size) + ")");
+    }
+  }
+  return Status::Ok();
 }
 
 namespace {

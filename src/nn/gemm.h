@@ -1,0 +1,45 @@
+// Dispatch point for the tensor library's GEMM kernels.
+//
+// The default build uses the cache-blocked kernels in gemm.cc — an AVX2
+// 4x16 register-blocked microkernel over packed B panels when the target
+// supports it (we build with -march=native), a plain blocked scalar loop
+// otherwise. Configuring -DKGLINK_GEMM=reference forwards every call to
+// the scalar kernels in nn/reference_gemm.h instead, which is what the CI
+// fallback job runs to prove non-AVX2 hosts still pass the full suite.
+//
+// Parity contract with refgemm (enforced by tests/gemm_test.cc):
+//  - GemmAcc and GemmAccAt are BIT-EXACT: each output element accumulates
+//    its k products in the same order with an explicit multiply-then-add
+//    (both TUs are pinned to -ffp-contract=off, and the AVX2 kernel uses
+//    separate _mm256_mul_ps/_mm256_add_ps, never FMA).
+//  - GemmAccBt matches within a few ULP only: the reference reduces each
+//    dot product into a fresh local accumulator before the final +=, while
+//    the fast path (a blocked GemmAcc against a materialized B^T)
+//    accumulates directly into the output, so the rounding sequence
+//    differs by one reassociation.
+//
+// All kernels accumulate (+=) into the output and tolerate aliased A/B
+// inputs (they only read them); the output must not alias either input.
+#ifndef KGLINK_NN_GEMM_H_
+#define KGLINK_NN_GEMM_H_
+
+namespace kglink::nn::gemm {
+
+// c[m,n] += a[m,k] * b[k,n]
+void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n);
+
+// da[m,k] += dc[m,n] * b[k,n]^T
+void GemmAccBt(const float* dc, const float* b, float* da, int m, int k,
+               int n);
+
+// db[k,n] += a[m,k]^T * dc[m,n]
+void GemmAccAt(const float* a, const float* dc, float* db, int m, int k,
+               int n);
+
+// Which kernel this build dispatches to: "blocked-avx2", "blocked-scalar"
+// or "reference".
+const char* KernelName();
+
+}  // namespace kglink::nn::gemm
+
+#endif  // KGLINK_NN_GEMM_H_

@@ -60,6 +60,14 @@ class MultiHeadAttention {
   MultiHeadAttention(int dim, int num_heads, Rng& rng, std::string name);
 
   Tensor Forward(const Tensor& x) const;
+  // Batched padded variant: x is [seq_lens.size() * pad_len, d] with
+  // sequence b occupying rows [b*pad_len, b*pad_len + seq_lens[b]).
+  // Attention is masked structurally (see nn::MaskedAttention): valid rows
+  // never attend to padding, and each valid row's output is bit-identical
+  // to running Forward on that sequence alone. Forward(x) is the
+  // single-sequence special case (one sequence, pad_len == L).
+  Tensor ForwardPadded(const Tensor& x, const std::vector<int>& seq_lens,
+                       int pad_len) const;
   void CollectParams(std::vector<NamedParam>* out) const;
 
  private:
@@ -76,6 +84,12 @@ class TransformerLayer {
                    Rng& rng, std::string name);
 
   Tensor Forward(const Tensor& x, Rng& rng, bool training) const;
+  // Batched padded variant; see MultiHeadAttention::ForwardPadded for the
+  // layout. Padded rows flow through the residual/FFN path (they are cheap
+  // and keep every op a plain dense kernel) but never influence a valid
+  // row, and callers drop them when extracting per-sequence outputs.
+  Tensor ForwardPadded(const Tensor& x, const std::vector<int>& seq_lens,
+                       int pad_len, Rng& rng, bool training) const;
   void CollectParams(std::vector<NamedParam>* out) const;
 
  private:
@@ -115,6 +129,15 @@ struct EncoderConfig {
   }
 };
 
+// One sequence in a TransformerEncoder::ForwardBatch call. Pointers keep
+// the batch assembly zero-copy; `segment_ids` may be null or point to an
+// empty vector (all-zero segments), but every item in one batch must agree
+// on whether segments are present.
+struct EncoderBatchItem {
+  const std::vector<int>* token_ids = nullptr;
+  const std::vector<int>* segment_ids = nullptr;
+};
+
 // BERT-style encoder: token + position embeddings, N transformer layers,
 // final LayerNorm. Input is one token-id sequence; output is [L, dim].
 class TransformerEncoder {
@@ -122,14 +145,27 @@ class TransformerEncoder {
   TransformerEncoder() = default;
   TransformerEncoder(const EncoderConfig& config, Rng& rng);
 
-  // Encodes a token sequence (length must be <= config.max_seq_len).
-  // `segment_ids`, when non-empty, must be parallel to `token_ids` with
-  // values in [0, max_segments); empty means all-zero segments.
+  // Encodes a token sequence. Sequences longer than config.max_seq_len are
+  // truncated (counted in the `encode.truncated` metric), never rejected:
+  // on the serving path an over-length input must degrade gracefully, not
+  // take down the process. `segment_ids`, when non-empty, must be parallel
+  // to `token_ids` with values in [0, max_segments); empty means all-zero
+  // segments.
   Tensor Forward(const std::vector<int>& token_ids, Rng& rng,
                  bool training) const;
   Tensor Forward(const std::vector<int>& token_ids,
                  const std::vector<int>& segment_ids, Rng& rng,
                  bool training) const;
+
+  // Encodes N sequences in one padded forward pass: sequences are padded
+  // to the batch max length, attention is masked so no valid position sees
+  // padding, and the padded rows are dropped on extraction. Output i has
+  // exactly items[i]'s (possibly truncated) length in rows. In inference
+  // each output is bit-identical to the corresponding sequential
+  // Forward(); under training the dropout RNG stream differs from the
+  // sequential order (one draw pass over the padded batch).
+  std::vector<Tensor> ForwardBatch(const std::vector<EncoderBatchItem>& items,
+                                   Rng& rng, bool training) const;
 
   const EncoderConfig& config() const { return config_; }
   const Tensor& token_embedding() const { return tok_emb_; }
@@ -140,6 +176,11 @@ class TransformerEncoder {
   Tensor tok_emb_;  // [vocab, dim]
   Tensor pos_emb_;  // [max_seq_len, dim]
   Tensor seg_emb_;  // [max_segments, dim]
+  // Cached 0..max_seq_len-1, sliced per call instead of rebuilt. Caching
+  // the *ids* (not a lookup Tensor) keeps autograd sound: the optimizer
+  // updates pos_emb_ in place, so a cached activation would go stale and
+  // alias grads across steps, while cached ids are just indices.
+  std::vector<int> pos_ids_;
   LayerNormLayer emb_ln_;
   std::vector<TransformerLayer> layers_;
   LayerNormLayer final_ln_;

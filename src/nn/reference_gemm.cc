@@ -1,0 +1,50 @@
+// Compiled with -ffp-contract=off (see src/nn/CMakeLists.txt): the parity
+// contract against nn/gemm.cc is stated in terms of an explicit
+// multiply-then-add per element, so the compiler must not fuse these loops
+// into FMAs on its own.
+#include "nn/reference_gemm.h"
+
+#include <cstddef>
+
+namespace kglink::nn::refgemm {
+
+void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmAccBt(const float* dc, const float* b, float* da, int m, int k,
+               int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* dcrow = dc + static_cast<size_t>(i) * n;
+    float* darow = da + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<size_t>(p) * n;
+      float s = 0.0f;
+      for (int j = 0; j < n; ++j) s += dcrow[j] * brow[j];
+      darow[p] += s;
+    }
+  }
+}
+
+void GemmAccAt(const float* a, const float* dc, float* db, int m, int k,
+               int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    const float* dcrow = dc + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      float* dbrow = db + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+}  // namespace kglink::nn::refgemm

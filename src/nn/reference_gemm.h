@@ -1,0 +1,29 @@
+// Scalar reference GEMM kernels — the original straight-loop
+// implementations the tensor library shipped with, kept verbatim as the
+// ground truth for the blocked/vectorized kernels in nn/gemm.h. The same
+// discipline as search/reference_scorer: the fast path must match these
+// (bit-exactly where the accumulation order is preserved, within a few ULP
+// where it is not), and the parity tests in tests/gemm_test.cc enforce it.
+//
+// All matrices are dense row-major float buffers. Every kernel ACCUMULATES
+// into its output (c += ..., never c = ...), matching how the autograd
+// closures in nn/tensor.cc stack gradients.
+#ifndef KGLINK_NN_REFERENCE_GEMM_H_
+#define KGLINK_NN_REFERENCE_GEMM_H_
+
+namespace kglink::nn::refgemm {
+
+// c[m,n] += a[m,k] * b[k,n]
+void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n);
+
+// da[m,k] += dc[m,n] * b[k,n]^T
+void GemmAccBt(const float* dc, const float* b, float* da, int m, int k,
+               int n);
+
+// db[k,n] += a[m,k]^T * dc[m,n]
+void GemmAccAt(const float* a, const float* dc, float* db, int m, int k,
+               int n);
+
+}  // namespace kglink::nn::refgemm
+
+#endif  // KGLINK_NN_REFERENCE_GEMM_H_

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <unordered_set>
 
+#include "nn/gemm.h"
 #include "obs/profiler.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define KGLINK_SOFTMAX_AVX2 1
+#endif
 
 namespace kglink::nn {
 
@@ -46,49 +55,13 @@ std::pair<int, int> RowsCols(const Tensor& t) {
   return {s[0], s[1]};
 }
 
-// c[m,n] += a[m,k] * b[k,n]
-void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      const float* brow = b + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
+// The GEMM kernels (gemm::GemmAcc and friends) used to live here as the
+// scalar triple loops; they moved to nn/reference_gemm.cc (ground truth)
+// and nn/gemm.cc (blocked/vectorized dispatch) with the same accumulate
+// semantics: c += a*b, never c = a*b.
 
-// da[m,k] += dc[m,n] * b[k,n]^T
-void GemmAccBt(const float* dc, const float* b, float* da, int m, int k,
-               int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* dcrow = dc + static_cast<size_t>(i) * n;
-    float* darow = da + static_cast<size_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const float* brow = b + static_cast<size_t>(p) * n;
-      float s = 0.0f;
-      for (int j = 0; j < n; ++j) s += dcrow[j] * brow[j];
-      darow[p] += s;
-    }
-  }
-}
-
-// db[k,n] += a[m,k]^T * dc[m,n]
-void GemmAccAt(const float* a, const float* dc, float* db, int m, int k,
-               int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    const float* dcrow = dc + static_cast<size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      float* dbrow = db + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
-    }
-  }
-}
-
-// Numerically-stable row-wise log-softmax into `out`.
+// Numerically-stable row-wise log-softmax into `out`. Safe in place
+// (out == x): each row is fully reduced before it is rewritten.
 void RowLogSoftmax(const float* x, float* out, int rows, int cols) {
   for (int i = 0; i < rows; ++i) {
     const float* xr = x + static_cast<size_t>(i) * cols;
@@ -99,6 +72,150 @@ void RowLogSoftmax(const float* x, float* out, int rows, int cols) {
     for (int j = 0; j < cols; ++j) sum += std::exp(xr[j] - mx);
     float lse = mx + std::log(sum);
     for (int j = 0; j < cols; ++j) yr[j] = xr[j] - lse;
+  }
+}
+
+// ----- fast row softmax (probabilities, not log) -----
+//
+// The attention hot loop spends most of its time in transcendentals: the
+// log-softmax-then-exp formulation costs two exps and a log per score.
+// RowSoftmaxScaled computes probabilities directly — one polynomial exp
+// per element — and is the single softmax kernel behind both the Softmax
+// op and the fused MaskedAttention, so fused-vs-composed stays bit-equal.
+//
+// FastExp is a Cephes-style degree-5 polynomial (~1-2 ulp over the range
+// softmax feeds it: arguments are always <= 0 after the row-max subtract,
+// and the low clamp keeps 2^z in normal-float territory). The scalar and
+// AVX2 forms evaluate the identical operation sequence lane-wise, and
+// this TU is pinned -ffp-contract=off, so neither form gains an FMA the
+// other lacks — one build's softmax is bit-deterministic regardless of
+// which path a row takes.
+
+constexpr float kExpLo = -87.33654f;    // exp(kExpLo) is the smallest normal
+constexpr float kExpLog2e = 1.44269504088896341f;
+constexpr float kExpC1 = 0.693359375f;  // ln2 split: high part...
+constexpr float kExpC2 = -2.12194440e-4f;  // ...and correction term
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline float FastExp(float x) {
+  x = std::max(x, kExpLo);
+  float z = std::floor(kExpLog2e * x + 0.5f);
+  x = x - z * kExpC1;
+  x = x - z * kExpC2;
+  float p = kExpP0;
+  p = p * x + kExpP1;
+  p = p * x + kExpP2;
+  p = p * x + kExpP3;
+  p = p * x + kExpP4;
+  p = p * x + kExpP5;
+  p = p * (x * x);
+  p = p + x;
+  p = p + 1.0f;
+  // 2^z through the exponent field; z is in [-126, 0] for softmax inputs.
+  const int32_t bits = (static_cast<int32_t>(z) + 127) << 23;
+  float pow2z;
+  std::memcpy(&pow2z, &bits, sizeof(pow2z));
+  return p * pow2z;
+}
+
+#ifdef KGLINK_SOFTMAX_AVX2
+
+// Lane-wise mirror of FastExp — same operation sequence, same constants.
+inline __m256 FastExp8(__m256 x) {
+  x = _mm256_max_ps(x, _mm256_set1_ps(kExpLo));
+  __m256 z = _mm256_floor_ps(
+      _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(kExpLog2e), x),
+                    _mm256_set1_ps(0.5f)));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(z, _mm256_set1_ps(kExpC1)));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(z, _mm256_set1_ps(kExpC2)));
+  __m256 p = _mm256_set1_ps(kExpP0);
+  p = _mm256_add_ps(_mm256_mul_ps(p, x), _mm256_set1_ps(kExpP1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x), _mm256_set1_ps(kExpP2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x), _mm256_set1_ps(kExpP3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x), _mm256_set1_ps(kExpP4));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x), _mm256_set1_ps(kExpP5));
+  p = _mm256_mul_ps(p, _mm256_mul_ps(x, x));
+  p = _mm256_add_ps(p, x);
+  p = _mm256_add_ps(p, _mm256_set1_ps(1.0f));
+  __m256i bits = _mm256_slli_epi32(
+      _mm256_add_epi32(_mm256_cvtps_epi32(z), _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(bits));
+}
+
+inline float Max8(__m256 v) {
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  return _mm_cvtss_f32(m);
+}
+
+inline float Sum8(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+#endif  // KGLINK_SOFTMAX_AVX2
+
+// out[i][j] = softmax(scale * x[i])[j]. Folding the scale costs nothing
+// and matches the composed Scale-then-Softmax pipeline bit-for-bit: both
+// perform the identical single multiply per element before the row max.
+void RowSoftmaxScaled(const float* x, float* out, int rows, int cols,
+                      float scale) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<size_t>(i) * cols;
+    float* yr = out + static_cast<size_t>(i) * cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    int j = 0;
+#ifdef KGLINK_SOFTMAX_AVX2
+    const __m256 vscale = _mm256_set1_ps(scale);
+    __m256 vmax = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+    for (; j + 8 <= cols; j += 8) {
+      __m256 v = _mm256_mul_ps(_mm256_loadu_ps(xr + j), vscale);
+      _mm256_storeu_ps(yr + j, v);
+      vmax = _mm256_max_ps(vmax, v);
+    }
+    if (j > 0) mx = Max8(vmax);
+#endif
+    for (; j < cols; ++j) {
+      float v = xr[j] * scale;
+      yr[j] = v;
+      mx = std::max(mx, v);
+    }
+    float sum = 0.0f;
+    j = 0;
+#ifdef KGLINK_SOFTMAX_AVX2
+    const __m256 vmx = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    for (; j + 8 <= cols; j += 8) {
+      __m256 e = FastExp8(_mm256_sub_ps(_mm256_loadu_ps(yr + j), vmx));
+      _mm256_storeu_ps(yr + j, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    if (j > 0) sum = Sum8(vsum);
+#endif
+    for (; j < cols; ++j) {
+      float e = FastExp(yr[j] - mx);
+      yr[j] = e;
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+    j = 0;
+#ifdef KGLINK_SOFTMAX_AVX2
+    const __m256 vinv = _mm256_set1_ps(inv);
+    for (; j + 8 <= cols; j += 8) {
+      _mm256_storeu_ps(yr + j, _mm256_mul_ps(_mm256_loadu_ps(yr + j), vinv));
+    }
+#endif
+    for (; j < cols; ++j) yr[j] *= inv;
   }
 }
 
@@ -206,7 +323,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                          << " x " << b.ShapeString();
   auto out = NewOutput({m, n}, std::vector<float>(int64_t{1} * m * n, 0.0f),
                        {a, b});
-  GemmAcc(a.data().data(), b.data().data(), out->data.data(), m, k, n);
+  gemm::GemmAcc(a.data().data(), b.data().data(), out->data.data(), m, k, n);
   if (out->requires_grad) {
     auto ai = a.impl();
     auto bi = b.impl();
@@ -214,11 +331,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     out->backward = [ai, bi, o, m, k, n] {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        GemmAccBt(o->grad.data(), bi->data.data(), ai->grad.data(), m, k, n);
+        gemm::GemmAccBt(o->grad.data(), bi->data.data(), ai->grad.data(), m,
+                        k, n);
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        GemmAccAt(ai->data.data(), o->grad.data(), bi->grad.data(), m, k, n);
+        gemm::GemmAccAt(ai->data.data(), o->grad.data(), bi->grad.data(), m,
+                        k, n);
       }
     };
   }
@@ -423,8 +542,9 @@ Tensor Gelu(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   auto [m, n] = RowsCols(a);
   std::vector<float> data(a.data().size());
-  RowLogSoftmax(a.data().data(), data.data(), m, n);
-  for (auto& v : data) v = std::exp(v);
+  // scale = 1.0f is an exact identity multiply, so this is the same
+  // kernel MaskedAttention runs with its folded score scale.
+  RowSoftmaxScaled(a.data().data(), data.data(), m, n, 1.0f);
   auto out = NewOutput(a.shape(), std::move(data), {a});
   if (out->requires_grad) {
     auto ai = a.impl();
@@ -563,20 +683,24 @@ Tensor Dropout(const Tensor& x, float p, Rng& rng, bool training) {
 
 // ----- shape & indexing -----
 
-Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+Tensor EmbeddingLookup(const Tensor& table, const int* ids, int count) {
   auto [v, d] = RowsCols(table);
-  std::vector<float> data(ids.size() * static_cast<size_t>(d));
-  for (size_t i = 0; i < ids.size(); ++i) {
+  KGLINK_CHECK_GE(count, 0);
+  std::vector<float> data(static_cast<size_t>(count) * d);
+  for (int i = 0; i < count; ++i) {
+    // Backstop for programming errors only: the serving path validates
+    // token ids against the model's vocabulary before any encode (see
+    // core::KgLinkAnnotator::ValidateTokenIds) and turns a mismatch into a
+    // per-request kInvalidArgument instead of reaching this abort.
     KGLINK_CHECK(ids[i] >= 0 && ids[i] < v) << "embedding id out of range";
     std::copy_n(table.data().data() + static_cast<size_t>(ids[i]) * d, d,
-                data.data() + i * d);
+                data.data() + static_cast<size_t>(i) * d);
   }
-  auto out = NewOutput({static_cast<int>(ids.size()), d}, std::move(data),
-                       {table});
+  auto out = NewOutput({count, d}, std::move(data), {table});
   if (out->requires_grad) {
     auto ti = table.impl();
     TensorImpl* o = out.get();
-    auto ids_copy = std::make_shared<std::vector<int>>(ids);
+    auto ids_copy = std::make_shared<std::vector<int>>(ids, ids + count);
     out->backward = [ti, o, ids_copy, d] {
       ti->EnsureGrad();
       for (size_t i = 0; i < ids_copy->size(); ++i) {
@@ -588,6 +712,10 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
     };
   }
   return Tensor(std::move(out));
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  return EmbeddingLookup(table, ids.data(), static_cast<int>(ids.size()));
 }
 
 Tensor Rows(const Tensor& x, const std::vector<int>& idx) {
@@ -804,6 +932,192 @@ Tensor Reshape(const Tensor& x, std::vector<int> shape) {
     out->backward = [xi, o] {
       xi->EnsureGrad();
       for (size_t i = 0; i < o->grad.size(); ++i) xi->grad[i] += o->grad[i];
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ----- fused masked attention -----
+
+namespace {
+
+// Copies the head-h column block of rows [base, base+l) of `src` ([?, dim])
+// into a contiguous l x hd scratch block.
+void PackHead(const float* src, int base, int l, int dim, int c0, int hd,
+              float* dst) {
+  for (int i = 0; i < l; ++i) {
+    std::copy_n(src + static_cast<size_t>(base + i) * dim + c0, hd,
+                dst + static_cast<size_t>(i) * hd);
+  }
+}
+
+// Same block, transposed: dst[p][j] = src[base+j][c0+p], dst is hd x l.
+void PackHeadT(const float* src, int base, int l, int dim, int c0, int hd,
+               float* dst) {
+  for (int j = 0; j < l; ++j) {
+    const float* row = src + static_cast<size_t>(base + j) * dim + c0;
+    for (int p = 0; p < hd; ++p) {
+      dst[static_cast<size_t>(p) * l + j] = row[p];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MaskedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                       int num_heads, float scale,
+                       const std::vector<int>& seq_lens, int pad_len) {
+  auto [total_rows, dim] = RowsCols(q);
+  KGLINK_CHECK(q.shape() == k.shape() && q.shape() == v.shape())
+      << "MaskedAttention q/k/v shape mismatch";
+  KGLINK_CHECK_GT(num_heads, 0);
+  KGLINK_CHECK_EQ(dim % num_heads, 0) << "dim must divide num_heads";
+  const int hd = dim / num_heads;
+  const int batch = static_cast<int>(seq_lens.size());
+  KGLINK_CHECK_GT(batch, 0);
+  KGLINK_CHECK_EQ(total_rows, batch * pad_len)
+      << "MaskedAttention rows != batch * pad_len";
+  size_t probs_total = 0;
+  for (int len : seq_lens) {
+    KGLINK_CHECK(len >= 1 && len <= pad_len)
+        << "seq_len out of range for pad_len " << pad_len;
+    probs_total += static_cast<size_t>(len) * len;
+  }
+  probs_total *= static_cast<size_t>(num_heads);
+
+  // The attention probabilities are the only forward intermediate the
+  // backward pass cannot cheaply recompute; one flat buffer holds every
+  // (block, head) slab in iteration order. The packed q/k/v head blocks
+  // are re-gathered from the parents' data on the backward pass instead.
+  auto probs_store = std::make_shared<std::vector<float>>(probs_total);
+
+  // Padded rows stay zero: a padded query row depends on nothing, and the
+  // packing below never reads a padded key/value row — the softmax runs
+  // over exactly the valid prefix, which is the mask.
+  std::vector<float> out_data(static_cast<size_t>(total_rows) * dim, 0.0f);
+  std::vector<float> qh, kht, vh, scores, head;
+  size_t probs_off = 0;
+  for (int b = 0; b < batch; ++b) {
+    const int len = seq_lens[b];
+    const int base = b * pad_len;
+    const size_t l2 = static_cast<size_t>(len) * len;
+    for (int h = 0; h < num_heads; ++h) {
+      const int c0 = h * hd;
+      qh.resize(static_cast<size_t>(len) * hd);
+      kht.resize(static_cast<size_t>(hd) * len);
+      vh.resize(static_cast<size_t>(len) * hd);
+      PackHead(q.data().data(), base, len, dim, c0, hd, qh.data());
+      PackHeadT(k.data().data(), base, len, dim, c0, hd, kht.data());
+      PackHead(v.data().data(), base, len, dim, c0, hd, vh.data());
+      scores.assign(l2, 0.0f);
+      gemm::GemmAcc(qh.data(), kht.data(), scores.data(), len, hd, len);
+      float* probs = probs_store->data() + probs_off;
+      // Scale folds into the softmax kernel (same single multiply per
+      // element the composed Scale op performs), one exp per score.
+      RowSoftmaxScaled(scores.data(), probs, len, len, scale);
+      head.assign(static_cast<size_t>(len) * hd, 0.0f);
+      gemm::GemmAcc(probs, vh.data(), head.data(), len, len, hd);
+      for (int i = 0; i < len; ++i) {
+        std::copy_n(head.data() + static_cast<size_t>(i) * hd, hd,
+                    out_data.data() +
+                        static_cast<size_t>(base + i) * dim + c0);
+      }
+      probs_off += l2;
+    }
+  }
+
+  auto out = NewOutput({total_rows, dim}, std::move(out_data), {q, k, v});
+  if (out->requires_grad) {
+    auto qi = q.impl();
+    auto ki = k.impl();
+    auto vi = v.impl();
+    TensorImpl* o = out.get();
+    auto lens = std::make_shared<std::vector<int>>(seq_lens);
+    out->backward = [qi, ki, vi, o, probs_store, lens, num_heads, hd, dim,
+                     pad_len, scale] {
+      // Mirrors the composed-op backward kernel-for-kernel (MatMul's
+      // GemmAccBt/GemmAccAt, Softmax's dot-subtract rule, Scale's
+      // multiply), so gradients are bit-identical to the unfused pipeline.
+      std::vector<float> bqh, bkht, bvh, dhead, dprobs, dvh, dqh, dkht;
+      size_t off = 0;
+      for (size_t b = 0; b < lens->size(); ++b) {
+        const int len = (*lens)[b];
+        const int base = static_cast<int>(b) * pad_len;
+        const size_t l2 = static_cast<size_t>(len) * len;
+        for (int h = 0; h < num_heads; ++h) {
+          const int c0 = h * hd;
+          const float* probs = probs_store->data() + off;
+          dhead.resize(static_cast<size_t>(len) * hd);
+          PackHead(o->grad.data(), base, len, dim, c0, hd, dhead.data());
+          if (vi->requires_grad) {
+            bvh.resize(static_cast<size_t>(len) * hd);
+            PackHead(vi->data.data(), base, len, dim, c0, hd, bvh.data());
+          }
+          dprobs.assign(l2, 0.0f);
+          if (vi->requires_grad) {
+            gemm::GemmAccBt(dhead.data(), bvh.data(), dprobs.data(), len,
+                            len, hd);
+            dvh.assign(static_cast<size_t>(len) * hd, 0.0f);
+            gemm::GemmAccAt(probs, dhead.data(), dvh.data(), len, len, hd);
+            vi->EnsureGrad();
+            for (int j = 0; j < len; ++j) {
+              const float* g = dvh.data() + static_cast<size_t>(j) * hd;
+              float* vg = vi->grad.data() +
+                          static_cast<size_t>(base + j) * dim + c0;
+              for (int p = 0; p < hd; ++p) vg[p] += g[p];
+            }
+          } else {
+            // dprobs is still needed for the q/k gradients below; the v
+            // block must be packed for it either way.
+            bvh.resize(static_cast<size_t>(len) * hd);
+            PackHead(vi->data.data(), base, len, dim, c0, hd, bvh.data());
+            gemm::GemmAccBt(dhead.data(), bvh.data(), dprobs.data(), len,
+                            len, hd);
+          }
+          // Softmax backward then the score scale, in place over dprobs.
+          for (int i = 0; i < len; ++i) {
+            const float* y = probs + static_cast<size_t>(i) * len;
+            float* dy = dprobs.data() + static_cast<size_t>(i) * len;
+            float dot = 0.0f;
+            for (int j = 0; j < len; ++j) dot += dy[j] * y[j];
+            for (int j = 0; j < len; ++j) {
+              dy[j] = scale * (y[j] * (dy[j] - dot));
+            }
+          }
+          if (qi->requires_grad || ki->requires_grad) {
+            bqh.resize(static_cast<size_t>(len) * hd);
+            bkht.resize(static_cast<size_t>(hd) * len);
+            PackHead(qi->data.data(), base, len, dim, c0, hd, bqh.data());
+            PackHeadT(ki->data.data(), base, len, dim, c0, hd, bkht.data());
+          }
+          if (qi->requires_grad) {
+            dqh.assign(static_cast<size_t>(len) * hd, 0.0f);
+            gemm::GemmAccBt(dprobs.data(), bkht.data(), dqh.data(), len, hd,
+                            len);
+            qi->EnsureGrad();
+            for (int i = 0; i < len; ++i) {
+              const float* g = dqh.data() + static_cast<size_t>(i) * hd;
+              float* qg = qi->grad.data() +
+                          static_cast<size_t>(base + i) * dim + c0;
+              for (int p = 0; p < hd; ++p) qg[p] += g[p];
+            }
+          }
+          if (ki->requires_grad) {
+            dkht.assign(static_cast<size_t>(hd) * len, 0.0f);
+            gemm::GemmAccAt(bqh.data(), dprobs.data(), dkht.data(), len, hd,
+                            len);
+            ki->EnsureGrad();
+            for (int p = 0; p < hd; ++p) {
+              const float* g = dkht.data() + static_cast<size_t>(p) * len;
+              for (int j = 0; j < len; ++j) {
+                ki->grad[static_cast<size_t>(base + j) * dim + c0 + p] +=
+                    g[j];
+              }
+            }
+          }
+          off += l2;
+        }
+      }
     };
   }
   return Tensor(std::move(out));

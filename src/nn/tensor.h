@@ -140,6 +140,9 @@ Tensor Dropout(const Tensor& x, float p, Rng& rng, bool training);
 // Gathers rows of `table` ([V,d]) by ids -> [ids.size(), d]. Backward
 // scatter-adds into the table rows.
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
+// Pointer/count core of the lookup above — lets callers reuse a cached id
+// buffer (e.g. the encoder's position ids) without building a vector.
+Tensor EmbeddingLookup(const Tensor& table, const int* ids, int count);
 // Gathers rows of x by index -> [idx.size(), cols].
 Tensor Rows(const Tensor& x, const std::vector<int>& idx);
 // Contiguous column slice [start, start+len).
@@ -158,6 +161,22 @@ Tensor MeanRows(const Tensor& x);
 Tensor Detach(const Tensor& x);
 // View with a new shape (same numel); shares no storage (copies).
 Tensor Reshape(const Tensor& x, std::vector<int> shape);
+
+// ----- fused attention -----
+
+// Multi-head scaled-dot-product attention over a batch of padded
+// sequences, fused into one op. q/k/v are [batch * pad_len, dim] with each
+// sequence occupying rows [b*pad_len, b*pad_len + seq_lens[b]); dim splits
+// into num_heads equal head slices. Masking is structural: only the valid
+// prefix of each sequence is packed into the per-head score matrix, so the
+// softmax normalizes over exactly the unpadded positions and padded query
+// rows come back as zeros (their gradient contribution is likewise
+// dropped). For every valid row the output — and, via a kernel-for-kernel
+// replay, the backward — is bit-identical to the composed
+// SliceCols/MatMul/Scale/Softmax/MatMul/ConcatCols pipeline it replaces.
+Tensor MaskedAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                       int num_heads, float scale,
+                       const std::vector<int>& seq_lens, int pad_len);
 
 // ----- losses (scalar outputs) -----
 

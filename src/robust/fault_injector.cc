@@ -15,8 +15,9 @@ namespace kglink::robust {
 namespace {
 
 constexpr const char* kSiteNames[kNumFaultSites] = {
-    "search.topk", "kg.neighbors", "io.read", "io.write", "train.batch",
-    "predict",     "io.mmap",      "store.load",
+    "search.topk", "kg.neighbors", "io.read",    "io.write",
+    "train.batch", "predict",      "io.mmap",    "store.load",
+    "encode.bad_token",
 };
 
 // Registered once; indexed by site for lock-free updates on the fault path.

@@ -42,6 +42,7 @@ enum class FaultSite : int {
   // index) keep their historical draw sequences.
   kIoMmap,          // "io.mmap":      memory-mapping a snapshot file
   kStoreLoad,       // "store.load":   validating/loading a mapped snapshot
+  kEncodeBadToken,  // "encode.bad_token": corrupts one token id pre-encode
   kNumSites,
 };
 

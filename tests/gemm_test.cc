@@ -1,0 +1,160 @@
+// Randomized parity suite for the blocked GEMM kernels against
+// nn/reference_gemm — the same discipline as search_parity_test for the
+// BM25 scorers. GemmAcc / GemmAccAt must match the reference BIT-EXACTLY
+// (same per-element accumulation order, -ffp-contract=off in both TUs, no
+// FMA); GemmAccBt is allowed a few ULP because the reference reduces each
+// dot product into a local accumulator while the fast path accumulates
+// into the output directly.
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/reference_gemm.h"
+#include "util/rng.h"
+
+namespace kglink::nn {
+namespace {
+
+std::vector<float> RandomVec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Uniform(2000)) / 1000.0f - 1.0f;
+  }
+  return v;
+}
+
+// Odd, non-multiple-of-block shapes on purpose: every (m, k, n) here
+// exercises the microkernel's edge handling (row remainders under the 4-row
+// block, column remainders under the 16-wide panels, tiny k).
+struct Shape {
+  int m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 1},    {3, 1, 5},    {4, 16, 16}, {5, 17, 33},
+    {7, 3, 19},  {13, 29, 31}, {16, 48, 64}, {23, 5, 47}, {64, 48, 128},
+};
+
+TEST(GemmParityTest, GemmAccBitExactAcrossRandomShapes) {
+  Rng rng(71);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVec(static_cast<size_t>(s.m) * s.k, rng);
+    std::vector<float> b = RandomVec(static_cast<size_t>(s.k) * s.n, rng);
+    // Nonzero initial C: the kernels accumulate, so parity must hold for
+    // += semantics, not just writes into zeroed output.
+    std::vector<float> c_fast =
+        RandomVec(static_cast<size_t>(s.m) * s.n, rng);
+    std::vector<float> c_ref = c_fast;
+    gemm::GemmAcc(a.data(), b.data(), c_fast.data(), s.m, s.k, s.n);
+    refgemm::GemmAcc(a.data(), b.data(), c_ref.data(), s.m, s.k, s.n);
+    for (size_t i = 0; i < c_fast.size(); ++i) {
+      EXPECT_EQ(c_fast[i], c_ref[i])
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST(GemmParityTest, GemmAccAtBitExactAcrossRandomShapes) {
+  Rng rng(72);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVec(static_cast<size_t>(s.m) * s.k, rng);
+    std::vector<float> dc = RandomVec(static_cast<size_t>(s.m) * s.n, rng);
+    std::vector<float> db_fast =
+        RandomVec(static_cast<size_t>(s.k) * s.n, rng);
+    std::vector<float> db_ref = db_fast;
+    gemm::GemmAccAt(a.data(), dc.data(), db_fast.data(), s.m, s.k, s.n);
+    refgemm::GemmAccAt(a.data(), dc.data(), db_ref.data(), s.m, s.k, s.n);
+    for (size_t i = 0; i < db_fast.size(); ++i) {
+      EXPECT_EQ(db_fast[i], db_ref[i])
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST(GemmParityTest, GemmAccBtWithinUlpsAcrossRandomShapes) {
+  Rng rng(73);
+  for (const Shape& s : kShapes) {
+    std::vector<float> dc = RandomVec(static_cast<size_t>(s.m) * s.n, rng);
+    std::vector<float> b = RandomVec(static_cast<size_t>(s.k) * s.n, rng);
+    std::vector<float> da_fast =
+        RandomVec(static_cast<size_t>(s.m) * s.k, rng);
+    std::vector<float> da_ref = da_fast;
+    gemm::GemmAccBt(dc.data(), b.data(), da_fast.data(), s.m, s.k, s.n);
+    refgemm::GemmAccBt(dc.data(), b.data(), da_ref.data(), s.m, s.k, s.n);
+    // The reassociated accumulation's error scales with the dot-product
+    // length n and the partial-sum magnitude (inputs are in [-1, 1], so
+    // partials are bounded by n) — an ULP bound on the *result* would
+    // misfire whenever cancellation shrinks it. A genuinely wrong kernel
+    // is off by O(1), far beyond this.
+    const float tol = 32.0f * std::numeric_limits<float>::epsilon() *
+                      static_cast<float>(s.n);
+    for (size_t i = 0; i < da_fast.size(); ++i) {
+      EXPECT_NEAR(da_fast[i], da_ref[i], tol)
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST(GemmParityTest, KEqualsOneDegeneratesToOuterProduct) {
+  Rng rng(74);
+  const int m = 9;
+  const int n = 21;
+  std::vector<float> a = RandomVec(static_cast<size_t>(m), rng);
+  std::vector<float> b = RandomVec(static_cast<size_t>(n), rng);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+  gemm::GemmAcc(a.data(), b.data(), c.data(), m, 1, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // A single product needs no accumulation order at all — exact.
+      EXPECT_EQ(c[static_cast<size_t>(i) * n + j],
+                a[static_cast<size_t>(i)] * b[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+TEST(GemmParityTest, AliasedInputsASameAsB) {
+  // x^T x with a == b aliased: the kernels only read their inputs, so an
+  // aliased square input must match the reference computed from a copy.
+  Rng rng(75);
+  const int m = 11;
+  std::vector<float> x = RandomVec(static_cast<size_t>(m) * m, rng);
+  std::vector<float> x_copy = x;
+  std::vector<float> c_fast(static_cast<size_t>(m) * m, 0.0f);
+  std::vector<float> c_ref = c_fast;
+  gemm::GemmAcc(x.data(), x.data(), c_fast.data(), m, m, m);
+  refgemm::GemmAcc(x_copy.data(), x_copy.data(), c_ref.data(), m, m, m);
+  for (size_t i = 0; i < c_fast.size(); ++i) {
+    EXPECT_EQ(c_fast[i], c_ref[i]) << "at " << i;
+  }
+}
+
+TEST(GemmParityTest, RepeatedCallsAreDeterministic) {
+  Rng rng(76);
+  const int m = 17;
+  const int k = 23;
+  const int n = 29;
+  std::vector<float> a = RandomVec(static_cast<size_t>(m) * k, rng);
+  std::vector<float> b = RandomVec(static_cast<size_t>(k) * n, rng);
+  std::vector<float> c1(static_cast<size_t>(m) * n, 0.0f);
+  std::vector<float> c2 = c1;
+  gemm::GemmAcc(a.data(), b.data(), c1.data(), m, k, n);
+  gemm::GemmAcc(a.data(), b.data(), c2.data(), m, k, n);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(),
+                           c1.size() * sizeof(float)));
+}
+
+TEST(GemmParityTest, KernelNameIsKnown) {
+  std::string name = gemm::KernelName();
+  EXPECT_TRUE(name == "blocked-avx2" || name == "blocked-scalar" ||
+              name == "reference")
+      << name;
+}
+
+}  // namespace
+}  // namespace kglink::nn

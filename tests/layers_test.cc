@@ -9,6 +9,7 @@
 
 #include "nn/checkpoint.h"
 #include "nn/tensor.h"
+#include "obs/metrics.h"
 
 namespace kglink::nn {
 namespace {
@@ -147,13 +148,28 @@ TEST(EncoderTest, DropoutOnlyActiveInTraining) {
   EXPECT_GT(diff, 0.0f);
 }
 
-TEST(EncoderTest, RejectsOverlongSequence) {
+TEST(EncoderTest, TruncatesOverlongSequenceInsteadOfAborting) {
   Rng init_rng(8);
   EncoderConfig cfg = SmallConfig();
   cfg.max_seq_len = 4;
   TransformerEncoder enc(cfg, init_rng);
+  auto& truncated =
+      obs::MetricsRegistry::Global().GetCounter("encode.truncated");
+  int64_t before = truncated.value();
+
   Rng r(1);
-  EXPECT_DEATH(enc.Forward({1, 2, 3, 4, 5}, r, false), "max_seq_len");
+  Tensor full = enc.Forward({1, 2, 3, 4, 5}, r, false);
+  EXPECT_EQ(full.rows(), 4);
+  EXPECT_EQ(truncated.value(), before + 1);
+
+  // The truncated forward matches encoding the clipped prefix directly.
+  Rng r2(1);
+  Tensor prefix = enc.Forward({1, 2, 3, 4}, r2, false);
+  ASSERT_EQ(full.numel(), prefix.numel());
+  for (int64_t i = 0; i < full.numel(); ++i) {
+    EXPECT_EQ(full.data()[static_cast<size_t>(i)],
+              prefix.data()[static_cast<size_t>(i)]);
+  }
 }
 
 TEST(CheckpointTest, SaveLoadRoundTrip) {
